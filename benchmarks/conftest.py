@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+The suite is characterized once (and cached on disk by the pipeline), so
+each bench times only its own analysis step.  Every bench also writes its
+table/figure to ``benchmarks/results/`` so the paper artifacts survive the
+run without needing ``-s``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.pipeline import analyze, characterize_suites
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    return characterize_suites()
+
+
+@pytest.fixture(scope="session")
+def analysis(profiles):
+    return analyze(profiles)
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        with open(os.path.join(RESULTS_DIR, name), "w") as f:
+            f.write(text)
+        print("\n" + text)
+
+    return _save

@@ -1,0 +1,48 @@
+"""F10 — The kernel-level workload space.
+
+The abstract's diversity statement is about *kernels* ("with a large number
+of diverse kernels, workloads such as SS, RD and SLA show diverse
+characteristics").  This bench re-runs the PCA at kernel granularity and
+measures each workload's spread — how far apart its own kernels land.
+"""
+
+import numpy as np
+
+from repro.core.analysis.pca import fit_pca
+from repro.core.featurespace import standardize
+from repro.core.kernelspace import kernel_feature_matrix, workload_spread
+from repro.report import ascii_table, text_scatter
+
+
+def _build(profiles):
+    fm, points = kernel_feature_matrix(profiles)
+    sm = standardize(fm)
+    pca = fit_pca(sm, variance_target=0.9)
+    spread = workload_spread(pca.scores, points)
+    return fm, points, pca, spread
+
+
+def test_f10_kernel_space(benchmark, profiles, save_artifact):
+    fm, points, pca, spread = benchmark(_build, profiles)
+    # Label points by workload abbrev only (kernel names would overflow).
+    labels = [p.workload for p in points]
+    text = f"F10: kernel-level space — {len(points)} kernel groups from {len(profiles)} workloads\n"
+    text += text_scatter(pca.scores[:, 0], pca.scores[:, 1], labels)
+    ranked = sorted(spread.items(), key=lambda kv: -kv[1])
+    text += "\n" + ascii_table(
+        ["workload", "kernel spread (RMS distance in PC space)"],
+        ranked[:12],
+        title="workloads whose kernels scatter widest",
+    )
+    save_artifact("f10_kernel_space.txt", text)
+
+    # The kernel space is strictly richer than the workload space.
+    assert len(points) > len(profiles)
+    # Multi-phase pipelines must out-spread single-kernel workloads.
+    assert spread["LUD"] > 0
+    assert spread["MUM"] == 0.0
+    spread_rank = [w for w, _ in ranked]
+    # The SDK kernel-series workloads sit in the top half of kernel spread.
+    multi = [w for w in spread_rank if spread[w] > 0]
+    assert spread_rank.index("RD") < len(multi)
+    assert spread_rank.index("SLA") < len(multi)

@@ -1,0 +1,45 @@
+"""F1 — PCA variance accounting (scree).
+
+Variance explained per principal component and the number of PCs needed to
+reach the paper's retention target, demonstrating that the raw
+characteristics are heavily correlated (few PCs carry most information).
+"""
+
+import numpy as np
+
+from repro.core.analysis.pca import full_spectrum
+from repro.core.featurespace import FeatureMatrix, standardize
+from repro.report import ascii_table, text_bars
+
+
+def _build(profiles):
+    sm = standardize(FeatureMatrix.from_profiles(profiles))
+    spectrum = full_spectrum(sm)
+    cum = np.cumsum(spectrum)
+    return sm, spectrum, cum
+
+
+def test_f1_pca_variance(benchmark, profiles, save_artifact):
+    sm, spectrum, cum = benchmark(_build, profiles)
+    top = 12
+    rows = [
+        [f"PC{i+1}", float(spectrum[i]), float(cum[i])] for i in range(top)
+    ]
+    text = ascii_table(
+        ["component", "variance ratio", "cumulative"],
+        rows,
+        title="F1: PCA variance spectrum (scree)",
+    )
+    text += "\n" + text_bars(
+        [f"PC{i+1}" for i in range(top)], spectrum[:top], title="variance per PC"
+    )
+    for target in (0.85, 0.90, 0.95):
+        k = int(np.searchsorted(cum, target) + 1)
+        text += f"\nPCs needed for {target:.0%} variance: {k} (of {len(sm.metric_names)} dims)"
+    save_artifact("f1_pca_variance.txt", text)
+
+    # The correlated-characteristics premise: far fewer PCs than raw dims.
+    k90 = int(np.searchsorted(cum, 0.90) + 1)
+    assert k90 < len(sm.metric_names) / 2
+    assert abs(float(cum[-1]) - 1.0) < 1e-9
+    assert spectrum[0] > spectrum[5]

@@ -1,0 +1,39 @@
+"""F4 — K-means clustering with BIC model selection.
+
+BIC score per candidate K (the MICA-style model-selection curve), the
+chosen clustering, and its membership table.
+"""
+
+import numpy as np
+
+from repro.core.analysis.kmeans import choose_k
+from repro.report import ascii_table, text_bars
+
+
+def _build(analysis):
+    rng = np.random.default_rng(7)
+    return choose_k(analysis.pca.scores, range(2, 12), rng)
+
+
+def test_f4_kmeans_bic(benchmark, analysis, save_artifact):
+    best_k, fits = benchmark(_build, analysis)
+    ks = sorted(fits)
+    bics = [fits[k][1] for k in ks]
+    text = text_bars(
+        [f"k={k}" for k in ks],
+        np.array(bics) - min(bics) + 1e-9,
+        title="F4: BIC vs cluster count (shifted to positive for display)",
+    )
+    text += f"\nBIC-optimal K = {best_k}\n\n"
+    result = fits[best_k][0]
+    rows = []
+    for j in range(best_k):
+        members = [analysis.workloads[i] for i in np.flatnonzero(result.labels == j)]
+        rows.append([j, len(members), " ".join(members)])
+    text += ascii_table(["cluster", "size", "members"], rows, title="membership at optimal K")
+    save_artifact("f4_kmeans_bic.txt", text)
+
+    assert best_k == analysis.kmeans_best_k
+    assert fits[best_k][1] == max(bics)
+    # Clusters partition the workload set.
+    assert sum(r[1] for r in rows) == len(analysis.workloads)

@@ -1,0 +1,37 @@
+"""F8 — Per-functional-block stress rankings.
+
+The architect use-case from the abstract: "choosing a set of workloads to
+stress their intended functional block of the GPU microarchitecture".
+Ranks workloads by signed composite z-scores for every functional block.
+"""
+
+from repro.core.evaluation import STRESS_PROFILES, all_stress_rankings
+from repro.report import ascii_table
+
+
+def _build(analysis):
+    return all_stress_rankings(analysis.feature_matrix, top=5)
+
+
+def test_f8_stress_ranking(benchmark, analysis, save_artifact):
+    rankings = benchmark(_build, analysis)
+    text = ""
+    for block, ranked in rankings.items():
+        indicators = ", ".join(STRESS_PROFILES[block])
+        text += ascii_table(
+            ["workload", "stress score (mean z)"],
+            ranked,
+            title=f"F8: {block}  [indicators: {indicators}]",
+        )
+        text += "\n"
+    save_artifact("f8_stress_ranking.txt", text)
+
+    assert set(rankings) == set(STRESS_PROFILES)
+    tops = {block: ranked[0][0] for block, ranked in rankings.items()}
+    # Known extremes must win their blocks.
+    assert tops["SFU pipeline"] in {"MRIQ", "CP", "BS"}
+    assert tops["memory coalescing unit"] in {"KM", "SS", "SPMV"}
+    assert tops["branch divergence unit"] in {"BFS", "MUM", "SLA", "BIT", "NW", "SS"}
+    assert tops["texture cache"] in {"MUM", "KM"}
+    # Different blocks must be stressed by different workloads overall.
+    assert len(set(tops.values())) >= 4

@@ -1,0 +1,46 @@
+"""F9 — Benchmark-suite diversity comparison.
+
+How much of the workload space each suite (CUDA SDK, Parboil, Rodinia)
+covers: spread, diameter, reach from the global centroid, and per-workload
+redundancy (nearest-neighbour distances).
+"""
+
+import numpy as np
+
+from repro.core.analysis.diversity import nearest_neighbor_distances, suite_diversity
+from repro.report import ascii_table
+
+
+def _build(analysis):
+    stats = suite_diversity(analysis.pca.scores, analysis.workloads, analysis.suites)
+    nn = nearest_neighbor_distances(analysis.pca.scores)
+    return stats, nn
+
+
+def test_f9_suite_diversity(benchmark, analysis, save_artifact):
+    stats, nn = benchmark(_build, analysis)
+    rows = [
+        [s.suite, s.n_workloads, s.mean_pairwise, s.diameter, s.mean_centroid_dist, s.total_variance]
+        for s in stats
+    ]
+    text = ascii_table(
+        ["suite", "workloads", "mean pairwise dist", "diameter", "mean centroid dist", "total variance"],
+        rows,
+        title="F9: workload-space coverage per suite",
+    )
+    order = np.argsort(nn)
+    redundant = [[analysis.workloads[i], float(nn[i])] for i in order[:5]]
+    unique = [[analysis.workloads[i], float(nn[i])] for i in order[-5:][::-1]]
+    text += "\n" + ascii_table(
+        ["workload", "distance to nearest peer"], redundant, title="most redundant workloads"
+    )
+    text += "\n" + ascii_table(
+        ["workload", "distance to nearest peer"], unique, title="most unique workloads"
+    )
+    save_artifact("f9_suite_diversity.txt", text)
+
+    suites = {s.suite for s in stats}
+    assert suites == {"CUDA SDK", "Parboil", "Rodinia"}
+    assert all(s.mean_pairwise > 0 for s in stats)
+    # Every suite genuinely reaches away from the centre (is not redundant).
+    assert all(s.mean_centroid_dist > 1.0 for s in stats)

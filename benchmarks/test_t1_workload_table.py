@@ -1,0 +1,40 @@
+"""T1 — Workload table.
+
+Regenerates the paper's workload inventory: suites, workloads, kernel
+launches, grid sizes and dynamic instruction volumes.  [reconstructed
+numbering; see EXPERIMENTS.md]
+"""
+
+from repro.report import ascii_table
+
+
+def _build_table(profiles):
+    rows = []
+    for p in profiles:
+        threads = max(k.threads_total for k in p.kernels)
+        rows.append(
+            [
+                p.suite,
+                p.workload,
+                p.launches,
+                len({k.kernel_name for k in p.kernels}),
+                threads,
+                p.total_warp_instrs,
+                p.total_thread_instrs,
+            ]
+        )
+    return rows
+
+
+def test_t1_workload_table(benchmark, profiles, save_artifact):
+    rows = benchmark(_build_table, profiles)
+    text = ascii_table(
+        ["suite", "workload", "launches", "kernels", "max threads", "warp instrs", "thread instrs"],
+        rows,
+        title="T1: Workloads characterized (CUDA SDK / Parboil / Rodinia)",
+    )
+    save_artifact("t1_workload_table.txt", text)
+    assert len(rows) == 37
+    suites = {r[0] for r in rows}
+    assert suites == {"CUDA SDK", "Parboil", "Rodinia"}
+    assert all(r[5] > 0 for r in rows)

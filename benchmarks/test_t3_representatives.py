@@ -1,0 +1,49 @@
+"""T3 — Representative workload subsets.
+
+Cluster exemplars (nearest-to-centroid) at the BIC-optimal K and at a few
+fixed subset sizes, with space-coverage statistics — the table an architect
+uses to pick a small simulation set.
+"""
+
+import numpy as np
+
+from repro.core.analysis.diversity import coverage_of_subset, representatives
+from repro.core.analysis.kmeans import kmeans
+from repro.report import ascii_table
+
+
+def _build(analysis):
+    out = {}
+    rng = np.random.default_rng(13)
+    for k in sorted({analysis.kmeans_best_k, 4, 6, 8}):
+        km = kmeans(analysis.pca.scores, k, rng)
+        reps = representatives(km, analysis.pca.scores, analysis.workloads)
+        cov = coverage_of_subset(analysis.pca.scores, [r.index for r in reps])
+        out[k] = (reps, cov)
+    return out
+
+
+def test_t3_representatives(benchmark, analysis, save_artifact):
+    by_k = benchmark(_build, analysis)
+    text = ""
+    for k, (reps, cov) in by_k.items():
+        marker = " (BIC-optimal)" if k == analysis.kmeans_best_k else ""
+        rows = [
+            [r.cluster, r.workload, r.cluster_size, r.weight, " ".join(r.members)]
+            for r in reps
+        ]
+        text += ascii_table(
+            ["cluster", "representative", "size", "weight", "members"],
+            rows,
+            title=f"T3: representatives at K={k}{marker}  (coverage={cov:.3f})",
+        )
+        text += "\n"
+    save_artifact("t3_representatives.txt", text)
+
+    coverages = {k: cov for k, (reps, cov) in by_k.items()}
+    ks = sorted(coverages)
+    # More representatives always cover the space at least as well.
+    assert all(coverages[a] >= coverages[b] - 1e-9 for a, b in zip(ks, ks[1:]))
+    for k, (reps, _cov) in by_k.items():
+        assert sum(r.cluster_size for r in reps) == len(analysis.workloads)
+        assert abs(sum(r.weight for r in reps) - 1.0) < 1e-9

@@ -1,0 +1,49 @@
+"""T4 — Correlation structure of the raw characteristics.
+
+The premise of the paper's "correlated dimensionality reduction": raw
+characteristics overlap heavily, so distances in the raw space double-count
+information until PCA decorrelates it.  Reports the strongly correlated
+pairs and the overall redundancy level.
+"""
+
+import numpy as np
+
+from repro.core.featurespace import FeatureMatrix, correlated_pairs, correlation_matrix
+from repro.report import ascii_table
+
+
+def _build(profiles):
+    fm = FeatureMatrix.from_profiles(profiles)
+    pairs = correlated_pairs(fm, threshold=0.8)
+    corr, names = correlation_matrix(fm)
+    return fm, pairs, corr, names
+
+
+def test_t4_correlation(benchmark, profiles, save_artifact):
+    fm, pairs, corr, names = benchmark(_build, profiles)
+    rows = [[a, b, r] for a, b, r in pairs[:20]]
+    text = ascii_table(
+        ["characteristic A", "characteristic B", "Pearson r"],
+        rows,
+        title=f"T4: strongly correlated characteristic pairs (|r| >= 0.8; "
+        f"{len(pairs)} total of {len(names) * (len(names) - 1) // 2})",
+    )
+    iu = np.triu_indices(len(names), k=1)
+    mean_abs_r = float(np.abs(corr[iu]).mean())
+    text += f"\nmean |r| across all pairs: {mean_abs_r:.3f}"
+    save_artifact("t4_correlation.txt", text)
+
+    # The methodology's premise: substantial redundancy exists.
+    assert len(pairs) >= 5
+    assert mean_abs_r > 0.15
+    # And the expected physical couplings appear among the strong pairs.
+    pair_set = {frozenset((a, b)) for a, b, _ in pairs}
+    assert any(
+        frozenset(p) in pair_set
+        for p in [
+            ("coal.t32_per_access", "coal.t128_per_access"),
+            ("coal.coalesced_frac", "coal.t32_per_access"),
+            ("div.rate", "div.simd_efficiency"),
+            ("loc.cold_rate", "loc.unique_ratio"),
+        ]
+    )

@@ -1,0 +1,83 @@
+"""Place your own kernel in the published workload space.
+
+The downstream-user workflow: you wrote a kernel, you want to know which
+benchmark it behaves like (so you know what prior results transfer) and
+whether it is *novel* enough to justify adding to your evaluation set.
+
+This example characterizes two custom kernels — a well-behaved streaming
+kernel and a pathological pointer-chaser — and places each in the 32-
+workload suite space.
+
+Run:  python examples/custom_kernel_placement.py
+"""
+
+import numpy as np
+
+from repro.core import analyze, characterize_suites
+from repro.core.placement import place_workload
+from repro.simt import Device, DType, Executor, KernelBuilder
+from repro.trace import KernelTraceCollector
+from repro.trace.profile import WorkloadProfile
+
+
+def characterize_custom(name, build_and_launch):
+    """Run a custom kernel under collection, return its WorkloadProfile."""
+    device = Device()
+    collector = KernelTraceCollector()
+    executor = Executor(device, sinks=[collector])
+    build_and_launch(device, executor)
+    return WorkloadProfile(workload=name, suite="custom", kernels=collector.profiles)
+
+
+def streaming_kernel(device, executor):
+    """Fused multiply-add over a vector: a VA/BS-like streaming kernel."""
+    b = KernelBuilder("stream_fma")
+    x = b.param_buf("x")
+    y = b.param_buf("y")
+    i = b.global_thread_id()
+    b.st(y, i, b.fma(1.5, b.ld(x, i), b.ld(y, i)))
+    kernel = b.finalize()
+    n = 8192
+    rng = np.random.default_rng(0)
+    xb = device.from_array("x", rng.standard_normal(n), readonly=True)
+    yb = device.from_array("y", rng.standard_normal(n))
+    executor.launch(kernel, n // 256, 256, {"x": xb, "y": yb})
+
+
+def pointer_chaser(device, executor):
+    """Random linked-list traversal: a MUM/BFS-like irregular kernel."""
+    b = KernelBuilder("chase")
+    nxt = b.param_buf("nxt", DType.I32)
+    out = b.param_buf("out", DType.I32)
+    steps = b.param_i32("steps")
+    node = b.let_i32(b.global_thread_id())
+    with b.for_range(0, 64) as s:
+        with b.if_(b.ilt(s, steps)):
+            b.assign(node, b.ld(nxt, node))
+    b.st(out, b.global_thread_id(), node)
+    kernel = b.finalize()
+    n = 4096
+    rng = np.random.default_rng(1)
+    perm = rng.permutation(n)
+    nb = device.from_array("nxt", perm, DType.I32, readonly=True)
+    ob = device.alloc("out", n, DType.I32)
+    executor.launch(kernel, n // 128, 128, {"nxt": nb, "out": ob, "steps": 48})
+
+
+def main():
+    print("characterizing the reference suite (cached after first run)...")
+    analysis = analyze(characterize_suites())
+
+    for name, fn in [("stream-fma", streaming_kernel), ("pointer-chase", pointer_chaser)]:
+        profile = characterize_custom(name, fn)
+        placement = place_workload(profile, analysis)
+        near = ", ".join(f"{w} ({d:.1f})" for w, d in placement.neighbors[:4])
+        print(f"\n{name}:")
+        print(f"  nearest suite workloads: {near}")
+        print(f"  assigned cluster: {placement.cluster}")
+        print(f"  distance from suite centroid: {placement.centroid_distance:.2f}")
+        print(f"  novel vs suite (top decile)? {placement.is_novel()}")
+
+
+if __name__ == "__main__":
+    main()

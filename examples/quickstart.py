@@ -1,0 +1,76 @@
+"""Quickstart: write a GPU kernel, run it, characterize it.
+
+Demonstrates the three layers a new user touches first:
+
+1. authoring a kernel in the builder DSL,
+2. executing it on the functional SIMT simulator (with verification),
+3. extracting its microarchitecture-independent characteristics.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import metrics
+from repro.report import ascii_table
+from repro.simt import Device, Executor, KernelBuilder
+from repro.trace import KernelTraceCollector
+
+
+def build_saxpy_kernel():
+    """y[i] = a * x[i] + y[i] with a bounds guard (CUDA 101)."""
+    b = KernelBuilder("saxpy")
+    x = b.param_buf("x")
+    y = b.param_buf("y")
+    n = b.param_i32("n")
+    a = b.param_f32("a")
+    i = b.global_thread_id()
+    with b.if_(b.ilt(i, n)):
+        b.st(y, i, b.fma(a, b.ld(x, i), b.ld(y, i)))
+    return b.finalize()
+
+
+def main():
+    n = 10_000
+    a = 2.5
+    rng = np.random.default_rng(0)
+    host_x = rng.standard_normal(n)
+    host_y = rng.standard_normal(n)
+
+    # Set up a device, upload data.
+    device = Device()
+    x = device.from_array("x", host_x, readonly=True)
+    y = device.from_array("y", host_y)
+
+    # Attach a trace collector and launch.
+    collector = KernelTraceCollector()
+    executor = Executor(device, sinks=[collector])
+    kernel = build_saxpy_kernel()
+    executor.launch(kernel, grid=-(-n // 256), block=256, args={"x": x, "y": y, "n": n, "a": a})
+
+    # Verify against numpy.
+    result = device.download(y)
+    assert np.allclose(result, a * host_x + host_y), "saxpy mismatch!"
+    print(f"saxpy over {n} elements verified against numpy.\n")
+
+    # Characterize: the per-launch profile becomes a metric vector.
+    profile = collector.profiles[0]
+    print(
+        f"kernel {profile.kernel_name!r}: {profile.total_thread_instrs} thread-level "
+        f"instructions, {profile.total_warp_instrs} warp-level instructions"
+    )
+    from repro.trace.profile import WorkloadProfile
+
+    vector = metrics.extract_vector(WorkloadProfile("saxpy", "custom", [profile]))
+    rows = [
+        [name, metrics.metric(name).group, value]
+        for name, value in vector.items()
+        if value != 0.0
+    ]
+    print(ascii_table(["characteristic", "group", "value"], rows, title="non-zero characteristics"))
+    print("Note the signature: perfectly coalesced (coal.coalesced_frac=1),")
+    print("no divergence (div.rate=0), no reuse (loc.cold_rate=1) - a pure streaming kernel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""GPGPU workload characterization toolkit.
+
+Reproduction of Goswami, Shankar, Joshi & Li, "Exploring GPGPU Workloads:
+Characterization Methodology, Analysis and Microarchitecture Evaluation
+Implications" (IISWC 2010).
+
+Layers (bottom-up):
+
+* :mod:`repro.simt` — a from-scratch SIMT functional simulator (the trace
+  substrate);
+* :mod:`repro.trace` — dynamic trace collection and per-kernel profiles;
+* :mod:`repro.workloads` — 29 CUDA SDK / Parboil / Rodinia workloads;
+* :mod:`repro.core` — microarchitecture-agnostic characteristics, PCA +
+  clustering analysis, and design-space evaluation metrics;
+* :mod:`repro.uarch` — an analytical GPU timing model for the evaluation-
+  implications experiments;
+* :mod:`repro.report` — text tables and figures.
+
+Quick start::
+
+    from repro.core import characterize_and_analyze
+    result = characterize_and_analyze()
+    print(result.representatives)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import AnalysisResult, analyze, characterize_and_analyze, characterize_suites
+from repro.workloads import run_suite, run_workload
+
+__all__ = [
+    "AnalysisResult",
+    "__version__",
+    "analyze",
+    "characterize_and_analyze",
+    "characterize_suites",
+    "run_suite",
+    "run_workload",
+]

@@ -1,0 +1,315 @@
+"""Command-line interface.
+
+Surfaces the paper's workflows without writing Python::
+
+    python -m repro list                       # workload inventory
+    python -m repro characterize SS KM         # metric vectors (or all)
+    python -m repro analyze                    # PCA + clusters + reps
+    python -m repro subspace "branch divergence"
+    python -m repro stress                     # functional-block rankings
+    python -m repro evaluate --subset-k 8      # design-space evaluation
+
+All commands reuse the on-disk profile cache, so only the first invocation
+simulates the suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.report import ascii_table
+    from repro.workloads import registry
+
+    rows = [
+        [cls.suite, cls.abbrev, cls.name, cls.description]
+        for cls in registry.all_workloads()
+    ]
+    print(ascii_table(["suite", "abbrev", "name", "description"], rows))
+    return 0
+
+
+def _profiles(args: argparse.Namespace):
+    from repro.core.pipeline import characterize_suites
+
+    abbrevs = args.workloads or None
+    return characterize_suites(
+        abbrevs=abbrevs,
+        sample_blocks=args.sample_blocks,
+        use_cache=not args.no_cache,
+        progress=(lambda w: print(f"  characterizing {w}...", file=sys.stderr))
+        if args.verbose
+        else None,
+    )
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.core import metrics
+    from repro.core.featurespace import FeatureMatrix
+    from repro.report import ascii_table, csv_lines
+
+    fm = FeatureMatrix.from_profiles(_profiles(args))
+    if args.csv:
+        text = csv_lines(
+            ["workload", "suite"] + fm.metric_names,
+            [[w, s] + list(v) for w, s, v in zip(fm.workloads, fm.suites, fm.values)],
+        )
+        with open(args.csv, "w") as f:
+            f.write(text)
+        print(f"wrote {fm.n_workloads}x{fm.n_metrics} feature matrix to {args.csv}")
+        return 0
+    # Terminal-friendly: one table per metric group.
+    for group in metrics.metric_groups():
+        names = [s.name for s in metrics.all_metrics() if s.group == group]
+        rows = [
+            [w] + [fm.values[i, fm.metric_names.index(n)] for n in names]
+            for i, w in enumerate(fm.workloads)
+        ]
+        print(ascii_table(["workload"] + names, rows, title=group))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.analysis.diversity import outlier_ranking
+    from repro.core.pipeline import analyze
+    from repro.report import ascii_table, text_dendrogram, text_scatter
+
+    result = analyze(
+        _profiles(args),
+        variance_target=args.variance_target,
+        linkage_method=args.linkage,
+    )
+    pca = result.pca
+    print(
+        f"{len(result.standardized.metric_names)} characteristics -> "
+        f"{pca.n_components} PCs ({pca.retained:.0%} variance)\n"
+    )
+    if pca.n_components >= 2:
+        print(text_scatter(pca.scores[:, 0], pca.scores[:, 1], result.workloads))
+    print(text_dendrogram(result.dendrogram))
+    print(f"BIC-optimal K = {result.kmeans_best_k}")
+    rows = [
+        [r.cluster, r.workload, r.cluster_size, f"{r.weight:.2f}", " ".join(r.members)]
+        for r in result.representatives
+    ]
+    print(ascii_table(["cluster", "representative", "size", "weight", "members"], rows))
+    print("top diversity outliers:")
+    for workload, dist in outlier_ranking(pca.scores, result.workloads)[:8]:
+        print(f"  {workload:6s} {dist:.2f}")
+    return 0
+
+
+def _cmd_subspace(args: argparse.Namespace) -> int:
+    from repro.core import metrics
+    from repro.core.analysis.subspace import analyze_subspace, kernel_heterogeneity
+    from repro.core.featurespace import FeatureMatrix
+    from repro.report import ascii_table, text_scatter
+
+    if args.name not in metrics.SUBSPACES:
+        print(
+            f"unknown subspace {args.name!r}; options: {sorted(metrics.SUBSPACES)}",
+            file=sys.stderr,
+        )
+        return 2
+    profiles = _profiles(args)
+    fm = FeatureMatrix.from_profiles(profiles)
+    dims = metrics.SUBSPACES[args.name]
+    sub = analyze_subspace(fm, dims, args.name)
+    het = kernel_heterogeneity(profiles, list(dims))
+    het_by = dict(zip(sub.workloads, het))
+    if sub.pca.n_components >= 2:
+        print(text_scatter(sub.pca.scores[:, 0], sub.pca.scores[:, 1], sub.workloads))
+    rows = [[w, v, het_by[w]] for w, v in sub.ranking()]
+    print(
+        ascii_table(
+            ["workload", "variation", "kernel heterogeneity"],
+            rows,
+            title=f"{args.name} subspace ({len(dims)} characteristics)",
+        )
+    )
+    return 0
+
+
+def _cmd_stress(args: argparse.Namespace) -> int:
+    from repro.core.evaluation import STRESS_PROFILES, stress_ranking
+    from repro.core.featurespace import FeatureMatrix
+    from repro.report import ascii_table
+
+    fm = FeatureMatrix.from_profiles(_profiles(args))
+    blocks = [args.block] if args.block else list(STRESS_PROFILES)
+    for block in blocks:
+        if block not in STRESS_PROFILES:
+            print(
+                f"unknown block {block!r}; options: {sorted(STRESS_PROFILES)}",
+                file=sys.stderr,
+            )
+            return 2
+        print(ascii_table(["workload", "stress score"], stress_ranking(fm, block, args.top), title=block))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core.analysis.diversity import representatives
+    from repro.core.analysis.kmeans import kmeans
+    from repro.core.evaluation import evaluate_subset
+    from repro.core.pipeline import analyze
+    from repro.report import ascii_table
+    from repro.uarch import BASELINE, default_design_space, speedup_matrix
+
+    profiles = _profiles(args)
+    result = analyze(profiles)
+    configs = default_design_space()
+    perf = speedup_matrix(profiles, configs, BASELINE)
+    km = kmeans(result.pca.scores, args.subset_k, np.random.default_rng(0), n_init=50)
+    reps = representatives(km, result.pca.scores, result.workloads)
+    ev = evaluate_subset(
+        perf, [r.index for r in reps], [r.weight for r in reps], [c.name for c in configs]
+    )
+    rows = [
+        [name, full, sub, f"{err * 100:+.1f}%"]
+        for name, full, sub, err in zip(
+            ev.design_names, ev.full_speedups, ev.subset_speedups, ev.relative_errors
+        )
+    ]
+    print(
+        ascii_table(
+            ["design", "full suite", "subset", "error"],
+            rows,
+            title=f"representatives: {', '.join(r.workload for r in reps)}",
+        )
+    )
+    print(
+        f"mean |error| {ev.mean_error:.1%}  max {ev.max_error:.1%}  "
+        f"tau {ev.kendall_tau:.2f}  same winner: {ev.same_winner}"
+    )
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.simt import Device, Executor, disassemble, static_stats
+    from repro.report import ascii_table
+    from repro.workloads import registry
+    from repro.workloads.base import RunContext
+
+    try:
+        cls = registry.get(args.workload)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    # Capture the kernels the workload actually launches by intercepting
+    # the executor (no trace sinks; functional execution only).
+    device = Device()
+    executor = Executor(device)
+    seen = {}
+    original = executor.launch
+
+    def capture(kernel, grid, block, kargs=None):
+        seen.setdefault(kernel.name, kernel)
+        return original(kernel, grid, block, kargs)
+
+    executor.launch = capture  # type: ignore[method-assign]
+    ctx = RunContext(device, executor)
+    cls().run(ctx)
+
+    rows = []
+    for name, kernel in seen.items():
+        stats = static_stats(kernel)
+        rows.append(
+            [name, stats.static_instructions, stats.branches, stats.loops,
+             stats.barriers, stats.register_pressure, stats.shared_bytes]
+        )
+        if args.full:
+            print(disassemble(kernel))
+    print(ascii_table(
+        ["kernel", "static instrs", "ifs", "loops", "barriers", "reg pressure", "shared B"],
+        rows,
+        title=f"{cls.abbrev}: {len(seen)} distinct kernels",
+    ))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import analyze
+    from repro.report.markdown import render_analysis_report
+
+    result = analyze(_profiles(args))
+    text = render_analysis_report(result)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPGPU workload characterization toolkit (IISWC 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, workloads: bool = True) -> None:
+        if workloads:
+            p.add_argument("workloads", nargs="*", help="workload abbrevs (default: all)")
+        p.add_argument("--sample-blocks", type=int, default=48, help="profiled blocks per launch")
+        p.add_argument("--no-cache", action="store_true", help="ignore the profile cache")
+        p.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
+
+    p = sub.add_parser("list", help="list the registered workloads")
+    p.set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser("characterize", help="print/export the characteristic vectors")
+    common(p)
+    p.add_argument("--csv", help="write the feature matrix to this CSV file")
+    p.set_defaults(fn=_cmd_characterize)
+
+    p = sub.add_parser("analyze", help="PCA + clustering + representatives")
+    common(p)
+    p.add_argument("--variance-target", type=float, default=0.9)
+    p.add_argument("--linkage", default="average", choices=["single", "complete", "average", "ward"])
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("subspace", help="analyze one workload subspace")
+    p.add_argument("name", help='e.g. "branch divergence" or "memory coalescing"')
+    common(p, workloads=False)
+    p.set_defaults(fn=_cmd_subspace, workloads=[])
+
+    p = sub.add_parser("stress", help="functional-block stress rankings")
+    p.add_argument("--block", help="one block only (default: all)")
+    p.add_argument("--top", type=int, default=5)
+    common(p, workloads=False)
+    p.set_defaults(fn=_cmd_stress, workloads=[])
+
+    p = sub.add_parser("disasm", help="disassemble a workload's kernels")
+    p.add_argument("workload", help="workload abbrev (see `repro list`)")
+    p.add_argument("--full", action="store_true", help="print full disassembly, not just stats")
+    p.set_defaults(fn=_cmd_disasm)
+
+    p = sub.add_parser("report", help="render the full analysis as Markdown")
+    common(p, workloads=False)
+    p.add_argument("-o", "--output", help="write to this file instead of stdout")
+    p.set_defaults(fn=_cmd_report, workloads=[])
+
+    p = sub.add_parser("evaluate", help="design-space evaluation with representatives")
+    common(p, workloads=False)
+    p.add_argument("--subset-k", type=int, default=8)
+    p.set_defaults(fn=_cmd_evaluate, workloads=[])
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

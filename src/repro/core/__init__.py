@@ -1,0 +1,34 @@
+"""The paper's core contribution: characteristics, analysis and evaluation."""
+
+from repro.core import evaluation, kernelspace, metrics
+from repro.core.placement import Placement, place_workload
+from repro.core.featurespace import (
+    FeatureMatrix,
+    StandardizedMatrix,
+    correlated_pairs,
+    correlation_matrix,
+    standardize,
+)
+from repro.core.pipeline import (
+    AnalysisResult,
+    analyze,
+    characterize_and_analyze,
+    characterize_suites,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "FeatureMatrix",
+    "StandardizedMatrix",
+    "analyze",
+    "characterize_and_analyze",
+    "characterize_suites",
+    "correlated_pairs",
+    "correlation_matrix",
+    "evaluation",
+    "kernelspace",
+    "Placement",
+    "place_workload",
+    "metrics",
+    "standardize",
+]

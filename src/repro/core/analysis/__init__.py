@@ -1,0 +1,54 @@
+"""Statistical analysis: PCA, clustering, subspace and diversity tools."""
+
+from repro.core.analysis.diversity import (
+    Representative,
+    SuiteDiversity,
+    coverage_of_subset,
+    nearest_neighbor_distances,
+    outlier_ranking,
+    representatives,
+    suite_diversity,
+)
+from repro.core.analysis.hier import (
+    Dendrogram,
+    LINKAGE_METHODS,
+    Merge,
+    euclidean_distance_matrix,
+    linkage,
+)
+from repro.core.analysis.kmeans import KMeansResult, bic_score, choose_k, kmeans, rand_index
+from repro.core.analysis.pca import PcaResult, fit_pca, full_spectrum, varimax
+from repro.core.analysis.subspace import (
+    SubspaceAnalysis,
+    analyze_subspace,
+    kernel_heterogeneity,
+    variation_scores,
+)
+
+__all__ = [
+    "Dendrogram",
+    "KMeansResult",
+    "LINKAGE_METHODS",
+    "Merge",
+    "PcaResult",
+    "Representative",
+    "SubspaceAnalysis",
+    "SuiteDiversity",
+    "analyze_subspace",
+    "bic_score",
+    "choose_k",
+    "coverage_of_subset",
+    "euclidean_distance_matrix",
+    "fit_pca",
+    "kernel_heterogeneity",
+    "full_spectrum",
+    "kmeans",
+    "linkage",
+    "nearest_neighbor_distances",
+    "outlier_ranking",
+    "rand_index",
+    "representatives",
+    "suite_diversity",
+    "variation_scores",
+    "varimax",
+]

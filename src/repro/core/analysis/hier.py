@@ -1,0 +1,165 @@
+"""Agglomerative hierarchical clustering, from scratch.
+
+Produces the dendrogram the paper uses to visualise workload (dis)similarity:
+workloads that merge late are the diverse ones.  Implements the standard
+Lance–Williams update for single, complete, average (UPGMA) and Ward
+linkage on a Euclidean distance matrix.  O(n^3) naive agglomeration, which
+is instant at benchmark-suite scale (tens of workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+LINKAGE_METHODS = ("single", "complete", "average", "ward")
+
+
+@dataclass(frozen=True)
+class Merge:
+    """One agglomeration step; node ids < n are leaves, >= n are merges."""
+
+    left: int
+    right: int
+    height: float
+    size: int
+
+
+@dataclass
+class Dendrogram:
+    """A full agglomeration history over labelled leaves."""
+
+    labels: List[str]
+    merges: List[Merge]
+    method: str
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.labels)
+
+    def cut(self, k: int) -> np.ndarray:
+        """Cluster assignment (0..k-1) obtained by undoing the last k-1 merges."""
+        n = self.n_leaves
+        if not 1 <= k <= n:
+            raise ValueError(f"k must be in [1, {n}], got {k}")
+        parent = list(range(n + len(self.merges)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for i, merge in enumerate(self.merges[: n - k]):
+            node = n + i
+            parent[find(merge.left)] = node
+            parent[find(merge.right)] = node
+        roots = {}
+        labels = np.empty(n, dtype=int)
+        for leaf in range(n):
+            root = find(leaf)
+            labels[leaf] = roots.setdefault(root, len(roots))
+        return labels
+
+    def merge_height_of(self, label: str) -> float:
+        """Height at which a leaf first merges (a leaf-level diversity score)."""
+        leaf = self.labels.index(label)
+        for merge in self.merges:
+            if leaf in (merge.left, merge.right):
+                return merge.height
+        return 0.0
+
+    def cophenetic_matrix(self) -> np.ndarray:
+        """Pairwise cophenetic distances (height of the lowest common merge)."""
+        n = self.n_leaves
+        members: List[List[int]] = [[i] for i in range(n)]
+        coph = np.zeros((n, n))
+        for merge in self.merges:
+            left = members[merge.left]
+            right = members[merge.right]
+            for a in left:
+                for b in right:
+                    coph[a, b] = coph[b, a] = merge.height
+            members.append(left + right)
+        return coph
+
+
+def euclidean_distance_matrix(points: np.ndarray) -> np.ndarray:
+    """Dense pairwise Euclidean distances."""
+    points = np.asarray(points, dtype=float)
+    sq = (points**2).sum(axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (points @ points.T)
+    return np.sqrt(np.clip(d2, 0.0, None))
+
+
+def linkage(
+    points: np.ndarray,
+    labels: Sequence[str],
+    method: str = "average",
+) -> Dendrogram:
+    """Agglomerate ``points`` (n, d) into a dendrogram.
+
+    For Ward linkage the heights follow the conventional sqrt form of the
+    Lance–Williams recurrence on Euclidean distances.
+    """
+    if method not in LINKAGE_METHODS:
+        raise ValueError(f"unknown linkage {method!r}; options: {LINKAGE_METHODS}")
+    n = len(labels)
+    points = np.asarray(points, dtype=float)
+    if points.shape[0] != n:
+        raise ValueError("labels/points length mismatch")
+    if n == 0:
+        return Dendrogram(labels=list(labels), merges=[], method=method)
+
+    dist = euclidean_distance_matrix(points)
+    active = list(range(n))
+    node_id = {i: i for i in range(n)}
+    sizes = {i: 1 for i in range(n)}
+    merges: List[Merge] = []
+    big = np.inf
+    work = dist.copy()
+    np.fill_diagonal(work, big)
+
+    for step in range(n - 1):
+        # Find the closest active pair.
+        sub = work[np.ix_(active, active)]
+        flat = np.argmin(sub)
+        ai, bi = divmod(flat, len(active))
+        if ai == bi:  # all-infinite degenerate case
+            ai, bi = 0, 1
+        a, b = active[ai], active[bi]
+        if a > b:
+            a, b = b, a
+        height = float(work[a, b])
+        new_size = sizes[a] + sizes[b]
+        merges.append(Merge(node_id[a], node_id[b], height, new_size))
+
+        # Lance-Williams update of distances from the merged cluster (kept in
+        # slot ``a``) to every other active cluster.
+        for c in active:
+            if c in (a, b):
+                continue
+            dac, dbc, dab = work[a, c], work[b, c], work[a, b]
+            if method == "single":
+                d = min(dac, dbc)
+            elif method == "complete":
+                d = max(dac, dbc)
+            elif method == "average":
+                d = (sizes[a] * dac + sizes[b] * dbc) / new_size
+            else:  # ward
+                sa, sb, sc = sizes[a], sizes[b], sizes[c]
+                total = sa + sb + sc
+                d = np.sqrt(
+                    max(
+                        ((sa + sc) * dac**2 + (sb + sc) * dbc**2 - sc * dab**2) / total,
+                        0.0,
+                    )
+                )
+            work[a, c] = work[c, a] = d
+        sizes[a] = new_size
+        node_id[a] = n + step
+        active.remove(b)
+
+    return Dendrogram(labels=list(labels), merges=merges, method=method)

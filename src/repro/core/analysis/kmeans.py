@@ -1,0 +1,146 @@
+"""K-means clustering with BIC model selection, from scratch.
+
+The paper's methodology (following MICA/Eeckhout) clusters workloads with
+K-means and selects K with the Bayesian Information Criterion of the
+spherical-Gaussian mixture interpretation (the X-means formulation of
+Pelleg & Moore).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """One fitted K-means model."""
+
+    k: int
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+
+    def cluster_members(self) -> List[np.ndarray]:
+        return [np.flatnonzero(self.labels == j) for j in range(self.k)]
+
+
+def _init_plusplus(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding."""
+    n = points.shape[0]
+    centers = [points[rng.integers(n)]]
+    d2 = ((points - centers[0]) ** 2).sum(axis=1)
+    for _ in range(1, k):
+        total = d2.sum()
+        if total <= 0:
+            centers.append(points[rng.integers(n)])
+            continue
+        probs = d2 / total
+        idx = rng.choice(n, p=probs)
+        centers.append(points[idx])
+        d2 = np.minimum(d2, ((points - centers[-1]) ** 2).sum(axis=1))
+    return np.array(centers)
+
+
+def _lloyd(
+    points: np.ndarray, centers: np.ndarray, max_iter: int
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    k = centers.shape[0]
+    labels = np.zeros(points.shape[0], dtype=int)
+    for _ in range(max_iter):
+        d2 = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = d2.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = points[labels == j]
+            if len(members):
+                centers[j] = members.mean(axis=0)
+            # Empty clusters keep their center; BIC will penalise them away.
+    d2 = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    labels = d2.argmin(axis=1)
+    inertia = float(d2[np.arange(points.shape[0]), labels].sum())
+    return labels, centers, inertia
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: Optional[np.random.Generator] = None,
+    n_init: int = 8,
+    max_iter: int = 200,
+) -> KMeansResult:
+    """Best-of-``n_init`` K-means (k-means++ seeding, Lloyd iterations)."""
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = rng or np.random.default_rng(0)
+    best: Optional[KMeansResult] = None
+    for _ in range(n_init):
+        centers = _init_plusplus(points, k, rng)
+        labels, centers, inertia = _lloyd(points, centers.copy(), max_iter)
+        if best is None or inertia < best.inertia:
+            best = KMeansResult(k=k, labels=labels, centers=centers, inertia=inertia)
+    assert best is not None
+    return best
+
+
+def bic_score(points: np.ndarray, result: KMeansResult) -> float:
+    """X-means BIC of the spherical-Gaussian interpretation (higher = better)."""
+    points = np.asarray(points, dtype=float)
+    n, d = points.shape
+    k = result.k
+    if n <= k:
+        return -math.inf
+    variance = result.inertia / (d * (n - k))
+    variance = max(variance, 1e-12)
+    ll = 0.0
+    for j in range(k):
+        nj = int((result.labels == j).sum())
+        if nj == 0:
+            continue
+        ll += nj * math.log(nj)
+    ll -= n * math.log(n)
+    ll -= n * d / 2.0 * math.log(2.0 * math.pi * variance)
+    ll -= d * (n - k) / 2.0
+    n_params = k * (d + 1)
+    return ll - n_params / 2.0 * math.log(n)
+
+
+def rand_index(a, b) -> float:
+    """Rand index between two partitions (fraction of agreeing pairs).
+
+    Robust way to compare clusterings: invariant to label permutation and
+    to which exemplar a cluster happens to elect.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError("partitions must label the same items")
+    n = a.size
+    if n < 2:
+        return 1.0
+    same_a = a[:, None] == a[None, :]
+    same_b = b[:, None] == b[None, :]
+    iu = np.triu_indices(n, k=1)
+    return float((same_a[iu] == same_b[iu]).mean())
+
+
+def choose_k(
+    points: np.ndarray,
+    k_range: Sequence[int],
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[int, Dict[int, Tuple[KMeansResult, float]]]:
+    """Fit K-means for each K and return the BIC-optimal one."""
+    rng = rng or np.random.default_rng(0)
+    fits: Dict[int, Tuple[KMeansResult, float]] = {}
+    for k in k_range:
+        result = kmeans(points, k, rng)
+        fits[k] = (result, bic_score(points, result))
+    best_k = max(fits, key=lambda k: fits[k][1])
+    return best_k, fits

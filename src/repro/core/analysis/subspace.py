@@ -1,0 +1,121 @@
+"""Workload subspace analysis.
+
+The paper examines workload diversity not only in the overall
+characteristics space but also in *subspaces* — metric subsets that isolate
+one microarchitectural concern (branch divergence, memory coalescing).  A
+subspace analysis re-standardizes, re-runs PCA on the subset, and scores
+each workload's *variation*: its distance from the population centroid in
+the subspace.  High-variation workloads are the ones the abstract names as
+"exhibiting relatively large variation" — they are outliers that stress the
+corresponding functional block in unusual ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.analysis.hier import Dendrogram, linkage
+from repro.core.analysis.pca import PcaResult, fit_pca
+from repro.core.featurespace import FeatureMatrix, StandardizedMatrix, standardize
+
+
+@dataclass
+class SubspaceAnalysis:
+    """The full analysis of one metric subspace."""
+
+    name: str
+    feature_matrix: FeatureMatrix
+    standardized: StandardizedMatrix
+    pca: PcaResult
+    dendrogram: Dendrogram
+    #: Per-workload distance from the centroid in standardized subspace
+    #: coordinates (the "variation" score), aligned with workloads.
+    variation: np.ndarray
+
+    @property
+    def workloads(self) -> List[str]:
+        return self.feature_matrix.workloads
+
+    def ranking(self) -> List[Tuple[str, float]]:
+        """Workloads ranked by variation, most diverse first."""
+        order = np.argsort(-self.variation)
+        return [(self.workloads[i], float(self.variation[i])) for i in order]
+
+    def top(self, n: int) -> List[str]:
+        return [name for name, _ in self.ranking()[:n]]
+
+
+def variation_scores(sm: StandardizedMatrix) -> np.ndarray:
+    """Distance of each workload from the population centroid.
+
+    After z-scoring, the centroid is the origin, so this is simply the row
+    norm, normalised by sqrt(d) so scores are comparable across subspaces of
+    different dimensionality.
+    """
+    d = max(sm.z.shape[1], 1)
+    return np.linalg.norm(sm.z, axis=1) / np.sqrt(d)
+
+
+def kernel_heterogeneity(
+    profiles,
+    metric_names: Sequence[str],
+) -> np.ndarray:
+    """Within-workload spread of per-kernel characteristics in a subspace.
+
+    For each workload, per-launch metric vectors are compared (weighted by
+    each launch's warp-instruction share) and the spread is normalised by
+    the population variance of each dimension across workloads.  Workloads
+    whose kernels behave very differently from each other — the second
+    reading of the abstract's "large variation" — score high; single-kernel
+    workloads score zero.
+    """
+    from repro.core import metrics as metrics_mod
+    from repro.core.featurespace import FeatureMatrix as _FM
+
+    fm = _FM.from_profiles(list(profiles), metric_names)
+    pop_std = fm.values.std(axis=0)
+    pop_std = np.where(pop_std > 1e-12, pop_std, 1.0)
+    out = np.zeros(len(fm.workloads))
+    for i, profile in enumerate(profiles):
+        if len(profile.kernels) < 2:
+            continue
+        weights = profile.kernel_weights()
+        vectors = np.array(
+            [
+                [metrics_mod.extract_kernel_vector(k, metric_names)[n] for n in metric_names]
+                for k in profile.kernels
+            ]
+        )
+        mean = (vectors * weights[:, None]).sum(axis=0)
+        var = ((vectors - mean) ** 2 * weights[:, None]).sum(axis=0)
+        out[i] = float(np.sqrt((var / pop_std**2).mean()))
+    return out
+
+
+def analyze_subspace(
+    fm: FeatureMatrix,
+    metric_names: Sequence[str],
+    name: str,
+    variance_target: Optional[float] = 0.9,
+    linkage_method: str = "average",
+) -> SubspaceAnalysis:
+    """Run the standard pipeline restricted to a metric subset."""
+    sub = fm.subset(list(metric_names))
+    sm = standardize(sub)
+    if sm.z.shape[1] == 0:
+        raise ValueError(
+            f"subspace {name!r} has no varying characteristics over this workload set"
+        )
+    pca = fit_pca(sm, variance_target=variance_target)
+    dendro = linkage(pca.scores, sm.workloads, method=linkage_method)
+    return SubspaceAnalysis(
+        name=name,
+        feature_matrix=sub,
+        standardized=sm,
+        pca=pca,
+        dendrogram=dendro,
+        variation=variation_scores(sm),
+    )

@@ -1,0 +1,202 @@
+"""GPGPU design-space evaluation metrics.
+
+The paper's second contribution: metrics that quantify how *accurately* a
+reduced workload set evaluates a GPU design space.  Given per-workload
+performance across design points (from :mod:`repro.uarch` or a real
+simulator), these metrics compare the cluster-representative subset against
+the full suite:
+
+* **speedup estimation error** — per design point, the relative error of the
+  cluster-size-weighted subset geomean speedup vs. the full-suite geomean;
+* **ranking fidelity** — Kendall's tau between the design-point orderings
+  induced by the subset and the full suite (does the subset pick the same
+  winner?);
+* **stress scores** — per functional block, which workloads exercise it
+  hardest, so an architect evaluating (say) a divergence optimisation can
+  pick the workloads that will actually move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.featurespace import FeatureMatrix, standardize
+
+# ----------------------------------------------------------------------
+# Subset-based design-space estimation
+# ----------------------------------------------------------------------
+
+
+def geomean(values: np.ndarray, weights: np.ndarray = None) -> float:
+    """(Weighted) geometric mean — the standard speedup aggregate."""
+    values = np.asarray(values, dtype=float)
+    if np.any(values <= 0):
+        raise ValueError("geomean requires positive values")
+    logs = np.log(values)
+    if weights is None:
+        return float(np.exp(logs.mean()))
+    weights = np.asarray(weights, dtype=float)
+    return float(np.exp((logs * weights).sum() / weights.sum()))
+
+
+@dataclass
+class SubsetEvaluation:
+    """Accuracy of a representative subset over a design space."""
+
+    design_names: List[str]
+    full_speedups: np.ndarray
+    subset_speedups: np.ndarray
+    relative_errors: np.ndarray
+    kendall_tau: float
+
+    @property
+    def mean_error(self) -> float:
+        return float(np.mean(np.abs(self.relative_errors)))
+
+    @property
+    def max_error(self) -> float:
+        return float(np.max(np.abs(self.relative_errors)))
+
+    @property
+    def same_winner(self) -> bool:
+        return int(self.full_speedups.argmax()) == int(self.subset_speedups.argmax())
+
+
+def evaluate_subset(
+    perf: np.ndarray,
+    subset_idx: Sequence[int],
+    subset_weights: Sequence[float],
+    design_names: Sequence[str],
+) -> SubsetEvaluation:
+    """Compare subset-estimated vs full-suite design-space results.
+
+    ``perf`` is (n_workloads, n_designs) of speedups over a common baseline.
+    ``subset_weights`` are the cluster shares of each representative.
+    """
+    perf = np.asarray(perf, dtype=float)
+    subset_idx = list(subset_idx)
+    weights = np.asarray(list(subset_weights), dtype=float)
+    if len(subset_idx) != weights.size:
+        raise ValueError("subset_idx and subset_weights must align")
+    full = np.array([geomean(perf[:, j]) for j in range(perf.shape[1])])
+    sub = np.array(
+        [geomean(perf[subset_idx, j], weights) for j in range(perf.shape[1])]
+    )
+    errors = (sub - full) / full
+    return SubsetEvaluation(
+        design_names=list(design_names),
+        full_speedups=full,
+        subset_speedups=sub,
+        relative_errors=errors,
+        kendall_tau=kendall_tau(full, sub),
+    )
+
+
+def kendall_tau(a: Sequence[float], b: Sequence[float]) -> float:
+    """Kendall rank correlation (tau-a), O(n^2) — design spaces are small."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    n = a.size
+    if n < 2:
+        return 1.0
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            # Compare orderings by sign, not by the product of differences:
+            # the product underflows to zero for tiny (subnormal) gaps.
+            sa = int(a[i] > a[j]) - int(a[i] < a[j])
+            sb = int(b[i] > b[j]) - int(b[i] < b[j])
+            if sa * sb > 0:
+                concordant += 1
+            elif sa * sb < 0:
+                discordant += 1
+    total = n * (n - 1) // 2
+    return (concordant - discordant) / total
+
+
+def random_subset_errors(
+    perf: np.ndarray,
+    subset_size: int,
+    trials: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Mean |error| of random equal-weight subsets (the selection baseline).
+
+    The paper's argument is that *cluster-chosen* representatives beat naive
+    subsets; this provides the distribution to compare against.
+    """
+    perf = np.asarray(perf, dtype=float)
+    n = perf.shape[0]
+    full = np.array([geomean(perf[:, j]) for j in range(perf.shape[1])])
+    errors = np.empty(trials)
+    for t in range(trials):
+        idx = rng.choice(n, size=subset_size, replace=False)
+        sub = np.array([geomean(perf[idx, j]) for j in range(perf.shape[1])])
+        errors[t] = float(np.mean(np.abs((sub - full) / full)))
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Functional-block stress scores
+# ----------------------------------------------------------------------
+
+#: Which characteristics indicate stress on each functional block, with sign
+#: (+1: larger value = more stress, -1: smaller value = more stress).
+STRESS_PROFILES: Dict[str, Dict[str, float]] = {
+    "branch divergence unit": {
+        "div.rate": 1.0,
+        "div.simd_efficiency": -1.0,
+        "div.taken_std": 1.0,
+        "mix.branch": 1.0,
+    },
+    "memory coalescing unit": {
+        "coal.t32_per_access": 1.0,
+        "coal.coalesced_frac": -1.0,
+        "coal.local_long_frac": 1.0,
+        "mix.ld_global": 1.0,
+    },
+    "shared memory banks": {
+        "shm.conflict_degree": 1.0,
+        "shm.conflicted_frac": 1.0,
+        "mix.shared": 1.0,
+    },
+    "DRAM subsystem": {
+        "coal.t128_per_access": 1.0,
+        "loc.cold_rate": 1.0,
+        "loc.unique_ratio": 1.0,
+        "mix.ld_global": 1.0,
+        "mix.st_global": 1.0,
+    },
+    "SFU pipeline": {"mix.sfu": 1.0},
+    "texture cache": {"mix.texture": 1.0, "tex.unique_ratio": 1.0},
+    "synchronisation": {"par.barrier_intensity": 1.0, "par.warp_imbalance": 1.0},
+}
+
+
+def stress_ranking(
+    fm: FeatureMatrix, block: str, top: int = 5
+) -> List[Tuple[str, float]]:
+    """Workloads that stress one functional block hardest.
+
+    The score is the mean signed z-score of the block's indicator
+    characteristics, so it is comparable across blocks.
+    """
+    weights = STRESS_PROFILES[block]
+    sm = standardize(fm)
+    score = np.zeros(len(sm.workloads))
+    used = 0
+    for name, sign in weights.items():
+        if name in sm.metric_names:
+            score += sign * sm.z[:, sm.metric_names.index(name)]
+            used += 1
+    if used:
+        score /= used
+    order = np.argsort(-score)[:top]
+    return [(sm.workloads[i], float(score[i])) for i in order]
+
+
+def all_stress_rankings(fm: FeatureMatrix, top: int = 5) -> Dict[str, List[Tuple[str, float]]]:
+    return {block: stress_ranking(fm, block, top) for block in STRESS_PROFILES}

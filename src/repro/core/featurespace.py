@@ -1,0 +1,143 @@
+"""The workload-by-characteristic feature matrix and its normalization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import metrics as metrics_mod
+from repro.trace.profile import WorkloadProfile
+
+
+@dataclass
+class FeatureMatrix:
+    """Workloads (rows) x characteristics (columns)."""
+
+    workloads: List[str]
+    suites: List[str]
+    metric_names: List[str]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        n, d = self.values.shape
+        if n != len(self.workloads) or d != len(self.metric_names):
+            raise ValueError(
+                f"shape mismatch: values {self.values.shape}, "
+                f"{len(self.workloads)} workloads, {len(self.metric_names)} metrics"
+            )
+
+    @classmethod
+    def from_profiles(
+        cls,
+        profiles: Sequence[WorkloadProfile],
+        metric_names: Optional[Sequence[str]] = None,
+    ) -> "FeatureMatrix":
+        names = list(metric_names) if metric_names is not None else metrics_mod.metric_names()
+        rows = []
+        for profile in profiles:
+            vector = metrics_mod.extract_vector(profile, names)
+            rows.append([vector[name] for name in names])
+        return cls(
+            workloads=[p.workload for p in profiles],
+            suites=[p.suite for p in profiles],
+            metric_names=names,
+            values=np.array(rows, dtype=float),
+        )
+
+    @property
+    def n_workloads(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def n_metrics(self) -> int:
+        return self.values.shape[1]
+
+    def column(self, metric_name: str) -> np.ndarray:
+        return self.values[:, self.metric_names.index(metric_name)]
+
+    def row(self, workload: str) -> Dict[str, float]:
+        i = self.workloads.index(workload)
+        return dict(zip(self.metric_names, self.values[i]))
+
+    def subset(self, metric_names: Sequence[str]) -> "FeatureMatrix":
+        """Restrict to a metric subset (a workload *subspace*)."""
+        idx = [self.metric_names.index(name) for name in metric_names]
+        return FeatureMatrix(
+            workloads=list(self.workloads),
+            suites=list(self.suites),
+            metric_names=list(metric_names),
+            values=self.values[:, idx].copy(),
+        )
+
+
+@dataclass
+class StandardizedMatrix:
+    """Z-scored feature matrix; constant columns are dropped (zero information)."""
+
+    source: FeatureMatrix
+    metric_names: List[str]
+    z: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+    dropped: List[str] = field(default_factory=list)
+
+    @property
+    def workloads(self) -> List[str]:
+        return self.source.workloads
+
+    @property
+    def suites(self) -> List[str]:
+        return self.source.suites
+
+
+def standardize(fm: FeatureMatrix, eps: float = 1e-12) -> StandardizedMatrix:
+    """Z-score each characteristic so all dimensions weigh equally.
+
+    Characteristics that are constant across the workload set carry no
+    discriminating information and are dropped (recorded in ``dropped``).
+    """
+    mean = fm.values.mean(axis=0)
+    std = fm.values.std(axis=0)
+    keep = std > eps
+    kept_names = [n for n, k in zip(fm.metric_names, keep) if k]
+    dropped = [n for n, k in zip(fm.metric_names, keep) if not k]
+    z = (fm.values[:, keep] - mean[keep]) / std[keep]
+    return StandardizedMatrix(
+        source=fm,
+        metric_names=kept_names,
+        z=z,
+        mean=mean[keep],
+        std=std[keep],
+        dropped=dropped,
+    )
+
+
+def correlation_matrix(fm: FeatureMatrix, eps: float = 1e-12) -> Tuple[np.ndarray, List[str]]:
+    """Pearson correlation between characteristics (constant columns dropped)."""
+    sm = standardize(fm, eps)
+    n = sm.z.shape[0]
+    corr = (sm.z.T @ sm.z) / n
+    return corr, sm.metric_names
+
+
+def correlated_pairs(
+    fm: FeatureMatrix, threshold: float = 0.85
+) -> List[Tuple[str, str, float]]:
+    """Characteristic pairs with |r| above ``threshold``, strongest first.
+
+    These motivate the paper's "correlated dimensionality reduction": raw
+    characteristics overlap heavily, so distances in the raw space
+    double-count shared information until PCA decorrelates it.
+    """
+    corr, names = correlation_matrix(fm)
+    pairs = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            r = float(corr[i, j])
+            if abs(r) >= threshold:
+                pairs.append((names[i], names[j], r))
+    pairs.sort(key=lambda p: -abs(p[2]))
+    return pairs

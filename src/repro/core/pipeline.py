@@ -1,0 +1,144 @@
+"""End-to-end characterization pipeline with on-disk profile caching.
+
+``characterize_suites()`` runs every registered workload under trace
+collection (slow-ish: tens of seconds), and ``analyze()`` turns the
+profiles into the paper's artifacts — feature matrix, PCA, dendrogram,
+K-means clusters, subspace analyses, representatives.
+
+Profiles are cached on disk (pickle, keyed by a version stamp plus the
+workload list and sampling config), so the benchmark harness can regenerate
+every table/figure without re-simulating the suite each time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import metrics as metrics_mod
+from repro.core.analysis.diversity import Representative, representatives
+from repro.core.analysis.hier import Dendrogram, linkage
+from repro.core.analysis.kmeans import KMeansResult, choose_k
+from repro.core.analysis.pca import PcaResult, fit_pca
+from repro.core.analysis.subspace import SubspaceAnalysis, analyze_subspace
+from repro.core.featurespace import FeatureMatrix, StandardizedMatrix, standardize
+from repro.trace.profile import WorkloadProfile
+from repro.workloads.runner import DEFAULT_SAMPLE_BLOCKS, run_suite
+
+#: Bump to invalidate cached profiles after changes to the simulator,
+#: collector or workloads.
+CACHE_VERSION = 4
+
+
+def _cache_dir() -> str:
+    return os.environ.get(
+        "REPRO_CACHE_DIR", os.path.join(tempfile.gettempdir(), "repro-gpgpu-cache")
+    )
+
+
+def _cache_key(abbrevs: Optional[Sequence[str]], sample_blocks: Optional[int]) -> str:
+    from repro.workloads import registry
+
+    names = list(abbrevs) if abbrevs is not None else registry.abbrevs()
+    payload = f"v{CACHE_VERSION}|{','.join(names)}|sample={sample_blocks}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def characterize_suites(
+    abbrevs: Optional[Sequence[str]] = None,
+    sample_blocks: Optional[int] = DEFAULT_SAMPLE_BLOCKS,
+    verify: bool = True,
+    use_cache: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[WorkloadProfile]:
+    """Profiles for the requested workloads (all registered ones by default)."""
+    path = os.path.join(_cache_dir(), _cache_key(abbrevs, sample_blocks) + ".pkl")
+    if use_cache and os.path.exists(path):
+        with open(path, "rb") as f:
+            return pickle.load(f)
+    profiles = run_suite(
+        abbrevs, verify=verify, sample_blocks=sample_blocks, progress=progress
+    )
+    if use_cache:
+        os.makedirs(_cache_dir(), exist_ok=True)
+        tmp = path + f".tmp{os.getpid()}"
+        with open(tmp, "wb") as f:
+            pickle.dump(profiles, f)
+        os.replace(tmp, path)
+    return profiles
+
+
+@dataclass
+class AnalysisResult:
+    """Every artifact of the paper's methodology for one workload set."""
+
+    profiles: List[WorkloadProfile]
+    feature_matrix: FeatureMatrix
+    standardized: StandardizedMatrix
+    pca: PcaResult
+    dendrogram: Dendrogram
+    kmeans_best_k: int
+    kmeans: KMeansResult
+    kmeans_bics: Dict[int, float]
+    representatives: List[Representative]
+    subspaces: Dict[str, SubspaceAnalysis] = field(default_factory=dict)
+
+    @property
+    def workloads(self) -> List[str]:
+        return self.feature_matrix.workloads
+
+    @property
+    def suites(self) -> List[str]:
+        return self.feature_matrix.suites
+
+
+def analyze(
+    profiles: Sequence[WorkloadProfile],
+    variance_target: float = 0.9,
+    linkage_method: str = "average",
+    k_range: Optional[Sequence[int]] = None,
+    seed: int = 7,
+    subspaces: Optional[Dict[str, Sequence[str]]] = None,
+) -> AnalysisResult:
+    """Run the full methodology: normalize, PCA, cluster, select, subspace."""
+    fm = FeatureMatrix.from_profiles(profiles)
+    sm = standardize(fm)
+    pca = fit_pca(sm, variance_target=variance_target)
+    dendro = linkage(pca.scores, fm.workloads, method=linkage_method)
+    n = fm.n_workloads
+    if k_range is None:
+        k_range = range(2, max(min(n // 2, 12), 3))
+    rng = np.random.default_rng(seed)
+    best_k, fits = choose_k(pca.scores, k_range, rng)
+    km = fits[best_k][0]
+    reps = representatives(km, pca.scores, fm.workloads)
+    result = AnalysisResult(
+        profiles=list(profiles),
+        feature_matrix=fm,
+        standardized=sm,
+        pca=pca,
+        dendrogram=dendro,
+        kmeans_best_k=best_k,
+        kmeans=km,
+        kmeans_bics={k: bic for k, (_, bic) in fits.items()},
+        representatives=reps,
+    )
+    for name, names in (subspaces or metrics_mod.SUBSPACES).items():
+        result.subspaces[name] = analyze_subspace(
+            fm, names, name, variance_target=variance_target, linkage_method=linkage_method
+        )
+    return result
+
+
+def characterize_and_analyze(**kwargs) -> AnalysisResult:
+    """One-call convenience: characterize all suites and run the analysis."""
+    analysis_keys = {"variance_target", "linkage_method", "k_range", "seed", "subspaces"}
+    analysis_kwargs = {k: v for k, v in kwargs.items() if k in analysis_keys}
+    char_kwargs = {k: v for k, v in kwargs.items() if k not in analysis_keys}
+    return analyze(characterize_suites(**char_kwargs), **analysis_kwargs)

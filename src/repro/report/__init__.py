@@ -1,0 +1,16 @@
+"""Text-mode reporting: tables, CSV, scatter plots and dendrograms."""
+
+from repro.report.markdown import md_table, render_analysis_report
+from repro.report.plots import text_bars, text_dendrogram, text_scatter
+from repro.report.tables import ascii_table, csv_lines, format_cell
+
+__all__ = [
+    "ascii_table",
+    "csv_lines",
+    "format_cell",
+    "md_table",
+    "render_analysis_report",
+    "text_bars",
+    "text_dendrogram",
+    "text_scatter",
+]

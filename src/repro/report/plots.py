@@ -1,0 +1,100 @@
+"""Text-mode figures: scatter plots, bar charts and dendrograms.
+
+The benchmark harness prints the paper's figures as terminal graphics so
+runs are self-contained (no plotting dependencies) and diffs are reviewable
+in CI logs.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.analysis.hier import Dendrogram
+
+
+def text_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    labels: Sequence[str],
+    width: int = 72,
+    height: int = 24,
+    xlabel: str = "PC1",
+    ylabel: str = "PC2",
+) -> str:
+    """Scatter plot with point labels; overlapping labels degrade to '*'."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    xmin, xmax = float(x.min()), float(x.max())
+    ymin, ymax = float(y.min()), float(y.max())
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(cx: int, cy: int, text: str) -> None:
+        if grid[cy][cx] != " ":
+            grid[cy][cx] = "*"
+            return
+        for i, ch in enumerate(text):
+            col = cx + i
+            if col >= width or grid[cy][col] != " ":
+                break
+            grid[cy][col] = ch
+
+    for xi, yi, label in zip(x, y, labels):
+        cx = int((xi - xmin) / xspan * (width - 8))
+        cy = int((ymax - yi) / yspan * (height - 1))
+        place(cx, cy, label)
+
+    out = io.StringIO()
+    out.write(f"{ylabel} ^\n")
+    for row in grid:
+        out.write("  |" + "".join(row).rstrip() + "\n")
+    out.write("  +" + "-" * width + f"> {xlabel}\n")
+    out.write(f"   x: [{xmin:.2f}, {xmax:.2f}]  y: [{ymin:.2f}, {ymax:.2f}]\n")
+    return out.getvalue()
+
+
+def text_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart."""
+    values = np.asarray(values, dtype=float)
+    vmax = float(values.max()) if values.size and values.max() > 0 else 1.0
+    label_w = max((len(s) for s in labels), default=0)
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(value / vmax * width), 0)
+        out.write(f"{label.rjust(label_w)} | {bar} {value:.3f}\n")
+    return out.getvalue()
+
+
+def text_dendrogram(dendro: Dendrogram, width: int = 60) -> str:
+    """Render an agglomeration as an indented merge list.
+
+    Leaves appear in dendrogram order; each merge line shows its height as a
+    horizontal bar, so late (tall) merges — the diverse workloads — stand
+    out visually.
+    """
+    if not dendro.merges:
+        return "\n".join(dendro.labels) + "\n"
+    n = dendro.n_leaves
+    members: List[List[int]] = [[i] for i in range(n)]
+    names: List[str] = list(dendro.labels)
+    out = io.StringIO()
+    max_h = max(m.height for m in dendro.merges) or 1.0
+    for merge in dendro.merges:
+        left = names[merge.left]
+        right = names[merge.right]
+        bar = "=" * max(int(merge.height / max_h * width // 2), 1)
+        out.write(f"[{merge.height:8.3f}] {bar} {left}  +  {right}\n")
+        members.append(members[merge.left] + members[merge.right])
+        names.append(f"({left}+{right})" if len(left) + len(right) < 40 else f"<{merge.size}>")
+    return out.getvalue()

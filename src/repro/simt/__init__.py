@@ -1,0 +1,52 @@
+"""A from-scratch SIMT (GPU) functional simulator.
+
+This package is the trace-collection substrate for the GPGPU workload
+characterization pipeline: kernels are written in a structured register IR
+via :class:`KernelBuilder`, executed in warp-lockstep by :class:`Executor`
+over a :class:`Device`, and observed through :class:`TraceSink` objects.
+"""
+
+from repro.simt.builder import BufParam, KernelBuilder, SharedArray
+from repro.simt.disasm import StaticStats, disassemble, static_stats
+from repro.simt.errors import (
+    BuildError,
+    ExecutionError,
+    LaunchError,
+    MemoryFault,
+    SimtError,
+)
+from repro.simt.executor import Executor, profile_all_blocks, stride_sampler
+from repro.simt.reference import run_reference
+from repro.simt.ir import AtomicOp, Kernel, MemSpace, Op, OpCategory, op_category
+from repro.simt.memory import Device, DeviceBuffer
+from repro.simt.sink import TraceSink
+from repro.simt.types import WARP_SIZE, DType
+
+__all__ = [
+    "AtomicOp",
+    "BufParam",
+    "BuildError",
+    "Device",
+    "DeviceBuffer",
+    "DType",
+    "ExecutionError",
+    "Executor",
+    "Kernel",
+    "KernelBuilder",
+    "LaunchError",
+    "MemoryFault",
+    "MemSpace",
+    "Op",
+    "OpCategory",
+    "op_category",
+    "profile_all_blocks",
+    "run_reference",
+    "SharedArray",
+    "SimtError",
+    "StaticStats",
+    "disassemble",
+    "static_stats",
+    "stride_sampler",
+    "TraceSink",
+    "WARP_SIZE",
+]

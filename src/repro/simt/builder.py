@@ -1,0 +1,709 @@
+"""Kernel construction DSL.
+
+A kernel is written as straight Python that *emits* IR through a
+:class:`KernelBuilder`::
+
+    b = KernelBuilder("saxpy")
+    x = b.param_buf("x")
+    y = b.param_buf("y")
+    n = b.param_i32("n")
+    a = b.param_f32("a")
+    i = b.global_thread_id()
+    with b.if_(b.ilt(i, n)):
+        yi = b.fma(a, b.ld(x, i), b.ld(y, i))
+        b.st(y, i, yi)
+    kernel = b.finalize()
+
+Every emitter returns the destination :class:`~repro.simt.ir.Reg`, so kernel
+code composes like expressions.  Python ``int``/``float`` arguments become
+immediates.  Control flow uses context managers (``if_``, ``if_else``,
+``while_loop``, ``for_range``) that map one-to-one onto the structured IR.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.simt.errors import BuildError
+from repro.simt.ir import (
+    Atomic,
+    AtomicOp,
+    Barrier,
+    If,
+    Imm,
+    Instr,
+    Kernel,
+    KernelParam,
+    Load,
+    MemSpace,
+    Op,
+    Operand,
+    ParamRef,
+    Reg,
+    Return,
+    SharedDecl,
+    Stmt,
+    Store,
+    While,
+)
+from repro.simt.types import DType
+
+#: Values accepted wherever an operand is expected.
+OperandLike = Union[Reg, Imm, ParamRef, int, float, bool, "BufParam"]
+
+
+@dataclass(frozen=True)
+class BufParam:
+    """Handle for a buffer-typed kernel parameter.
+
+    The underlying operand is the buffer's base byte address (an integer
+    uniform); ``elem_size`` drives the address arithmetic emitted by the
+    ``ld``/``st`` builder sugar.
+    """
+
+    name: str
+    dtype: DType
+    elem_size: int
+    space: MemSpace
+
+    @property
+    def ref(self) -> ParamRef:
+        return ParamRef(self.name, DType.I32)
+
+
+@dataclass(frozen=True)
+class SharedArray:
+    """Handle for a shared-memory array declared by the kernel."""
+
+    decl: SharedDecl
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+
+# Special registers, materialised by the executor at block start.
+SREG_NAMES = (
+    "%tid.x",
+    "%tid.y",
+    "%ctaid.x",
+    "%ctaid.y",
+    "%ntid.x",
+    "%ntid.y",
+    "%nctaid.x",
+    "%nctaid.y",
+)
+
+
+class KernelBuilder:
+    """Incrementally constructs a :class:`~repro.simt.ir.Kernel`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._params: List[KernelParam] = []
+        self._buf_params: dict = {}
+        self._shared: List[SharedDecl] = []
+        self._shared_offset = 0
+        self._body: List[Stmt] = []
+        self._block_stack: List[List[Stmt]] = [self._body]
+        self._reg_counter = 0
+        self._finalized: Optional[Kernel] = None
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def param_i32(self, name: str) -> ParamRef:
+        """Declare a uniform 32-bit integer launch parameter."""
+        self._add_param(KernelParam(name, DType.I32))
+        return ParamRef(name, DType.I32)
+
+    def param_f32(self, name: str) -> ParamRef:
+        """Declare a uniform floating-point launch parameter."""
+        self._add_param(KernelParam(name, DType.F32))
+        return ParamRef(name, DType.F32)
+
+    def param_buf(
+        self,
+        name: str,
+        dtype: DType = DType.F32,
+        space: MemSpace = MemSpace.GLOBAL,
+    ) -> BufParam:
+        """Declare a buffer parameter (bound to a device buffer at launch)."""
+        if space is MemSpace.SHARED:
+            raise BuildError("shared memory is declared with .shared(), not passed as a param")
+        elem = dtype.element_size if dtype is not DType.PRED else 4
+        self._add_param(KernelParam(name, DType.I32, is_buffer=True, elem_size=elem))
+        handle = BufParam(name, dtype, elem, space)
+        self._buf_params[name] = handle
+        return handle
+
+    def shared(self, name: str, count: int, dtype: DType = DType.F32) -> SharedArray:
+        """Declare a statically sized shared-memory array."""
+        if count <= 0:
+            raise BuildError(f"shared array {name!r} must have positive size, got {count}")
+        if any(d.name == name for d in self._shared):
+            raise BuildError(f"duplicate shared array {name!r}")
+        decl = SharedDecl(name, count, dtype, offset=self._shared_offset)
+        self._shared.append(decl)
+        self._shared_offset += decl.nbytes
+        return SharedArray(decl)
+
+    def _add_param(self, param: KernelParam) -> None:
+        if any(p.name == param.name for p in self._params):
+            raise BuildError(f"duplicate parameter {param.name!r}")
+        self._params.append(param)
+
+    # ------------------------------------------------------------------
+    # Special registers and thread indexing
+    # ------------------------------------------------------------------
+
+    @property
+    def tid_x(self) -> Reg:
+        return Reg("%tid.x", DType.I32)
+
+    @property
+    def tid_y(self) -> Reg:
+        return Reg("%tid.y", DType.I32)
+
+    @property
+    def ctaid_x(self) -> Reg:
+        return Reg("%ctaid.x", DType.I32)
+
+    @property
+    def ctaid_y(self) -> Reg:
+        return Reg("%ctaid.y", DType.I32)
+
+    @property
+    def ntid_x(self) -> Reg:
+        return Reg("%ntid.x", DType.I32)
+
+    @property
+    def ntid_y(self) -> Reg:
+        return Reg("%ntid.y", DType.I32)
+
+    @property
+    def nctaid_x(self) -> Reg:
+        return Reg("%nctaid.x", DType.I32)
+
+    @property
+    def nctaid_y(self) -> Reg:
+        return Reg("%nctaid.y", DType.I32)
+
+    def global_thread_id(self) -> Reg:
+        """Emit ``ctaid.x * ntid.x + tid.x`` (the canonical 1-D thread id)."""
+        return self.iadd(self.imul(self.ctaid_x, self.ntid_x), self.tid_x)
+
+    def global_thread_id_y(self) -> Reg:
+        """Emit ``ctaid.y * ntid.y + tid.y``."""
+        return self.iadd(self.imul(self.ctaid_y, self.ntid_y), self.tid_y)
+
+    # ------------------------------------------------------------------
+    # Operand handling
+    # ------------------------------------------------------------------
+
+    def _coerce(self, value: OperandLike, hint: Optional[DType] = None) -> Operand:
+        if isinstance(value, (Reg, Imm, ParamRef)):
+            return value
+        if isinstance(value, BufParam):
+            return value.ref
+        if isinstance(value, bool):
+            return Imm(value, DType.PRED)
+        if isinstance(value, int):
+            return Imm(value, hint if hint in (DType.I32, DType.F32) else DType.I32)
+        if isinstance(value, float):
+            return Imm(value, DType.F32)
+        raise BuildError(f"cannot use {value!r} as an operand")
+
+    def _new_reg(self, dtype: DType, hint: str = "r") -> Reg:
+        self._reg_counter += 1
+        return Reg(f"{hint}{self._reg_counter}", dtype)
+
+    def _emit(self, stmt: Stmt) -> None:
+        if self._finalized is not None:
+            raise BuildError(f"kernel {self.name!r} is already finalized")
+        self._block_stack[-1].append(stmt)
+
+    def _emit_instr(
+        self, op: Op, dtype: DType, srcs: Tuple[OperandLike, ...], hint: str = "r"
+    ) -> Reg:
+        operands = tuple(self._coerce(s, dtype if dtype is not DType.PRED else None) for s in srcs)
+        dest = self._new_reg(dtype, hint)
+        self._emit(Instr(op, dtype, dest, operands))
+        return dest
+
+    # ------------------------------------------------------------------
+    # Integer ops
+    # ------------------------------------------------------------------
+
+    def iadd(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.IADD, DType.I32, (a, b))
+
+    def isub(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.ISUB, DType.I32, (a, b))
+
+    def imul(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.IMUL, DType.I32, (a, b))
+
+    def idiv(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.IDIV, DType.I32, (a, b))
+
+    def imod(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.IMOD, DType.I32, (a, b))
+
+    def imin(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.IMIN, DType.I32, (a, b))
+
+    def imax(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.IMAX, DType.I32, (a, b))
+
+    def ineg(self, a: OperandLike) -> Reg:
+        return self._emit_instr(Op.INEG, DType.I32, (a,))
+
+    def iabs(self, a: OperandLike) -> Reg:
+        return self._emit_instr(Op.IABS, DType.I32, (a,))
+
+    def iand(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.IAND, DType.I32, (a, b))
+
+    def ior(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.IOR, DType.I32, (a, b))
+
+    def ixor(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.IXOR, DType.I32, (a, b))
+
+    def ishl(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.ISHL, DType.I32, (a, b))
+
+    def ishr(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.ISHR, DType.I32, (a, b))
+
+    # ------------------------------------------------------------------
+    # Floating-point ops
+    # ------------------------------------------------------------------
+
+    def fadd(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.FADD, DType.F32, (a, b))
+
+    def fsub(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.FSUB, DType.F32, (a, b))
+
+    def fmul(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.FMUL, DType.F32, (a, b))
+
+    def fdiv(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.FDIV, DType.F32, (a, b))
+
+    def fneg(self, a: OperandLike) -> Reg:
+        return self._emit_instr(Op.FNEG, DType.F32, (a,))
+
+    def fabs(self, a: OperandLike) -> Reg:
+        return self._emit_instr(Op.FABS, DType.F32, (a,))
+
+    def fmin(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.FMIN, DType.F32, (a, b))
+
+    def fmax(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.FMAX, DType.F32, (a, b))
+
+    def fma(self, a: OperandLike, b: OperandLike, c: OperandLike) -> Reg:
+        """Fused multiply-add: ``a * b + c``."""
+        return self._emit_instr(Op.FMA, DType.F32, (a, b, c))
+
+    def ffloor(self, a: OperandLike) -> Reg:
+        return self._emit_instr(Op.FFLOOR, DType.F32, (a,))
+
+    # ------------------------------------------------------------------
+    # Special function unit
+    # ------------------------------------------------------------------
+
+    def fsqrt(self, a: OperandLike) -> Reg:
+        return self._emit_instr(Op.FSQRT, DType.F32, (a,))
+
+    def fexp(self, a: OperandLike) -> Reg:
+        return self._emit_instr(Op.FEXP, DType.F32, (a,))
+
+    def flog(self, a: OperandLike) -> Reg:
+        return self._emit_instr(Op.FLOG, DType.F32, (a,))
+
+    def fsin(self, a: OperandLike) -> Reg:
+        return self._emit_instr(Op.FSIN, DType.F32, (a,))
+
+    def fcos(self, a: OperandLike) -> Reg:
+        return self._emit_instr(Op.FCOS, DType.F32, (a,))
+
+    def frcp(self, a: OperandLike) -> Reg:
+        return self._emit_instr(Op.FRCP, DType.F32, (a,))
+
+    def fpow(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.FPOW, DType.F32, (a, b))
+
+    # ------------------------------------------------------------------
+    # Comparisons and predicate logic
+    # ------------------------------------------------------------------
+
+    def ilt(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.ILT, DType.PRED, (a, b), hint="p")
+
+    def ile(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.ILE, DType.PRED, (a, b), hint="p")
+
+    def igt(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.IGT, DType.PRED, (a, b), hint="p")
+
+    def ige(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.IGE, DType.PRED, (a, b), hint="p")
+
+    def ieq(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.IEQ, DType.PRED, (a, b), hint="p")
+
+    def ine(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.INE, DType.PRED, (a, b), hint="p")
+
+    def flt(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.FLT, DType.PRED, (a, b), hint="p")
+
+    def fle(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.FLE, DType.PRED, (a, b), hint="p")
+
+    def fgt(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.FGT, DType.PRED, (a, b), hint="p")
+
+    def fge(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.FGE, DType.PRED, (a, b), hint="p")
+
+    def feq(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.FEQ, DType.PRED, (a, b), hint="p")
+
+    def fne(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.FNE, DType.PRED, (a, b), hint="p")
+
+    def pand(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.PAND, DType.PRED, (a, b), hint="p")
+
+    def por(self, a: OperandLike, b: OperandLike) -> Reg:
+        return self._emit_instr(Op.POR, DType.PRED, (a, b), hint="p")
+
+    def pnot(self, a: OperandLike) -> Reg:
+        return self._emit_instr(Op.PNOT, DType.PRED, (a,), hint="p")
+
+    # ------------------------------------------------------------------
+    # Data movement
+    # ------------------------------------------------------------------
+
+    def mov(self, value: OperandLike, dtype: Optional[DType] = None) -> Reg:
+        """Copy ``value`` into a fresh register."""
+        operand = self._coerce(value, dtype)
+        dtype = dtype or _operand_dtype(operand)
+        dest = self._new_reg(dtype)
+        self._emit(Instr(Op.MOV, dtype, dest, (operand,)))
+        return dest
+
+    def let_i32(self, value: OperandLike) -> Reg:
+        """A fresh mutable i32 register initialised to ``value``."""
+        return self.mov(self._coerce(value, DType.I32), DType.I32)
+
+    def let_f32(self, value: OperandLike) -> Reg:
+        """A fresh mutable f32 register initialised to ``value``."""
+        return self.mov(self._coerce(value, DType.F32), DType.F32)
+
+    def assign(self, reg: Reg, value: OperandLike) -> None:
+        """Re-assign an existing register (MOV into it)."""
+        operand = self._coerce(value, reg.dtype)
+        self._emit(Instr(Op.MOV, reg.dtype, reg, (operand,)))
+
+    def sel(self, cond: OperandLike, a: OperandLike, b: OperandLike) -> Reg:
+        """Lane-wise select: ``cond ? a : b``."""
+        ca = self._coerce(a)
+        cb = self._coerce(b)
+        dtype = _operand_dtype(ca)
+        if dtype is DType.PRED:
+            dtype = _operand_dtype(cb)
+        dest = self._new_reg(dtype)
+        self._emit(Instr(Op.SEL, dtype, dest, (self._coerce(cond), ca, cb)))
+        return dest
+
+    def i2f(self, a: OperandLike) -> Reg:
+        return self._emit_instr(Op.I2F, DType.F32, (a,))
+
+    def f2i(self, a: OperandLike) -> Reg:
+        """Truncating float-to-int conversion."""
+        return self._emit_instr(Op.F2I, DType.I32, (a,))
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+
+    def addr_of(self, buf: BufParam, index: OperandLike) -> Reg:
+        """Emit the address computation ``base + index * elem_size``.
+
+        The multiply is strength-reduced to a shift for power-of-two element
+        sizes, matching what a real compiler emits.
+        """
+        index_op = self._coerce(index, DType.I32)
+        esize = buf.elem_size
+        if esize & (esize - 1) == 0:
+            scaled = self.ishl(index_op, esize.bit_length() - 1)
+        else:
+            scaled = self.imul(index_op, esize)
+        return self.iadd(buf.ref, scaled)
+
+    def ld(self, buf: BufParam, index: OperandLike) -> Reg:
+        """Load ``buf[index]`` (emits the address arithmetic plus the load)."""
+        addr = self.addr_of(buf, index)
+        return self.ld_raw(buf, addr)
+
+    def ld_raw(self, buf: BufParam, addr: OperandLike) -> Reg:
+        """Load from a pre-computed byte address in ``buf``'s space."""
+        dest = self._new_reg(buf.dtype)
+        space = buf.space if buf.space is not MemSpace.SHARED else MemSpace.GLOBAL
+        self._emit(Load(space, buf.dtype, dest, self._coerce(addr, DType.I32)))
+        return dest
+
+    def st(self, buf: BufParam, index: OperandLike, value: OperandLike) -> None:
+        """Store ``value`` to ``buf[index]``."""
+        if buf.space is not MemSpace.GLOBAL:
+            raise BuildError(f"cannot store to read-only {buf.space.value} buffer {buf.name!r}")
+        addr = self.addr_of(buf, index)
+        self.st_raw(buf, addr, value)
+
+    def st_raw(self, buf: BufParam, addr: OperandLike, value: OperandLike) -> None:
+        """Store to a pre-computed byte address in global memory."""
+        if buf.space is not MemSpace.GLOBAL:
+            raise BuildError(f"cannot store to read-only {buf.space.value} buffer {buf.name!r}")
+        self._emit(
+            Store(
+                MemSpace.GLOBAL,
+                buf.dtype,
+                self._coerce(addr, DType.I32),
+                self._coerce(value, buf.dtype),
+            )
+        )
+
+    def _shared_addr(self, arr: SharedArray, index: OperandLike) -> Reg:
+        index_op = self._coerce(index, DType.I32)
+        esize = arr.decl.dtype.element_size
+        scaled = self.ishl(index_op, esize.bit_length() - 1)
+        if arr.decl.offset:
+            return self.iadd(scaled, arr.decl.offset)
+        return scaled
+
+    def sld(self, arr: SharedArray, index: OperandLike) -> Reg:
+        """Load ``arr[index]`` from shared memory."""
+        addr = self._shared_addr(arr, index)
+        dest = self._new_reg(arr.decl.dtype)
+        self._emit(Load(MemSpace.SHARED, arr.decl.dtype, dest, addr))
+        return dest
+
+    def sst(self, arr: SharedArray, index: OperandLike, value: OperandLike) -> None:
+        """Store ``value`` to ``arr[index]`` in shared memory."""
+        addr = self._shared_addr(arr, index)
+        self._emit(
+            Store(MemSpace.SHARED, arr.decl.dtype, addr, self._coerce(value, arr.decl.dtype))
+        )
+
+    # ------------------------------------------------------------------
+    # Atomics
+    # ------------------------------------------------------------------
+
+    def _atomic(
+        self,
+        op: AtomicOp,
+        buf: BufParam,
+        index: OperandLike,
+        value: OperandLike,
+        compare: Optional[OperandLike] = None,
+        want_old: bool = True,
+    ) -> Optional[Reg]:
+        if buf.space is not MemSpace.GLOBAL:
+            raise BuildError("atomics are only supported on global buffers")
+        addr = self.addr_of(buf, index)
+        dest = self._new_reg(buf.dtype) if want_old else None
+        self._emit(
+            Atomic(
+                op,
+                buf.dtype,
+                dest,
+                addr,
+                self._coerce(value, buf.dtype),
+                None if compare is None else self._coerce(compare, buf.dtype),
+            )
+        )
+        return dest
+
+    def atomic_add(self, buf: BufParam, index: OperandLike, value: OperandLike) -> Reg:
+        """``old = buf[index]; buf[index] += value; return old``."""
+        return self._atomic(AtomicOp.ADD, buf, index, value)
+
+    def atomic_min(self, buf: BufParam, index: OperandLike, value: OperandLike) -> Reg:
+        return self._atomic(AtomicOp.MIN, buf, index, value)
+
+    def atomic_max(self, buf: BufParam, index: OperandLike, value: OperandLike) -> Reg:
+        return self._atomic(AtomicOp.MAX, buf, index, value)
+
+    def atomic_exch(self, buf: BufParam, index: OperandLike, value: OperandLike) -> Reg:
+        return self._atomic(AtomicOp.EXCH, buf, index, value)
+
+    def atomic_cas(
+        self, buf: BufParam, index: OperandLike, compare: OperandLike, value: OperandLike
+    ) -> Reg:
+        """Compare-and-swap; returns the old value."""
+        return self._atomic(AtomicOp.CAS, buf, index, value, compare=compare)
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def if_(self, cond: OperandLike) -> Iterator[None]:
+        """Structured ``if`` without an else branch."""
+        stmt = If(self._as_pred(cond))
+        self._emit(stmt)
+        self._block_stack.append(stmt.then_body)
+        try:
+            yield
+        finally:
+            self._block_stack.pop()
+
+    def if_else(self, cond: OperandLike) -> "IfElseCtx":
+        """Structured ``if``/``else``; use ``.then()`` and ``.otherwise()``."""
+        stmt = If(self._as_pred(cond))
+        self._emit(stmt)
+        return IfElseCtx(self, stmt)
+
+    def while_loop(self) -> "WhileCtx":
+        """Structured loop; use ``.cond()`` / ``.set_cond()`` / ``.body()``."""
+        stmt = While()
+        self._emit(stmt)
+        return WhileCtx(self, stmt)
+
+    @contextlib.contextmanager
+    def for_range(
+        self,
+        start: OperandLike,
+        stop: OperandLike,
+        step: int = 1,
+    ) -> Iterator[Reg]:
+        """Counted loop; yields the induction variable register.
+
+        ``step`` must be a non-zero Python int so the loop direction is known
+        statically (positive counts up to ``stop`` exclusive, negative counts
+        down to ``stop`` exclusive).
+        """
+        if step == 0:
+            raise BuildError("for_range step must be non-zero")
+        ivar = self.let_i32(start)
+        loop = self.while_loop()
+        with loop.cond():
+            if step > 0:
+                loop.set_cond(self.ilt(ivar, stop))
+            else:
+                loop.set_cond(self.igt(ivar, stop))
+        with loop.body():
+            yield ivar
+            self.assign(ivar, self.iadd(ivar, step))
+
+    def barrier(self) -> None:
+        """Block-wide synchronisation."""
+        self._emit(Barrier())
+
+    def ret(self) -> None:
+        """Retire the active lanes for the remainder of the kernel."""
+        self._emit(Return())
+
+    def ret_if(self, cond: OperandLike) -> None:
+        """Guard idiom: retire lanes where ``cond`` holds."""
+        with self.if_(cond):
+            self.ret()
+
+    def _as_pred(self, cond: OperandLike) -> Reg:
+        operand = self._coerce(cond)
+        if isinstance(operand, Reg) and operand.dtype is DType.PRED:
+            return operand
+        if isinstance(operand, Imm) and operand.dtype is DType.PRED:
+            return self.mov(operand, DType.PRED)
+        raise BuildError(f"branch condition must be a predicate register, got {operand!r}")
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> Kernel:
+        """Freeze the IR and return the kernel (idempotent)."""
+        if self._finalized is None:
+            if len(self._block_stack) != 1:
+                raise BuildError(
+                    f"kernel {self.name!r} finalized inside an open control-flow block"
+                )
+            self._finalized = Kernel(
+                self.name, tuple(self._params), tuple(self._shared), self._body
+            )
+        return self._finalized
+
+
+class IfElseCtx:
+    """Helper returned by :meth:`KernelBuilder.if_else`."""
+
+    def __init__(self, builder: KernelBuilder, stmt: If) -> None:
+        self._builder = builder
+        self._stmt = stmt
+        self._then_done = False
+
+    @contextlib.contextmanager
+    def then(self) -> Iterator[None]:
+        self._builder._block_stack.append(self._stmt.then_body)
+        try:
+            yield
+        finally:
+            self._builder._block_stack.pop()
+            self._then_done = True
+
+    @contextlib.contextmanager
+    def otherwise(self) -> Iterator[None]:
+        if not self._then_done:
+            raise BuildError("open .then() before .otherwise()")
+        self._builder._block_stack.append(self._stmt.else_body)
+        try:
+            yield
+        finally:
+            self._builder._block_stack.pop()
+
+
+class WhileCtx:
+    """Helper returned by :meth:`KernelBuilder.while_loop`."""
+
+    def __init__(self, builder: KernelBuilder, stmt: While) -> None:
+        self._builder = builder
+        self._stmt = stmt
+        self._cond_done = False
+
+    @contextlib.contextmanager
+    def cond(self) -> Iterator[None]:
+        """Block that computes the loop predicate (re-run every iteration)."""
+        self._builder._block_stack.append(self._stmt.cond_body)
+        try:
+            yield
+        finally:
+            self._builder._block_stack.pop()
+            self._cond_done = True
+
+    def set_cond(self, reg: Reg) -> None:
+        if reg.dtype is not DType.PRED:
+            raise BuildError("loop condition must be a predicate register")
+        self._stmt.cond = reg
+
+    @contextlib.contextmanager
+    def body(self) -> Iterator[None]:
+        if not self._cond_done:
+            raise BuildError("open .cond() before .body()")
+        self._builder._block_stack.append(self._stmt.body)
+        try:
+            yield
+        finally:
+            self._builder._block_stack.pop()
+
+
+def _operand_dtype(operand: Operand) -> DType:
+    return operand.dtype

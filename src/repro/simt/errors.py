@@ -1,0 +1,23 @@
+"""Exception hierarchy for the SIMT simulator."""
+
+from __future__ import annotations
+
+
+class SimtError(Exception):
+    """Base class for all simulator errors."""
+
+
+class BuildError(SimtError):
+    """Raised when a kernel is constructed incorrectly (IR-level misuse)."""
+
+
+class LaunchError(SimtError):
+    """Raised for invalid launch configurations or argument bindings."""
+
+
+class MemoryFault(SimtError):
+    """Raised when an active lane accesses memory out of bounds."""
+
+
+class ExecutionError(SimtError):
+    """Raised for runtime faults such as division by zero in an active lane."""

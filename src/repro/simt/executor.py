@@ -1,0 +1,551 @@
+"""Lockstep SIMT execution engine.
+
+Each thread block executes with all of its lanes in lockstep over numpy
+arrays; divergence is expressed through boolean lane masks.  For the
+structured IR this is semantically equivalent to a per-warp PDOM
+reconvergence stack: every ``If``/``While`` region reconverges at its end,
+which is the immediate post-dominator of the divergence point.
+
+Blocks execute sequentially (CUDA guarantees nothing about inter-block
+ordering; any workload relying on it is out of spec).  Barriers are
+functional no-ops under lockstep but are validated: all non-retired lanes
+must be active at a barrier, mirroring CUDA's "no divergent __syncthreads"
+rule.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.simt.errors import ExecutionError, LaunchError
+from repro.simt.ir import (
+    Atomic,
+    AtomicOp,
+    Barrier,
+    If,
+    Imm,
+    Instr,
+    Kernel,
+    Load,
+    MemSpace,
+    Op,
+    OpCategory,
+    Operand,
+    ParamRef,
+    Reg,
+    Return,
+    Stmt,
+    Store,
+    While,
+    op_category,
+)
+from repro.simt.memory import Device, DeviceBuffer
+from repro.simt.sink import TraceSink
+from repro.simt.types import WARP_SIZE, DType
+
+DimLike = Union[int, Tuple[int, int]]
+
+#: Signature: (linear block index, total blocks) -> should this block be profiled?
+ProfileFilter = Callable[[int, int], bool]
+
+
+def profile_all_blocks(block_idx: int, nblocks: int) -> bool:
+    """Profile every block (the default)."""
+    return True
+
+
+def stride_sampler(max_blocks: int) -> ProfileFilter:
+    """Profile at most ``max_blocks`` blocks, spread evenly over the grid.
+
+    Characterization papers routinely sample; spreading the sample across the
+    grid captures boundary blocks (which often behave differently) as well as
+    interior ones.
+    """
+    if max_blocks <= 0:
+        raise LaunchError("stride_sampler needs max_blocks >= 1")
+
+    def _filter(block_idx: int, nblocks: int) -> bool:
+        if nblocks <= max_blocks:
+            return True
+        stride = nblocks / max_blocks
+        return int(block_idx / stride) != int((block_idx - 1) / stride) if block_idx else True
+
+    return _filter
+
+
+def _as_dim(dim: DimLike, what: str) -> Tuple[int, int]:
+    if isinstance(dim, int):
+        dim = (dim, 1)
+    x, y = dim
+    if x <= 0 or y <= 0:
+        raise LaunchError(f"{what} dimensions must be positive, got {dim}")
+    return int(x), int(y)
+
+
+def _trunc_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C-style (truncating) integer division, as CUDA defines it."""
+    q = np.abs(a) // np.abs(b)
+    return np.where((a < 0) ^ (b < 0), -q, q)
+
+
+def _trunc_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a - _trunc_div(a, b) * b
+
+
+_OP_FUNCS = {
+    Op.IADD: lambda a, b: a + b,
+    Op.ISUB: lambda a, b: a - b,
+    Op.IMUL: lambda a, b: a * b,
+    Op.IMIN: np.minimum,
+    Op.IMAX: np.maximum,
+    Op.INEG: lambda a: -a,
+    Op.IABS: np.abs,
+    Op.IAND: lambda a, b: a & b,
+    Op.IOR: lambda a, b: a | b,
+    Op.IXOR: lambda a, b: a ^ b,
+    Op.ISHL: lambda a, b: a << b,
+    Op.ISHR: lambda a, b: a >> b,
+    Op.FADD: lambda a, b: a + b,
+    Op.FSUB: lambda a, b: a - b,
+    Op.FMUL: lambda a, b: a * b,
+    Op.FDIV: lambda a, b: a / b,
+    Op.FNEG: lambda a: -a,
+    Op.FABS: np.abs,
+    Op.FMIN: np.minimum,
+    Op.FMAX: np.maximum,
+    Op.FMA: lambda a, b, c: a * b + c,
+    Op.FFLOOR: np.floor,
+    Op.FSQRT: np.sqrt,
+    Op.FEXP: np.exp,
+    Op.FLOG: np.log,
+    Op.FSIN: np.sin,
+    Op.FCOS: np.cos,
+    Op.FRCP: lambda a: 1.0 / a,
+    Op.FPOW: np.power,
+    Op.ILT: lambda a, b: a < b,
+    Op.ILE: lambda a, b: a <= b,
+    Op.IGT: lambda a, b: a > b,
+    Op.IGE: lambda a, b: a >= b,
+    Op.IEQ: lambda a, b: a == b,
+    Op.INE: lambda a, b: a != b,
+    Op.FLT: lambda a, b: a < b,
+    Op.FLE: lambda a, b: a <= b,
+    Op.FGT: lambda a, b: a > b,
+    Op.FGE: lambda a, b: a >= b,
+    Op.FEQ: lambda a, b: a == b,
+    Op.FNE: lambda a, b: a != b,
+    Op.PAND: lambda a, b: a & b,
+    Op.POR: lambda a, b: a | b,
+    Op.PNOT: lambda a: ~a,
+    Op.MOV: lambda a: a,
+    Op.SEL: lambda c, a, b: np.where(c, a, b),
+    Op.I2F: lambda a: a.astype(np.float64) if isinstance(a, np.ndarray) else float(a),
+    Op.F2I: lambda a: np.trunc(a).astype(np.int64) if isinstance(a, np.ndarray) else int(a),
+}
+
+_ATOMIC_SCALAR = {
+    AtomicOp.ADD: lambda old, v: old + v,
+    AtomicOp.MIN: min,
+    AtomicOp.MAX: max,
+    AtomicOp.EXCH: lambda old, v: v,
+}
+
+
+class Executor:
+    """Launches kernels on a :class:`~repro.simt.memory.Device`.
+
+    Parameters
+    ----------
+    device:
+        The device holding global memory.
+    sinks:
+        Trace sinks receiving dynamic-execution events.
+    profile_filter:
+        Selects which blocks emit events.  Functional execution always covers
+        every block; only *observation* is sampled.
+    strict_barriers:
+        When true (default), a barrier reached with some non-retired lanes
+        inactive raises, mirroring CUDA's divergent-``__syncthreads`` UB.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        sinks: Sequence[TraceSink] = (),
+        profile_filter: ProfileFilter = profile_all_blocks,
+        strict_barriers: bool = True,
+    ) -> None:
+        self.device = device
+        self.sinks = list(sinks)
+        self.profile_filter = profile_filter
+        self.strict_barriers = strict_barriers
+
+    def launch(
+        self,
+        kernel: Kernel,
+        grid: DimLike,
+        block: DimLike,
+        args: Optional[Dict[str, Union[int, float, DeviceBuffer]]] = None,
+    ) -> None:
+        """Execute ``kernel`` over the given grid.
+
+        ``args`` maps parameter names to Python scalars or device buffers.
+        """
+        grid = _as_dim(grid, "grid")
+        block = _as_dim(block, "block")
+        nblocks = grid[0] * grid[1]
+        nthreads = block[0] * block[1]
+        if nthreads > 1024:
+            raise LaunchError(f"block of {nthreads} threads exceeds the 1024-thread limit")
+        args = dict(args or {})
+        params = self._bind_params(kernel, args)
+
+        for sink in self.sinks:
+            sink.on_kernel_begin(kernel, grid, block, nblocks)
+        profiled = 0
+        with np.errstate(all="ignore"):
+            for linear in range(nblocks):
+                ctaid = (linear % grid[0], linear // grid[0])
+                observe = bool(self.sinks) and self.profile_filter(linear, nblocks)
+                if observe:
+                    profiled += 1
+                run = _BlockRun(self, kernel, grid, block, ctaid, params, observe)
+                run.execute()
+        for sink in self.sinks:
+            sink.on_kernel_end(profiled, nblocks)
+
+    def _bind_params(
+        self, kernel: Kernel, args: Dict[str, Union[int, float, DeviceBuffer]]
+    ) -> Dict[str, Union[int, float]]:
+        params: Dict[str, Union[int, float]] = {}
+        for p in kernel.params:
+            if p.name not in args:
+                raise LaunchError(f"kernel {kernel.name!r}: missing argument {p.name!r}")
+            value = args.pop(p.name)
+            if p.is_buffer:
+                if not isinstance(value, DeviceBuffer):
+                    raise LaunchError(
+                        f"kernel {kernel.name!r}: argument {p.name!r} must be a DeviceBuffer"
+                    )
+                params[p.name] = value.base
+            elif isinstance(value, DeviceBuffer):
+                raise LaunchError(
+                    f"kernel {kernel.name!r}: argument {p.name!r} is scalar, got a buffer"
+                )
+            elif p.dtype is DType.I32:
+                params[p.name] = int(value)
+            else:
+                params[p.name] = float(value)
+        if args:
+            raise LaunchError(f"kernel {kernel.name!r}: unknown arguments {sorted(args)}")
+        return params
+
+
+class _BlockRun:
+    """Execution state for one thread block."""
+
+    def __init__(
+        self,
+        executor: Executor,
+        kernel: Kernel,
+        grid: Tuple[int, int],
+        block: Tuple[int, int],
+        ctaid: Tuple[int, int],
+        params: Dict[str, Union[int, float]],
+        observe: bool,
+    ) -> None:
+        self.executor = executor
+        self.device = executor.device
+        self.kernel = kernel
+        self.params = params
+        self.sinks = executor.sinks if observe else []
+        self.nthreads = block[0] * block[1]
+        self.nwarps = -(-self.nthreads // WARP_SIZE)
+        self.npad = self.nwarps * WARP_SIZE
+
+        lane = np.arange(self.npad, dtype=np.int64)
+        self.block_mask = lane < self.nthreads
+        self.returned = np.zeros(self.npad, dtype=bool)
+        self.env: Dict[str, np.ndarray] = {
+            "%tid.x": lane % block[0],
+            "%tid.y": np.minimum(lane // block[0], block[1] - 1),
+            "%ctaid.x": np.full(self.npad, ctaid[0], dtype=np.int64),
+            "%ctaid.y": np.full(self.npad, ctaid[1], dtype=np.int64),
+            "%ntid.x": np.full(self.npad, block[0], dtype=np.int64),
+            "%ntid.y": np.full(self.npad, block[1], dtype=np.int64),
+            "%nctaid.x": np.full(self.npad, grid[0], dtype=np.int64),
+            "%nctaid.y": np.full(self.npad, grid[1], dtype=np.int64),
+        }
+        self.shared: Dict[str, np.ndarray] = {
+            d.name: np.zeros(d.count, dtype=d.dtype.numpy_dtype) for d in kernel.shared
+        }
+        self._shared_decls = sorted(kernel.shared, key=lambda d: d.offset)
+        self._shared_offsets = np.array([d.offset for d in self._shared_decls], dtype=np.int64)
+        self._block_idx = ctaid[1] * grid[0] + ctaid[0]
+
+    # ------------------------------------------------------------------
+
+    def execute(self) -> None:
+        for sink in self.sinks:
+            sink.on_block_begin(self._block_idx, self.nthreads, self.nwarps)
+        self._exec_stmts(self.kernel.body, self.block_mask)
+        for sink in self.sinks:
+            sink.on_block_end()
+
+    def _exec_stmts(self, stmts: List[Stmt], mask: np.ndarray) -> None:
+        for stmt in stmts:
+            act = mask & ~self.returned
+            if not act.any():
+                return
+            if isinstance(stmt, Instr):
+                self._exec_instr(stmt, act)
+            elif isinstance(stmt, Load):
+                self._exec_load(stmt, act)
+            elif isinstance(stmt, Store):
+                self._exec_store(stmt, act)
+            elif isinstance(stmt, If):
+                self._exec_if(stmt, act)
+            elif isinstance(stmt, While):
+                self._exec_while(stmt, act)
+            elif isinstance(stmt, Barrier):
+                self._exec_barrier(stmt, act)
+            elif isinstance(stmt, Atomic):
+                self._exec_atomic(stmt, act)
+            elif isinstance(stmt, Return):
+                self._note_instr(stmt, OpCategory.BRANCH, act)
+                self.returned |= act
+            else:  # pragma: no cover - exhaustive over Stmt subclasses
+                raise ExecutionError(f"unknown statement {stmt!r}")
+
+    # ------------------------------------------------------------------
+    # Operand evaluation and writeback
+    # ------------------------------------------------------------------
+
+    def _eval(self, operand: Operand) -> Union[np.ndarray, int, float, bool]:
+        if isinstance(operand, Reg):
+            try:
+                return self.env[operand.name]
+            except KeyError:
+                raise ExecutionError(
+                    f"kernel {self.kernel.name!r}: register {operand.name!r} read "
+                    "before any write reached it"
+                ) from None
+        if isinstance(operand, Imm):
+            return operand.value
+        return self.params[operand.name]
+
+    def _writeback(self, dest: Reg, result, act: np.ndarray) -> None:
+        cur = self.env.get(dest.name)
+        if cur is None:
+            cur = np.zeros(self.npad, dtype=dest.dtype.numpy_dtype)
+            self.env[dest.name] = cur
+        if isinstance(result, np.ndarray) and result.shape == cur.shape:
+            cur[act] = result[act].astype(cur.dtype, copy=False)
+        else:
+            cur[act] = result
+
+    def _addr_array(self, operand: Operand) -> np.ndarray:
+        value = self._eval(operand)
+        if isinstance(value, np.ndarray):
+            return value
+        return np.full(self.npad, int(value), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+
+    def _exec_instr(self, stmt: Instr, act: np.ndarray) -> None:
+        srcs = [self._eval(s) for s in stmt.srcs]
+        if stmt.op in (Op.IDIV, Op.IMOD):
+            divisor = np.asarray(srcs[1])
+            bad = (divisor == 0) if divisor.ndim == 0 else (divisor == 0) & act
+            if np.any(bad):
+                raise ExecutionError(
+                    f"kernel {self.kernel.name!r}: integer division by zero "
+                    f"(sid={stmt.sid})"
+                )
+            safe = np.where(np.asarray(srcs[1]) == 0, 1, srcs[1])
+            a = np.asarray(srcs[0])
+            result = _trunc_div(a, safe) if stmt.op is Op.IDIV else _trunc_mod(a, safe)
+        else:
+            result = _OP_FUNCS[stmt.op](*srcs)
+        self._writeback(stmt.dest, result, act)
+        self._note_instr(stmt, op_category(stmt.op), act)
+
+    def _exec_load(self, stmt: Load, act: np.ndarray) -> None:
+        addrs = self._addr_array(stmt.addr)
+        esize = stmt.dtype.element_size
+        if stmt.space is MemSpace.SHARED:
+            values = self._shared_gather(addrs, act, esize)
+        else:
+            values = np.zeros(self.npad, dtype=stmt.dtype.numpy_dtype)
+            values[act] = self.device.gather(addrs[act], esize)
+        self._writeback(stmt.dest, values, act)
+        category = {
+            MemSpace.SHARED: OpCategory.LOAD_SHARED,
+            MemSpace.CONST: OpCategory.LOAD_CONST,
+            MemSpace.TEXTURE: OpCategory.LOAD_TEXTURE,
+            MemSpace.GLOBAL: OpCategory.LOAD_GLOBAL,
+        }[stmt.space]
+        self._note_instr(stmt, category, act)
+        self._note_mem(stmt, stmt.space, "load", esize, addrs, act)
+
+    def _exec_store(self, stmt: Store, act: np.ndarray) -> None:
+        addrs = self._addr_array(stmt.addr)
+        values = self._eval(stmt.value)
+        if not isinstance(values, np.ndarray):
+            values = np.full(self.npad, values, dtype=stmt.dtype.numpy_dtype)
+        esize = stmt.dtype.element_size
+        if stmt.space is MemSpace.SHARED:
+            self._shared_scatter(addrs, values, act, esize)
+            category = OpCategory.STORE_SHARED
+        else:
+            self.device.scatter(addrs[act], values[act], esize)
+            category = OpCategory.STORE_GLOBAL
+        self._note_instr(stmt, category, act)
+        self._note_mem(stmt, stmt.space, "store", esize, addrs, act)
+
+    def _exec_atomic(self, stmt: Atomic, act: np.ndarray) -> None:
+        addrs = self._addr_array(stmt.addr)
+        values = self._eval(stmt.value)
+        if not isinstance(values, np.ndarray):
+            values = np.full(self.npad, values, dtype=stmt.dtype.numpy_dtype)
+        compare = None
+        if stmt.compare is not None:
+            compare = self._eval(stmt.compare)
+            if not isinstance(compare, np.ndarray):
+                compare = np.full(self.npad, compare, dtype=stmt.dtype.numpy_dtype)
+        esize = stmt.dtype.element_size
+        lanes = np.flatnonzero(act)
+        resolved = self.device.atomic_lane_view(addrs[lanes], esize)
+        olds = np.zeros(self.npad, dtype=stmt.dtype.numpy_dtype)
+        for pos, lane in enumerate(lanes):
+            old = resolved.read_lane(pos)
+            if stmt.op is AtomicOp.CAS:
+                assert compare is not None
+                new = values[lane] if old == compare[lane] else old
+            else:
+                new = _ATOMIC_SCALAR[stmt.op](old, values[lane])
+            resolved.write_lane(pos, new)
+            olds[lane] = old
+        if stmt.dest is not None:
+            self._writeback(stmt.dest, olds, act)
+        self._note_instr(stmt, OpCategory.ATOMIC, act)
+        self._note_mem(stmt, MemSpace.GLOBAL, "atomic", esize, addrs, act)
+
+    def _exec_if(self, stmt: If, act: np.ndarray) -> None:
+        cond = self.env[stmt.cond.name]
+        taken = act & cond
+        self._note_instr(stmt, OpCategory.BRANCH, act)
+        self._note_branch(stmt, "if", act, taken)
+        if taken.any():
+            self._exec_stmts(stmt.then_body, taken)
+        fallthrough = act & ~cond & ~self.returned
+        if stmt.else_body and fallthrough.any():
+            self._exec_stmts(stmt.else_body, fallthrough)
+
+    def _exec_while(self, stmt: While, act: np.ndarray) -> None:
+        live = act.copy()
+        while live.any():
+            self._exec_stmts(stmt.cond_body, live)
+            live &= ~self.returned
+            if not live.any():
+                break
+            assert stmt.cond is not None
+            cond = self.env[stmt.cond.name]
+            stay = live & cond
+            self._note_instr(stmt, OpCategory.BRANCH, live)
+            self._note_branch(stmt, "loop", live, stay)
+            live = stay
+            if live.any():
+                self._exec_stmts(stmt.body, live)
+                live &= ~self.returned
+
+    def _exec_barrier(self, stmt: Barrier, act: np.ndarray) -> None:
+        if self.executor.strict_barriers:
+            expected = self.block_mask & ~self.returned
+            if not np.array_equal(act, expected):
+                raise ExecutionError(
+                    f"kernel {self.kernel.name!r}: divergent barrier (sid={stmt.sid}); "
+                    "some non-retired lanes did not reach __syncthreads"
+                )
+        self._note_instr(stmt, OpCategory.BARRIER, act)
+
+    # ------------------------------------------------------------------
+    # Shared memory
+    # ------------------------------------------------------------------
+
+    def _shared_locate(self, addrs: np.ndarray, act: np.ndarray, esize: int):
+        if not self._shared_decls:
+            raise ExecutionError(
+                f"kernel {self.kernel.name!r} accesses shared memory but declares none"
+            )
+        a = addrs[act]
+        di = np.searchsorted(self._shared_offsets, a, side="right") - 1
+        if np.any(di < 0):
+            raise ExecutionError(f"kernel {self.kernel.name!r}: negative shared address")
+        out = []
+        for u in np.unique(di):
+            decl = self._shared_decls[u]
+            sel = di == u
+            elems = (a[sel] - decl.offset) // esize
+            if np.any(elems >= decl.count) or np.any(elems < 0):
+                raise ExecutionError(
+                    f"kernel {self.kernel.name!r}: shared array {decl.name!r} "
+                    f"index out of bounds (size {decl.count})"
+                )
+            out.append((decl, sel, elems))
+        return out
+
+    def _shared_gather(self, addrs: np.ndarray, act: np.ndarray, esize: int) -> np.ndarray:
+        values = np.zeros(self.npad, dtype=np.float64)
+        lanes = np.flatnonzero(act)
+        for decl, sel, elems in self._shared_locate(addrs, act, esize):
+            vals = self.shared[decl.name][elems]
+            if values.dtype != vals.dtype:
+                values = values.astype(np.result_type(values.dtype, vals.dtype))
+            values[lanes[sel]] = vals
+        return values
+
+    def _shared_scatter(
+        self, addrs: np.ndarray, values: np.ndarray, act: np.ndarray, esize: int
+    ) -> None:
+        lanes = np.flatnonzero(act)
+        for decl, sel, elems in self._shared_locate(addrs, act, esize):
+            arr = self.shared[decl.name]
+            arr[elems] = values[lanes[sel]].astype(arr.dtype, copy=False)
+
+    # ------------------------------------------------------------------
+    # Event emission
+    # ------------------------------------------------------------------
+
+    def _note_instr(self, stmt: Stmt, category: OpCategory, act: np.ndarray) -> None:
+        if not self.sinks:
+            return
+        warp_mask = act.reshape(self.nwarps, WARP_SIZE).any(axis=1)
+        lanes = int(act.sum())
+        for sink in self.sinks:
+            sink.on_instr(stmt, category, lanes, warp_mask)
+
+    def _note_mem(
+        self,
+        stmt: Stmt,
+        space: MemSpace,
+        kind: str,
+        esize: int,
+        addrs: np.ndarray,
+        act: np.ndarray,
+    ) -> None:
+        for sink in self.sinks:
+            sink.on_mem(stmt, space, kind, esize, addrs, act)
+
+    def _note_branch(self, stmt: Stmt, kind: str, act: np.ndarray, taken: np.ndarray) -> None:
+        if not self.sinks:
+            return
+        warp_active = act.reshape(self.nwarps, WARP_SIZE).sum(axis=1)
+        warp_taken = taken.reshape(self.nwarps, WARP_SIZE).sum(axis=1)
+        for sink in self.sinks:
+            sink.on_branch(stmt, kind, warp_active, warp_taken)

@@ -1,0 +1,215 @@
+"""Device memory: buffers, the global address space, and access resolution.
+
+A :class:`Device` owns a flat byte-addressed global address space.  Buffers
+are bump-allocated with 256-byte alignment (matching CUDA's allocation
+granularity, which matters for coalescing analysis: buffer bases never
+straddle transaction segments).  Constant buffers live in the same address
+space but are read-only and their loads are charged to the constant space.
+
+Shared memory is *not* held here — it is per-block state owned by the
+executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.simt.errors import LaunchError, MemoryFault
+from repro.simt.types import DType
+
+#: Base of the global address space; non-zero so that address 0 is never valid
+#: (catching uninitialised-pointer bugs in workloads).
+_HEAP_BASE = 0x1000
+
+#: Allocation alignment in bytes.
+_ALIGN = 256
+
+
+@dataclass
+class DeviceBuffer:
+    """A typed, contiguous allocation in the device's global address space."""
+
+    name: str
+    base: int
+    count: int
+    dtype: DType
+    readonly: bool = False
+    data: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    @property
+    def elem_size(self) -> int:
+        return self.dtype.element_size if self.dtype is not DType.PRED else 4
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.elem_size
+
+    @property
+    def end(self) -> int:
+        return self.base + self.nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DeviceBuffer {self.name!r} {self.dtype.value}[{self.count}] "
+            f"@0x{self.base:x}{' ro' if self.readonly else ''}>"
+        )
+
+
+class Device:
+    """A simulated GPU device: the global address space and its buffers."""
+
+    def __init__(self) -> None:
+        self._cursor = _HEAP_BASE
+        self._buffers: List[DeviceBuffer] = []
+        self._bases: np.ndarray = np.empty(0, dtype=np.int64)
+        self._by_name: Dict[str, DeviceBuffer] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation and host I/O
+    # ------------------------------------------------------------------
+
+    def alloc(
+        self,
+        name: str,
+        count: int,
+        dtype: DType = DType.F32,
+        readonly: bool = False,
+        fill: Union[int, float, None] = 0,
+    ) -> DeviceBuffer:
+        """Allocate ``count`` elements; optionally pre-filled with ``fill``."""
+        if count <= 0:
+            raise LaunchError(f"buffer {name!r} must have positive size, got {count}")
+        if name in self._by_name:
+            raise LaunchError(f"duplicate buffer name {name!r}")
+        storage = dtype.numpy_dtype if dtype is not DType.PRED else np.dtype(np.int64)
+        data = np.zeros(count, dtype=storage)
+        if fill not in (0, None):
+            data[:] = fill
+        buf = DeviceBuffer(name, self._cursor, count, dtype, readonly=readonly, data=data)
+        self._cursor += -(-buf.nbytes // _ALIGN) * _ALIGN
+        self._buffers.append(buf)
+        self._bases = np.array([b.base for b in self._buffers], dtype=np.int64)
+        self._by_name[name] = buf
+        return buf
+
+    def from_array(
+        self, name: str, array: np.ndarray, dtype: Optional[DType] = None, readonly: bool = False
+    ) -> DeviceBuffer:
+        """Allocate a buffer sized and initialised from a 1-D host array."""
+        array = np.ascontiguousarray(array).reshape(-1)
+        if dtype is None:
+            dtype = DType.I32 if np.issubdtype(array.dtype, np.integer) else DType.F32
+        buf = self.alloc(name, array.size, dtype, readonly=readonly)
+        self.upload(buf, array)
+        return buf
+
+    def upload(self, buf: DeviceBuffer, array: np.ndarray) -> None:
+        """Copy host data into a buffer (sizes must match)."""
+        array = np.asarray(array).reshape(-1)
+        if array.size != buf.count:
+            raise LaunchError(
+                f"upload size mismatch for {buf.name!r}: buffer has {buf.count} "
+                f"elements, host array has {array.size}"
+            )
+        buf.data[:] = array.astype(buf.data.dtype, copy=False)
+
+    def download(self, buf: DeviceBuffer) -> np.ndarray:
+        """Copy a buffer back to the host."""
+        return buf.data.copy()
+
+    def buffer(self, name: str) -> DeviceBuffer:
+        return self._by_name[name]
+
+    @property
+    def buffers(self) -> Sequence[DeviceBuffer]:
+        return tuple(self._buffers)
+
+    # ------------------------------------------------------------------
+    # Lane-level access resolution
+    # ------------------------------------------------------------------
+
+    def _resolve(self, addrs: np.ndarray, elem_size: int) -> "ResolvedAccess":
+        """Map byte addresses to (buffer index, element index) per lane."""
+        if self._bases.size == 0:
+            raise MemoryFault("access on a device with no buffers")
+        bi = np.searchsorted(self._bases, addrs, side="right") - 1
+        if np.any(bi < 0):
+            bad = int(addrs[bi < 0][0])
+            raise MemoryFault(f"access below heap base: 0x{bad:x}")
+        offsets = addrs - self._bases[bi]
+        elems = offsets // elem_size
+        for u in np.unique(bi):
+            buf = self._buffers[u]
+            sel = bi == u
+            if buf.elem_size != elem_size:
+                raise MemoryFault(
+                    f"access to {buf.name!r} with element size {elem_size}, "
+                    f"buffer element size is {buf.elem_size}"
+                )
+            if np.any(offsets[sel] % elem_size != 0):
+                bad = int(addrs[sel][offsets[sel] % elem_size != 0][0])
+                raise MemoryFault(f"misaligned access to {buf.name!r} at 0x{bad:x}")
+            if np.any(elems[sel] >= buf.count):
+                bad = int(elems[sel].max())
+                raise MemoryFault(
+                    f"out-of-bounds access to {buf.name!r}: element {bad} "
+                    f"of {buf.count}"
+                )
+        return ResolvedAccess(self, bi, elems)
+
+    def gather(self, addrs: np.ndarray, elem_size: int) -> np.ndarray:
+        """Load one element per lane from the given byte addresses."""
+        res = self._resolve(addrs, elem_size)
+        out = None
+        for u in np.unique(res.buffer_idx):
+            buf = self._buffers[u]
+            sel = res.buffer_idx == u
+            vals = buf.data[res.elem_idx[sel]]
+            if out is None:
+                out = np.zeros(addrs.shape, dtype=vals.dtype)
+            out[sel] = vals
+        assert out is not None
+        return out
+
+    def scatter(self, addrs: np.ndarray, values: np.ndarray, elem_size: int) -> None:
+        """Store one element per lane.
+
+        When several lanes target the same address, the highest lane index
+        wins (numpy fancy-assignment order) — a fixed, documented resolution
+        of what real hardware leaves unspecified.
+        """
+        res = self._resolve(addrs, elem_size)
+        for u in np.unique(res.buffer_idx):
+            buf = self._buffers[u]
+            if buf.readonly:
+                raise MemoryFault(f"store to read-only buffer {buf.name!r}")
+            sel = res.buffer_idx == u
+            buf.data[res.elem_idx[sel]] = values[sel].astype(buf.data.dtype, copy=False)
+
+    def atomic_lane_view(self, addrs: np.ndarray, elem_size: int) -> "ResolvedAccess":
+        """Resolve addresses for lane-serialised atomic execution."""
+        res = self._resolve(addrs, elem_size)
+        for u in np.unique(res.buffer_idx):
+            if self._buffers[u].readonly:
+                raise MemoryFault(f"atomic on read-only buffer {self._buffers[u].name!r}")
+        return res
+
+
+@dataclass
+class ResolvedAccess:
+    """Per-lane (buffer, element) resolution of a vector of byte addresses."""
+
+    device: Device
+    buffer_idx: np.ndarray
+    elem_idx: np.ndarray
+
+    def read_lane(self, lane: int) -> Union[int, float]:
+        buf = self.device._buffers[self.buffer_idx[lane]]
+        return buf.data[self.elem_idx[lane]]
+
+    def write_lane(self, lane: int, value: Union[int, float]) -> None:
+        buf = self.device._buffers[self.buffer_idx[lane]]
+        buf.data[self.elem_idx[lane]] = value

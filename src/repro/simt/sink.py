@@ -1,0 +1,83 @@
+"""Trace sink protocol.
+
+The executor emits dynamic-execution events to sinks.  Sinks are how the
+characterization layer observes workloads: the executor stays purely
+functional and microarchitecture-free, and every statistic lives in a sink.
+
+All callbacks default to no-ops so sinks override only what they need.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simt.ir import Kernel, MemSpace, OpCategory, Stmt
+
+
+class TraceSink:
+    """Observer of the dynamic SIMT instruction stream.
+
+    A kernel launch produces this call sequence::
+
+        on_kernel_begin
+          (on_block_begin
+             on_instr*            # every dynamic instruction, incl. memory,
+                                  # branches and barriers
+             on_mem*              # per memory instruction, with addresses
+             on_branch*           # per branch, with per-warp lane counts
+           on_block_end)*         # only for *profiled* blocks
+        on_kernel_end
+
+    ``warp_mask`` in :meth:`on_instr` marks warps with at least one active
+    lane; instruction counts at warp granularity are ``warp_mask.sum()``.
+    """
+
+    def on_kernel_begin(
+        self, kernel: "Kernel", grid: Tuple[int, int], block: Tuple[int, int], nblocks: int
+    ) -> None:
+        pass
+
+    def on_block_begin(self, block_idx: int, nthreads: int, nwarps: int) -> None:
+        pass
+
+    def on_instr(
+        self,
+        stmt: "Stmt",
+        category: "OpCategory",
+        lanes: int,
+        warp_mask: np.ndarray,
+    ) -> None:
+        pass
+
+    def on_mem(
+        self,
+        stmt: "Stmt",
+        space: "MemSpace",
+        kind: str,
+        elem_size: int,
+        addrs: np.ndarray,
+        act: np.ndarray,
+    ) -> None:
+        """``kind`` is ``"load"``, ``"store"`` or ``"atomic"``.
+
+        ``addrs`` holds per-lane byte addresses (full padded width); only
+        lanes where ``act`` is true participated.
+        """
+
+    def on_branch(
+        self,
+        stmt: "Stmt",
+        kind: str,
+        warp_active: np.ndarray,
+        warp_taken: np.ndarray,
+    ) -> None:
+        """``kind`` is ``"if"`` or ``"loop"``; arrays hold per-warp lane counts."""
+
+    def on_block_end(self) -> None:
+        pass
+
+    def on_kernel_end(self, profiled_blocks: int, total_blocks: int) -> None:
+        pass

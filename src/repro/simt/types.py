@@ -1,0 +1,45 @@
+"""Scalar types used by the SIMT IR.
+
+The simulator models a 32-bit GPU ISA.  For implementation convenience the
+*storage* of integer registers is ``numpy.int64`` (so intermediate address
+arithmetic never overflows) and floating-point registers are stored as
+``numpy.float64``; the *architectural* element width used for memory traffic
+accounting is 4 bytes, matching the ``float``/``int`` types that dominate
+CUDA-era GPGPU kernels.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DType(enum.Enum):
+    """Register data type."""
+
+    I32 = "i32"
+    F32 = "f32"
+    PRED = "pred"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def element_size(self) -> int:
+        """Architectural size in bytes (what memory traffic is charged)."""
+        return _ELEMENT_SIZES[self]
+
+
+_NUMPY_DTYPES = {
+    DType.I32: np.dtype(np.int64),
+    DType.F32: np.dtype(np.float64),
+    DType.PRED: np.dtype(np.bool_),
+}
+
+_ELEMENT_SIZES = {DType.I32: 4, DType.F32: 4, DType.PRED: 1}
+
+#: Number of threads in a warp.  Fixed, as on NVIDIA hardware of the
+#: paper's era (GT200/Fermi).
+WARP_SIZE = 32

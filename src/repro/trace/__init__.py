@@ -1,0 +1,43 @@
+"""Dynamic trace collection: sinks that turn SIMT execution into profiles."""
+
+from repro.trace.collector import (
+    CollectorConfig,
+    KernelTraceCollector,
+    LINE_BYTES,
+    NUM_BANKS,
+    SEG_LARGE,
+    SEG_SMALL,
+    collect_workload,
+)
+from repro.trace.ilp import IlpTracker, IlpTrackerBank
+from repro.trace.profile import (
+    BranchStats,
+    GlobalMemStats,
+    KernelProfile,
+    LocalityStats,
+    SharedMemStats,
+    WorkloadProfile,
+)
+from repro.trace.reuse import ReuseDistanceTracker
+from repro.trace.serialize import dump_profiles, load_profiles
+
+__all__ = [
+    "BranchStats",
+    "CollectorConfig",
+    "GlobalMemStats",
+    "IlpTracker",
+    "IlpTrackerBank",
+    "KernelProfile",
+    "KernelTraceCollector",
+    "LINE_BYTES",
+    "LocalityStats",
+    "NUM_BANKS",
+    "ReuseDistanceTracker",
+    "SEG_LARGE",
+    "SEG_SMALL",
+    "SharedMemStats",
+    "WorkloadProfile",
+    "collect_workload",
+    "dump_profiles",
+    "load_profiles",
+]

@@ -1,0 +1,375 @@
+"""The main trace sink: turns executor events into :class:`KernelProfile`s.
+
+One :class:`KernelTraceCollector` observes a sequence of kernel launches and
+accumulates, per launch: instruction mix at thread and warp granularity, SIMD
+efficiency, windowed ILP, branch divergence statistics, global-memory
+coalescing/transaction statistics, per-lane stride profiles, shared-memory
+bank conflicts, and 128B-line reuse distances.
+
+Everything here is microarchitecture *independent*: transaction segments,
+cache lines and bank counts are fixed properties of the address stream used
+as measurement granularities, not simulated hardware structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.simt.ir import Atomic, Instr, Kernel, Load, MemSpace, OpCategory, Reg, Stmt
+from repro.simt.sink import TraceSink
+from repro.simt.types import WARP_SIZE
+from repro.trace.ilp import IlpTrackerBank
+from repro.trace.profile import (
+    BranchStats,
+    GlobalMemStats,
+    KernelProfile,
+    LocalityStats,
+    SharedMemStats,
+    TextureStats,
+    WorkloadProfile,
+)
+from repro.trace.reuse import ReuseDistanceTracker
+
+#: Cache-line granularity (bytes) for locality analysis.
+LINE_BYTES = 128
+#: Fine/coarse memory-transaction segment sizes (bytes).
+SEG_SMALL = 32
+SEG_LARGE = 128
+#: Number of shared-memory banks (4-byte interleave), as on GT200/Fermi.
+NUM_BANKS = 32
+
+
+@dataclass
+class CollectorConfig:
+    """Tunable measurement granularities (ablation knobs)."""
+
+    line_bytes: int = LINE_BYTES
+    seg_small: int = SEG_SMALL
+    seg_large: int = SEG_LARGE
+    track_reuse: bool = True
+    ilp_windows: Tuple[int, ...] = IlpTrackerBank.DEFAULT_WINDOWS
+
+
+class KernelTraceCollector(TraceSink):
+    """Accumulates one :class:`KernelProfile` per observed kernel launch."""
+
+    def __init__(self, config: Optional[CollectorConfig] = None) -> None:
+        self.config = config or CollectorConfig()
+        self.profiles: List[KernelProfile] = []
+        self._p: Optional[KernelProfile] = None
+        self._ilp: Optional[IlpTrackerBank] = None
+        self._reuse: Optional[ReuseDistanceTracker] = None
+        self._tex_reuse: Optional[ReuseDistanceTracker] = None
+        self._lines_seen: Set[int] = set()
+        # Per-block state.
+        self._warp_counts: Optional[np.ndarray] = None
+        self._prev_addr: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._cv_sum = 0.0
+        self._cv_blocks = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def on_kernel_begin(
+        self, kernel: Kernel, grid: Tuple[int, int], block: Tuple[int, int], nblocks: int
+    ) -> None:
+        self._p = KernelProfile(
+            kernel_name=kernel.name,
+            grid=grid,
+            block=block,
+            total_blocks=nblocks,
+            profiled_blocks=0,
+            threads_total=nblocks * block[0] * block[1],
+            shared_bytes=kernel.shared_bytes,
+            register_pressure=_register_pressure_of(kernel),
+        )
+        self._ilp = IlpTrackerBank(self.config.ilp_windows)
+        self._reuse = ReuseDistanceTracker() if self.config.track_reuse else None
+        self._tex_reuse = ReuseDistanceTracker() if self.config.track_reuse else None
+        self._lines_seen = set()
+        self._cv_sum = 0.0
+        self._cv_blocks = 0
+
+    def on_block_begin(self, block_idx: int, nthreads: int, nwarps: int) -> None:
+        self._warp_counts = np.zeros(nwarps, dtype=np.int64)
+        self._prev_addr = {}
+
+    def on_block_end(self) -> None:
+        assert self._ilp is not None and self._warp_counts is not None
+        self._ilp.flush()
+        counts = self._warp_counts
+        if counts.size > 1 and counts.sum() > 0:
+            mean = counts.mean()
+            if mean > 0:
+                self._cv_sum += float(counts.std() / mean)
+                self._cv_blocks += 1
+        elif counts.size >= 1:
+            self._cv_blocks += 1
+        self._warp_counts = None
+        self._prev_addr = {}
+
+    def on_kernel_end(self, profiled_blocks: int, total_blocks: int) -> None:
+        assert self._p is not None and self._ilp is not None
+        p = self._p
+        p.profiled_blocks = profiled_blocks
+        p.ilp = self._ilp.results()
+        p.warp_imbalance_cv = self._cv_sum / self._cv_blocks if self._cv_blocks else 0.0
+        if self._reuse is not None:
+            p.locality = LocalityStats(
+                reuse_histogram=self._reuse.histogram.copy(),
+                cold_misses=self._reuse.cold_misses,
+                line_accesses=self._reuse.accesses,
+                unique_lines=self._reuse.unique_lines,
+            )
+        if self._tex_reuse is not None:
+            p.texture.reuse_histogram = self._tex_reuse.histogram.copy()
+            p.texture.cold_misses = self._tex_reuse.cold_misses
+            p.texture.line_accesses = self._tex_reuse.accesses
+            p.texture.unique_lines = self._tex_reuse.unique_lines
+        self.profiles.append(p)
+        self._p = None
+        self._ilp = None
+        self._reuse = None
+        self._tex_reuse = None
+
+    # ------------------------------------------------------------------
+    # Instruction stream
+    # ------------------------------------------------------------------
+
+    def on_instr(
+        self, stmt: Stmt, category: OpCategory, lanes: int, warp_mask: np.ndarray
+    ) -> None:
+        p = self._p
+        assert p is not None
+        cat = category.value
+        nwarps = int(warp_mask.sum())
+        p.thread_instrs[cat] = p.thread_instrs.get(cat, 0) + lanes
+        p.warp_instrs[cat] = p.warp_instrs.get(cat, 0) + nwarps
+        p.simd_lane_sum += lanes
+        p.simd_slot_sum += nwarps * WARP_SIZE
+        if self._warp_counts is not None:
+            self._warp_counts += warp_mask
+        # Register-dependence stream for ILP (barriers/branches carry no regs).
+        assert self._ilp is not None
+        dest, srcs = _reg_deps(stmt)
+        if dest is not None or srcs:
+            self._ilp.note(dest, srcs)
+
+    # ------------------------------------------------------------------
+    # Branches
+    # ------------------------------------------------------------------
+
+    def on_branch(
+        self, stmt: Stmt, kind: str, warp_active: np.ndarray, warp_taken: np.ndarray
+    ) -> None:
+        p = self._p
+        assert p is not None
+        b = p.branch
+        active = warp_active[warp_active > 0]
+        taken = warp_taken[warp_active > 0]
+        n = active.size
+        if n == 0:
+            return
+        b.events += n
+        if kind == "loop":
+            b.loop_events += n
+        else:
+            b.if_events += n
+        divergent = (taken > 0) & (taken < active)
+        b.divergent += int(divergent.sum())
+        frac = taken / active
+        b.taken_frac_sum += float(frac.sum())
+        b.taken_frac_sqsum += float((frac * frac).sum())
+
+    # ------------------------------------------------------------------
+    # Memory accesses
+    # ------------------------------------------------------------------
+
+    def on_mem(
+        self,
+        stmt: Stmt,
+        space: MemSpace,
+        kind: str,
+        elem_size: int,
+        addrs: np.ndarray,
+        act: np.ndarray,
+    ) -> None:
+        if space is MemSpace.SHARED:
+            self._on_shared(addrs, act)
+        elif space is MemSpace.GLOBAL:
+            self._on_global(stmt, elem_size, addrs, act)
+        elif space is MemSpace.TEXTURE:
+            self._on_texture(addrs, act)
+        # Constant-space accesses are broadcast through a dedicated cache on
+        # real hardware; only their instruction count (already in the mix)
+        # characterises them.
+
+    def _on_texture(self, addrs: np.ndarray, act: np.ndarray) -> None:
+        """Texture fetches: no coalescing rules, but their own line reuse.
+
+        The texture path has a dedicated spatially-optimised cache, so the
+        relevant microarchitecture-independent signal is the locality of the
+        fetch stream, not transaction counts.
+        """
+        p = self._p
+        assert p is not None
+        if not act.any():
+            return
+        nwarps = act.size // WARP_SIZE
+        warp_has = act.reshape(nwarps, WARP_SIZE).any(axis=1)
+        p.texture.accesses += int(warp_has.sum())
+        p.texture.lane_accesses += int(act.sum())
+        line_bits = self.config.line_bytes.bit_length() - 1
+        lines = np.unique(addrs[act] >> line_bits)
+        if self._tex_reuse is not None:
+            self._tex_reuse.access_many(lines)
+
+    def _on_global(
+        self, stmt: Stmt, elem_size: int, addrs: np.ndarray, act: np.ndarray
+    ) -> None:
+        p = self._p
+        assert p is not None
+        g = p.gmem
+        nwarps = act.size // WARP_SIZE
+        A = addrs.reshape(nwarps, WARP_SIZE)
+        M = act.reshape(nwarps, WARP_SIZE)
+        warp_has = M.any(axis=1)
+        if not warp_has.any():
+            return
+        A = A[warp_has]
+        M = M[warp_has]
+        n = A.shape[0]
+        g.accesses += n
+        g.lane_accesses += int(M.sum())
+
+        # Transactions: distinct segments touched per warp, at two
+        # granularities.  Inactive lanes are filled with the warp's first
+        # active address so they never add segments.
+        first = M.argmax(axis=1)
+        fill = A[np.arange(n), first][:, None]
+        addr_f = np.where(M, A, fill)
+        small_bits = self.config.seg_small.bit_length() - 1
+        large_bits = self.config.seg_large.bit_length() - 1
+        t32 = _distinct_per_row(addr_f >> small_bits)
+        t128 = _distinct_per_row(addr_f >> large_bits)
+        g.transactions_32b += int(t32.sum())
+        g.transactions_128b += int(t128.sum())
+        active_cnt = M.sum(axis=1)
+        minimal = -(-(active_cnt * elem_size) // self.config.seg_small)
+        g.coalesced += int((t32 <= minimal).sum())
+
+        # Intra-warp stride classification over adjacent active lane pairs.
+        d = A[:, 1:] - A[:, :-1]
+        valid = M[:, 1:] & M[:, :-1]
+        has_pair = valid.any(axis=1)
+        unit = np.where(has_pair, ((d == elem_size) | ~valid).all(axis=1), False)
+        bcast = np.where(has_pair, ((d == 0) | ~valid).all(axis=1), active_cnt > 0)
+        single = active_cnt == 1
+        g.unit_stride += int((unit & ~single).sum())
+        g.broadcast += int((bcast | single).sum())
+
+        # Per-lane (per-thread) consecutive stride histogram, keyed per
+        # static instruction: the classic "local stride" MICA profile.
+        state = self._prev_addr.get(stmt.sid)
+        flat_act = act
+        if state is None:
+            prev = np.zeros(addrs.size, dtype=np.int64)
+            seen = np.zeros(addrs.size, dtype=bool)
+        else:
+            prev, seen = state
+        both = flat_act & seen
+        if both.any():
+            diffs = np.abs(addrs[both] - prev[both])
+            ls = g.local_strides
+            ls["zero"] += int((diffs == 0).sum())
+            ls["unit"] += int((diffs == elem_size).sum())
+            ls["short"] += int(((diffs > elem_size) & (diffs <= 128)).sum())
+            ls["long"] += int((diffs > 128).sum())
+        prev = prev.copy()
+        seen = seen.copy()
+        prev[flat_act] = addrs[flat_act]
+        seen |= flat_act
+        self._prev_addr[stmt.sid] = (prev, seen)
+
+        # Locality: feed distinct lines per warp access to the reuse stack.
+        line_bits = self.config.line_bytes.bit_length() - 1
+        lines = np.unique(addrs[flat_act] >> line_bits)
+        if self._reuse is not None:
+            self._reuse.access_many(lines)
+
+    def _on_shared(self, addrs: np.ndarray, act: np.ndarray) -> None:
+        p = self._p
+        assert p is not None
+        s = p.shmem
+        nwarps = act.size // WARP_SIZE
+        warp_idx = np.repeat(np.arange(nwarps, dtype=np.int64), WARP_SIZE)
+        lanes = act
+        if not lanes.any():
+            return
+        word = addrs[lanes] >> 2
+        bank = word % NUM_BANKS
+        wid = warp_idx[lanes]
+        # Distinct (warp, bank, word) triples: same-word lanes broadcast for
+        # free; distinct words on the same bank serialise.
+        key = (wid << 44) | (bank << 38) | (word & ((1 << 38) - 1))
+        uniq = np.unique(key)
+        wb = uniq >> 38  # (warp, bank) pairs
+        pairs, counts = np.unique(wb, return_counts=True)
+        warp_of = pairs >> 6
+        degree = np.zeros(nwarps, dtype=np.int64)
+        np.maximum.at(degree, warp_of, counts)
+        present = np.zeros(nwarps, dtype=bool)
+        present[np.unique(wid)] = True
+        n = int(present.sum())
+        s.accesses += n
+        s.conflict_degree_sum += float(degree[present].sum())
+        s.conflicted += int((degree[present] > 1).sum())
+
+
+def _register_pressure_of(kernel: Kernel) -> int:
+    """Static register pressure, cached on the kernel instance.
+
+    Cached as an attribute (not in an ``id()``-keyed dict: ids are reused
+    after garbage collection, which would silently return another kernel's
+    pressure).
+    """
+    cached = getattr(kernel, "_register_pressure_cache", None)
+    if cached is None:
+        from repro.simt.disasm import static_stats
+
+        cached = static_stats(kernel).register_pressure
+        kernel._register_pressure_cache = cached
+    return cached
+
+
+def _distinct_per_row(values: np.ndarray) -> np.ndarray:
+    """Count distinct values per row of a 2-D array."""
+    ordered = np.sort(values, axis=1)
+    return (np.diff(ordered, axis=1) != 0).sum(axis=1) + 1
+
+
+def _reg_deps(stmt: Stmt):
+    """Extract (dest register name, source register names) for ILP tracking."""
+    if isinstance(stmt, Instr):
+        return stmt.dest.name, [s.name for s in stmt.srcs if isinstance(s, Reg)]
+    if isinstance(stmt, Load):
+        srcs = [stmt.addr.name] if isinstance(stmt.addr, Reg) else []
+        return stmt.dest.name, srcs
+    if isinstance(stmt, Atomic):
+        srcs = [s.name for s in (stmt.addr, stmt.value, stmt.compare) if isinstance(s, Reg)]
+        return (stmt.dest.name if stmt.dest is not None else None), srcs
+    if hasattr(stmt, "addr"):  # Store
+        srcs = [s.name for s in (stmt.addr, stmt.value) if isinstance(s, Reg)]
+        return None, srcs
+    if hasattr(stmt, "cond") and isinstance(getattr(stmt, "cond"), Reg):
+        return None, [stmt.cond.name]
+    return None, []
+
+
+def collect_workload(workload: str, suite: str, profiles: List[KernelProfile]) -> WorkloadProfile:
+    """Bundle kernel profiles into a workload profile."""
+    return WorkloadProfile(workload=workload, suite=suite, kernels=list(profiles))

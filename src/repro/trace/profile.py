@@ -1,0 +1,243 @@
+"""Finalized per-kernel and per-workload dynamic profiles.
+
+A :class:`KernelProfile` is the complete microarchitecture-independent
+summary of one kernel launch; :class:`WorkloadProfile` groups the launches of
+one workload.  The characteristic extractors in :mod:`repro.core.metrics`
+consume these (and nothing else), so profiles are also the natural on-disk
+cache unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class BranchStats:
+    """Per-warp branch behaviour (one event = one warp executing a branch)."""
+
+    events: int = 0
+    divergent: int = 0
+    if_events: int = 0
+    loop_events: int = 0
+    taken_frac_sum: float = 0.0
+    taken_frac_sqsum: float = 0.0
+
+    @property
+    def divergence_rate(self) -> float:
+        return self.divergent / self.events if self.events else 0.0
+
+    @property
+    def taken_frac_mean(self) -> float:
+        return self.taken_frac_sum / self.events if self.events else 0.0
+
+    @property
+    def taken_frac_std(self) -> float:
+        if self.events == 0:
+            return 0.0
+        mean = self.taken_frac_mean
+        var = max(self.taken_frac_sqsum / self.events - mean * mean, 0.0)
+        return float(np.sqrt(var))
+
+    @property
+    def loop_frac(self) -> float:
+        return self.loop_events / self.events if self.events else 0.0
+
+
+@dataclass
+class GlobalMemStats:
+    """Warp-granularity global-memory access behaviour."""
+
+    accesses: int = 0
+    transactions_32b: int = 0
+    transactions_128b: int = 0
+    coalesced: int = 0
+    broadcast: int = 0
+    unit_stride: int = 0
+    #: Per-thread (lane) consecutive-address stride histogram, keyed by
+    #: bucket name: "zero", "unit", "short" (<=128B), "long".
+    local_strides: Dict[str, int] = field(
+        default_factory=lambda: {"zero": 0, "unit": 0, "short": 0, "long": 0}
+    )
+    lane_accesses: int = 0
+
+    @property
+    def trans_per_access_32b(self) -> float:
+        return self.transactions_32b / self.accesses if self.accesses else 0.0
+
+    @property
+    def trans_per_access_128b(self) -> float:
+        return self.transactions_128b / self.accesses if self.accesses else 0.0
+
+    @property
+    def coalesced_frac(self) -> float:
+        return self.coalesced / self.accesses if self.accesses else 0.0
+
+    @property
+    def broadcast_frac(self) -> float:
+        return self.broadcast / self.accesses if self.accesses else 0.0
+
+    @property
+    def unit_stride_frac(self) -> float:
+        return self.unit_stride / self.accesses if self.accesses else 0.0
+
+    def local_stride_frac(self, bucket: str) -> float:
+        total = sum(self.local_strides.values())
+        return self.local_strides[bucket] / total if total else 0.0
+
+
+@dataclass
+class SharedMemStats:
+    """Warp-granularity shared-memory access behaviour."""
+
+    accesses: int = 0
+    conflict_degree_sum: float = 0.0
+    conflicted: int = 0
+
+    @property
+    def conflict_degree(self) -> float:
+        """Mean max-way bank conflict per access (1.0 = conflict free)."""
+        return self.conflict_degree_sum / self.accesses if self.accesses else 1.0
+
+    @property
+    def conflicted_frac(self) -> float:
+        return self.conflicted / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class TextureStats:
+    """Texture-space access behaviour (read-only, spatially cached path)."""
+
+    accesses: int = 0
+    lane_accesses: int = 0
+    #: Power-of-two reuse-distance histogram over 128B texture lines.
+    reuse_histogram: np.ndarray = field(default_factory=lambda: np.zeros(64, dtype=np.int64))
+    cold_misses: int = 0
+    line_accesses: int = 0
+    unique_lines: int = 0
+
+    def reuse_cdf_at(self, threshold: int) -> float:
+        reuses = int(self.reuse_histogram.sum())
+        if reuses == 0:
+            return 0.0
+        bucket = max(int(threshold).bit_length() - 1, 0)
+        return float(self.reuse_histogram[: bucket + 1].sum()) / reuses
+
+    @property
+    def unique_line_ratio(self) -> float:
+        return self.unique_lines / self.line_accesses if self.line_accesses else 0.0
+
+
+@dataclass
+class LocalityStats:
+    """Global-memory temporal/spatial locality at 128B line granularity."""
+
+    #: Power-of-two reuse-distance histogram (bucket b: distance bit_length b).
+    reuse_histogram: np.ndarray = field(default_factory=lambda: np.zeros(64, dtype=np.int64))
+    cold_misses: int = 0
+    line_accesses: int = 0
+    unique_lines: int = 0
+
+    def reuse_cdf_at(self, threshold: int) -> float:
+        """Fraction of reuses with stack distance < threshold lines."""
+        reuses = int(self.reuse_histogram.sum())
+        if reuses == 0:
+            return 0.0
+        bucket = max(int(threshold).bit_length() - 1, 0)
+        return float(self.reuse_histogram[: bucket + 1].sum()) / reuses
+
+    @property
+    def cold_miss_rate(self) -> float:
+        return self.cold_misses / self.line_accesses if self.line_accesses else 0.0
+
+    @property
+    def unique_line_ratio(self) -> float:
+        return self.unique_lines / self.line_accesses if self.line_accesses else 0.0
+
+
+@dataclass
+class KernelProfile:
+    """Complete microarchitecture-independent profile of one kernel launch."""
+
+    kernel_name: str
+    grid: Tuple[int, int]
+    block: Tuple[int, int]
+    total_blocks: int
+    profiled_blocks: int
+    threads_total: int
+
+    thread_instrs: Dict[str, int] = field(default_factory=dict)
+    warp_instrs: Dict[str, int] = field(default_factory=dict)
+    simd_lane_sum: int = 0
+    simd_slot_sum: int = 0
+    ilp: Dict[int, float] = field(default_factory=dict)
+    branch: BranchStats = field(default_factory=BranchStats)
+    gmem: GlobalMemStats = field(default_factory=GlobalMemStats)
+    shmem: SharedMemStats = field(default_factory=SharedMemStats)
+    locality: LocalityStats = field(default_factory=LocalityStats)
+    texture: TextureStats = field(default_factory=TextureStats)
+    warp_imbalance_cv: float = 0.0
+    shared_bytes: int = 0
+    #: Static register-pressure estimate (live virtual registers), from
+    #: :func:`repro.simt.disasm.static_stats`; drives occupancy modelling.
+    register_pressure: int = 16
+
+    @property
+    def sampling_scale(self) -> float:
+        """Multiplier extrapolating profiled-block counts to the whole grid."""
+        if self.profiled_blocks == 0:
+            return 0.0
+        return self.total_blocks / self.profiled_blocks
+
+    @property
+    def total_thread_instrs(self) -> int:
+        return sum(self.thread_instrs.values())
+
+    @property
+    def total_warp_instrs(self) -> int:
+        return sum(self.warp_instrs.values())
+
+    @property
+    def simd_efficiency(self) -> float:
+        """Mean fraction of active lanes per issued warp instruction."""
+        return self.simd_lane_sum / self.simd_slot_sum if self.simd_slot_sum else 1.0
+
+    def thread_mix_frac(self, category: str) -> float:
+        total = self.total_thread_instrs
+        return self.thread_instrs.get(category, 0) / total if total else 0.0
+
+    def warp_mix_frac(self, category: str) -> float:
+        total = self.total_warp_instrs
+        return self.warp_instrs.get(category, 0) / total if total else 0.0
+
+
+@dataclass
+class WorkloadProfile:
+    """All kernel launches of one workload run."""
+
+    workload: str
+    suite: str
+    kernels: List[KernelProfile] = field(default_factory=list)
+
+    @property
+    def launches(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def total_warp_instrs(self) -> int:
+        return sum(k.total_warp_instrs for k in self.kernels)
+
+    @property
+    def total_thread_instrs(self) -> int:
+        return sum(k.total_thread_instrs for k in self.kernels)
+
+    def kernel_weights(self) -> np.ndarray:
+        """Per-launch weights proportional to warp instruction volume."""
+        weights = np.array([k.total_warp_instrs for k in self.kernels], dtype=float)
+        total = weights.sum()
+        if total == 0:
+            return np.full(len(self.kernels), 1.0 / max(len(self.kernels), 1))
+        return weights / total

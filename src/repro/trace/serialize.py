@@ -1,0 +1,142 @@
+"""JSON (de)serialization of profiles.
+
+Pickle is used internally for the cache; JSON is the *portable* artifact
+format — profiles exported here can be diffed, archived alongside papers,
+or consumed by non-Python tooling.  Round-trip is exact for every field the
+metrics read.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.trace.profile import (
+    BranchStats,
+    GlobalMemStats,
+    KernelProfile,
+    LocalityStats,
+    SharedMemStats,
+    TextureStats,
+    WorkloadProfile,
+)
+
+FORMAT_VERSION = 1
+
+
+def kernel_to_dict(profile: KernelProfile) -> Dict:
+    return {
+        "kernel_name": profile.kernel_name,
+        "grid": list(profile.grid),
+        "block": list(profile.block),
+        "total_blocks": profile.total_blocks,
+        "profiled_blocks": profile.profiled_blocks,
+        "threads_total": profile.threads_total,
+        "thread_instrs": dict(profile.thread_instrs),
+        "warp_instrs": dict(profile.warp_instrs),
+        "simd_lane_sum": profile.simd_lane_sum,
+        "simd_slot_sum": profile.simd_slot_sum,
+        "ilp": {str(k): v for k, v in profile.ilp.items()},
+        "branch": vars(profile.branch).copy(),
+        "gmem": {**vars(profile.gmem), "local_strides": dict(profile.gmem.local_strides)},
+        "shmem": vars(profile.shmem).copy(),
+        "locality": {
+            "reuse_histogram": profile.locality.reuse_histogram.tolist(),
+            "cold_misses": profile.locality.cold_misses,
+            "line_accesses": profile.locality.line_accesses,
+            "unique_lines": profile.locality.unique_lines,
+        },
+        "texture": {
+            "accesses": profile.texture.accesses,
+            "lane_accesses": profile.texture.lane_accesses,
+            "reuse_histogram": profile.texture.reuse_histogram.tolist(),
+            "cold_misses": profile.texture.cold_misses,
+            "line_accesses": profile.texture.line_accesses,
+            "unique_lines": profile.texture.unique_lines,
+        },
+        "warp_imbalance_cv": profile.warp_imbalance_cv,
+        "shared_bytes": profile.shared_bytes,
+        "register_pressure": profile.register_pressure,
+    }
+
+
+def kernel_from_dict(data: Dict) -> KernelProfile:
+    locality = data["locality"]
+    texture = data["texture"]
+    return KernelProfile(
+        kernel_name=data["kernel_name"],
+        grid=tuple(data["grid"]),
+        block=tuple(data["block"]),
+        total_blocks=data["total_blocks"],
+        profiled_blocks=data["profiled_blocks"],
+        threads_total=data["threads_total"],
+        thread_instrs=dict(data["thread_instrs"]),
+        warp_instrs=dict(data["warp_instrs"]),
+        simd_lane_sum=data["simd_lane_sum"],
+        simd_slot_sum=data["simd_slot_sum"],
+        ilp={int(k): v for k, v in data["ilp"].items()},
+        branch=BranchStats(**data["branch"]),
+        gmem=GlobalMemStats(**data["gmem"]),
+        shmem=SharedMemStats(**data["shmem"]),
+        locality=LocalityStats(
+            reuse_histogram=np.asarray(locality["reuse_histogram"], dtype=np.int64),
+            cold_misses=locality["cold_misses"],
+            line_accesses=locality["line_accesses"],
+            unique_lines=locality["unique_lines"],
+        ),
+        texture=TextureStats(
+            accesses=texture["accesses"],
+            lane_accesses=texture["lane_accesses"],
+            reuse_histogram=np.asarray(texture["reuse_histogram"], dtype=np.int64),
+            cold_misses=texture["cold_misses"],
+            line_accesses=texture["line_accesses"],
+            unique_lines=texture["unique_lines"],
+        ),
+        warp_imbalance_cv=data["warp_imbalance_cv"],
+        shared_bytes=data["shared_bytes"],
+        register_pressure=data.get("register_pressure", 16),
+    )
+
+
+def workload_to_dict(profile: WorkloadProfile) -> Dict:
+    return {
+        "workload": profile.workload,
+        "suite": profile.suite,
+        "kernels": [kernel_to_dict(k) for k in profile.kernels],
+    }
+
+
+def workload_from_dict(data: Dict) -> WorkloadProfile:
+    return WorkloadProfile(
+        workload=data["workload"],
+        suite=data["suite"],
+        kernels=[kernel_from_dict(k) for k in data["kernels"]],
+    )
+
+
+def dump_profiles(profiles: Sequence[WorkloadProfile], fp: Union[str, IO[str]]) -> None:
+    """Write profiles as JSON to a path or file object."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "profiles": [workload_to_dict(p) for p in profiles],
+    }
+    if isinstance(fp, str):
+        with open(fp, "w") as f:
+            json.dump(payload, f)
+    else:
+        json.dump(payload, fp)
+
+
+def load_profiles(fp: Union[str, IO[str]]) -> List[WorkloadProfile]:
+    """Read profiles written by :func:`dump_profiles`."""
+    if isinstance(fp, str):
+        with open(fp) as f:
+            payload = json.load(f)
+    else:
+        payload = json.load(fp)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported profile format version {version!r}")
+    return [workload_from_dict(d) for d in payload["profiles"]]

@@ -1,0 +1,33 @@
+"""Analytical GPU performance model and design-space sweep."""
+
+from repro.uarch.config import BASELINE, GpuConfig, default_design_space
+from repro.uarch.cycle import (
+    CycleEstimate,
+    cycle_speedup_matrix,
+    cycle_time_workload,
+    simulate_kernel,
+)
+from repro.uarch.model import (
+    KernelTiming,
+    occupancy_warps,
+    bottleneck_summary,
+    speedup_matrix,
+    time_kernel,
+    time_workload,
+)
+
+__all__ = [
+    "BASELINE",
+    "CycleEstimate",
+    "cycle_speedup_matrix",
+    "cycle_time_workload",
+    "simulate_kernel",
+    "GpuConfig",
+    "KernelTiming",
+    "bottleneck_summary",
+    "default_design_space",
+    "occupancy_warps",
+    "speedup_matrix",
+    "time_kernel",
+    "time_workload",
+]

@@ -1,0 +1,72 @@
+"""GPU design-point description and the evaluation design space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """A first-order GPU design point (GT200/Fermi-class parameter ranges)."""
+
+    name: str
+    #: Number of streaming multiprocessors.
+    num_sms: int = 16
+    #: Warp instructions issued per SM per cycle.
+    issue_width: int = 1
+    #: Aggregate DRAM bandwidth in bytes per core cycle.
+    dram_bandwidth: float = 64.0
+    #: DRAM round-trip latency in cycles.
+    mem_latency: int = 400
+    #: Shared last-level cache capacity in 128B lines (0 disables the cache).
+    l2_lines: int = 2048
+    #: Maximum resident warps per SM (latency-hiding capacity).
+    max_warps_per_sm: int = 32
+    #: Per-device texture cache capacity in 128B lines (0 disables it).
+    tex_cache_lines: int = 256
+    #: 32-bit registers per SM register file (Fermi-class default).
+    regfile_per_sm: int = 32768
+    #: Shared-memory bytes per SM.
+    shared_per_sm: int = 49152
+    #: Extra cycles charged per additional conflicting bank way.
+    shared_conflict_penalty: float = 1.0
+    #: SFU issue rate relative to ALU (0.25 = quarter rate).
+    sfu_rate: float = 0.25
+    #: Fixed cost per kernel launch, cycles.
+    launch_overhead: int = 2000
+
+    def derive(self, name: str, **changes) -> "GpuConfig":
+        """A modified copy (one design-space step away)."""
+        return replace(self, name=name, **changes)
+
+
+#: The baseline used for speedup normalisation throughout the evaluation.
+BASELINE = GpuConfig(name="base")
+
+
+def default_design_space() -> List[GpuConfig]:
+    """The design points swept by the evaluation-implications experiments.
+
+    Each point changes one or two resources relative to the baseline — the
+    kind of sweep an architect runs when sizing a new part.
+    """
+    b = BASELINE
+    return [
+        b,
+        b.derive("sm08", num_sms=8),
+        b.derive("sm32", num_sms=32),
+        b.derive("sm32-bw", num_sms=32, dram_bandwidth=128.0),
+        b.derive("dual-issue", issue_width=2),
+        b.derive("bw-half", dram_bandwidth=32.0),
+        b.derive("bw-2x", dram_bandwidth=128.0),
+        b.derive("lat-800", mem_latency=800),
+        b.derive("lat-200", mem_latency=200),
+        b.derive("no-l2", l2_lines=0),
+        b.derive("l2-8k", l2_lines=8192),
+        b.derive("warps-64", max_warps_per_sm=64),
+        b.derive("warps-16", max_warps_per_sm=16),
+        b.derive("regfile-8k", regfile_per_sm=8192),
+        b.derive("shmem-16k", shared_per_sm=16384),
+        b.derive("fat", num_sms=32, issue_width=2, dram_bandwidth=128.0, l2_lines=8192),
+    ]

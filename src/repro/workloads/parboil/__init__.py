@@ -1,0 +1,12 @@
+"""Parboil workloads."""
+
+from repro.workloads.parboil import (  # noqa: F401
+    cp,
+    cutcp,
+    lbm,
+    mriq,
+    sad,
+    spmv,
+    stencil,
+    tpacf,
+)

@@ -1,0 +1,82 @@
+"""Coulombic potential (Parboil ``cp``).
+
+Each thread computes the electrostatic potential at one 2-D lattice point
+by summing q/r contributions from every atom held in constant memory.
+rsqrt-per-atom makes it SFU-heavy like MRI-Q, but with 2-D spatial indexing
+and a division instead of trig.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import KernelBuilder, MemSpace
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+GRID_SPACING = 0.1
+
+
+def build_cp_kernel(natoms: int, width: int):
+    b = KernelBuilder("cp_potential")
+    ax = b.param_buf("ax", space=MemSpace.CONST)
+    ay = b.param_buf("ay", space=MemSpace.CONST)
+    aq = b.param_buf("aq", space=MemSpace.CONST)
+    out = b.param_buf("out")
+
+    gx = b.global_thread_id()
+    gy = b.global_thread_id_y()
+    x = b.fmul(b.i2f(gx), GRID_SPACING)
+    y = b.fmul(b.i2f(gy), GRID_SPACING)
+
+    energy = b.let_f32(0.0)
+    with b.for_range(0, natoms) as a:
+        dx = b.fsub(x, b.ld(ax, a))
+        dy = b.fsub(y, b.ld(ay, a))
+        r2 = b.fma(dx, dx, b.fma(dy, dy, 0.01))
+        b.assign(energy, b.fadd(energy, b.fdiv(b.ld(aq, a), b.fsqrt(r2))))
+    b.st(out, b.iadd(b.imul(gy, width), gx), energy)
+    return b.finalize()
+
+
+def cp_ref(atoms, charges, width, height):
+    xs = np.arange(width) * GRID_SPACING
+    ys = np.arange(height) * GRID_SPACING
+    gx, gy = np.meshgrid(xs, ys)
+    out = np.zeros((height, width))
+    for (x, y), q in zip(atoms, charges):
+        r = np.sqrt((gx - x) ** 2 + (gy - y) ** 2 + 0.01)
+        out += q / r
+    return out
+
+
+@register
+class CoulombicPotential(Workload):
+    abbrev = "CP"
+    name = "Coulombic Potential"
+    suite = "Parboil"
+    description = "Electrostatic potential map: rsqrt accumulation over const-memory atoms"
+    default_scale = {"width": 64, "height": 64, "natoms": 128}
+
+    def run(self, ctx: RunContext) -> None:
+        width = self.scale["width"]
+        height = self.scale["height"]
+        natoms = self.scale["natoms"]
+        rng = ctx.rng
+        self._atoms = rng.uniform(0.0, width * GRID_SPACING, (natoms, 2))
+        self._charges = rng.uniform(-2.0, 2.0, natoms)
+        dev = ctx.device
+        args = {
+            "ax": dev.from_array("ax", self._atoms[:, 0], readonly=True),
+            "ay": dev.from_array("ay", self._atoms[:, 1], readonly=True),
+            "aq": dev.from_array("aq", self._charges, readonly=True),
+            "out": dev.alloc("out", width * height),
+        }
+        self._out = args["out"]
+        kernel = build_cp_kernel(natoms, width)
+        ctx.launch(kernel, (width // 16, height // 8), (16, 8), args)
+
+    def check(self, ctx: RunContext) -> None:
+        expected = cp_ref(self._atoms, self._charges, self.scale["width"], self.scale["height"])
+        got = ctx.device.download(self._out).reshape(expected.shape)
+        assert_close(got, expected, "potential map", tol=1e-9)

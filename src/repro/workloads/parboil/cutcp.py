@@ -1,0 +1,165 @@
+"""Cutoff Coulombic potential (Parboil ``cutcp``).
+
+Unlike CP's all-atoms loop, CUTCP bins atoms spatially and each lattice
+point only visits the bins overlapping its cutoff sphere, skipping atoms
+beyond the cutoff with a data-dependent branch.  The bin walk gives
+irregular gathers (bin contents are scattered), the cutoff test gives
+intra-warp divergence proportional to edge effects, and padded bins give
+work imbalance — the "irregularised" twin of CP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+GRID_SPACING = 0.25
+BIN_EDGE = 1.0  # bin side length; cutoff <= BIN_EDGE so 3x3 bins suffice
+
+
+def build_cutcp_kernel(width: int, bins_x: int, bins_y: int, bin_cap: int, cutoff2: float):
+    b = KernelBuilder("cutcp_lattice")
+    ax = b.param_buf("ax")
+    ay = b.param_buf("ay")
+    aq = b.param_buf("aq")
+    bin_counts = b.param_buf("bin_counts", DType.I32)
+    bin_atoms = b.param_buf("bin_atoms", DType.I32)  # (bins, cap) atom ids
+    out = b.param_buf("out")
+
+    gx = b.global_thread_id()
+    gy = b.global_thread_id_y()
+    x = b.fmul(b.i2f(gx), GRID_SPACING)
+    y = b.fmul(b.i2f(gy), GRID_SPACING)
+    my_bx = b.f2i(b.fdiv(x, BIN_EDGE))
+    my_by = b.f2i(b.fdiv(y, BIN_EDGE))
+
+    energy = b.let_f32(0.0)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            bx = b.iadd(my_bx, dx)
+            by = b.iadd(my_by, dy)
+            in_range = b.pand(
+                b.pand(b.ige(bx, 0), b.ilt(bx, bins_x)),
+                b.pand(b.ige(by, 0), b.ilt(by, bins_y)),
+            )
+            with b.if_(in_range):
+                bin_id = b.iadd(b.imul(by, bins_x), bx)
+                count = b.ld(bin_counts, bin_id)
+                base = b.imul(bin_id, bin_cap)
+                k = b.let_i32(0)
+                loop = b.while_loop()
+                with loop.cond():
+                    loop.set_cond(b.ilt(k, count))
+                with loop.body():
+                    atom = b.ld(bin_atoms, b.iadd(base, k))
+                    ddx = b.fsub(x, b.ld(ax, atom))
+                    ddy = b.fsub(y, b.ld(ay, atom))
+                    r2 = b.fma(ddx, ddx, b.fmul(ddy, ddy))
+                    # The cutoff test: the divergence CUTCP is known for.
+                    with b.if_(b.flt(r2, cutoff2)):
+                        s = b.fsub(1.0, b.fdiv(r2, cutoff2))
+                        contrib = b.fmul(
+                            b.ld(aq, atom),
+                            b.fmul(b.frcp(b.fsqrt(b.fadd(r2, 0.01))), b.fmul(s, s)),
+                        )
+                        b.assign(energy, b.fadd(energy, contrib))
+                    b.assign(k, b.iadd(k, 1))
+    b.st(out, b.iadd(b.imul(gy, width), gx), energy)
+    return b.finalize()
+
+
+def make_bins(atoms: np.ndarray, bins_x: int, bins_y: int, cap: int):
+    counts = np.zeros(bins_x * bins_y, dtype=np.int64)
+    slots = np.zeros((bins_x * bins_y, cap), dtype=np.int64)
+    for idx, (x, y) in enumerate(atoms):
+        bx = min(int(x / BIN_EDGE), bins_x - 1)
+        by = min(int(y / BIN_EDGE), bins_y - 1)
+        bin_id = by * bins_x + bx
+        if counts[bin_id] < cap:
+            slots[bin_id, counts[bin_id]] = idx
+            counts[bin_id] += 1
+    return counts, slots
+
+
+def cutcp_ref(atoms, charges, width, height, cutoff2, counts, slots, bins_x, bins_y, cap):
+    out = np.zeros((height, width))
+    for gy in range(height):
+        for gx in range(width):
+            x, y = gx * GRID_SPACING, gy * GRID_SPACING
+            my_bx = int(x / BIN_EDGE)
+            my_by = int(y / BIN_EDGE)
+            e = 0.0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    bx, by = my_bx + dx, my_by + dy
+                    if not (0 <= bx < bins_x and 0 <= by < bins_y):
+                        continue
+                    bin_id = by * bins_x + bx
+                    for k in range(counts[bin_id]):
+                        a = slots[bin_id, k]
+                        r2 = (x - atoms[a, 0]) ** 2 + (y - atoms[a, 1]) ** 2
+                        if r2 < cutoff2:
+                            s = 1.0 - r2 / cutoff2
+                            e += charges[a] * (s * s) / np.sqrt(r2 + 0.01)
+            out[gy, gx] = e
+    return out
+
+
+@register
+class Cutcp(Workload):
+    abbrev = "CUTCP"
+    name = "Cutoff Coulombic Potential"
+    suite = "Parboil"
+    description = "Binned short-range potential: bin walks + cutoff-test divergence"
+    default_scale = {"width": 48, "height": 48, "natoms": 192, "cutoff": 0.9, "bin_cap": 24}
+
+    def run(self, ctx: RunContext) -> None:
+        width = self.scale["width"]
+        height = self.scale["height"]
+        natoms = self.scale["natoms"]
+        cutoff2 = self.scale["cutoff"] ** 2
+        rng = ctx.rng
+        extent_x = width * GRID_SPACING
+        extent_y = height * GRID_SPACING
+        self._atoms = np.column_stack(
+            [rng.uniform(0, extent_x, natoms), rng.uniform(0, extent_y, natoms)]
+        )
+        self._charges = rng.uniform(-1.0, 1.0, natoms)
+        bins_x = int(np.ceil(extent_x / BIN_EDGE))
+        bins_y = int(np.ceil(extent_y / BIN_EDGE))
+        cap = self.scale["bin_cap"]
+        counts, slots = make_bins(self._atoms, bins_x, bins_y, cap)
+        self._binning = (counts, slots, bins_x, bins_y, cap, cutoff2)
+
+        dev = ctx.device
+        args = {
+            "ax": dev.from_array("ax", self._atoms[:, 0], readonly=True),
+            "ay": dev.from_array("ay", self._atoms[:, 1], readonly=True),
+            "aq": dev.from_array("aq", self._charges, readonly=True),
+            "bin_counts": dev.from_array("bin_counts", counts, DType.I32, readonly=True),
+            "bin_atoms": dev.from_array("bin_atoms", slots, DType.I32, readonly=True),
+            "out": dev.alloc("out", width * height),
+        }
+        self._out = args["out"]
+        kernel = build_cutcp_kernel(width, bins_x, bins_y, cap, cutoff2)
+        ctx.launch(kernel, (width // 16, height // 8), (16, 8), args)
+
+    def check(self, ctx: RunContext) -> None:
+        counts, slots, bins_x, bins_y, cap, cutoff2 = self._binning
+        expected = cutcp_ref(
+            self._atoms,
+            self._charges,
+            self.scale["width"],
+            self.scale["height"],
+            cutoff2,
+            counts,
+            slots,
+            bins_x,
+            bins_y,
+            cap,
+        )
+        got = ctx.device.download(self._out).reshape(expected.shape)
+        assert_close(got, expected, "cutoff potential map", tol=1e-9)

@@ -1,0 +1,146 @@
+"""Lattice-Boltzmann method (Parboil ``lbm``, D2Q9 variant).
+
+One thread per lattice cell performs a pull-scheme stream-collide step:
+gather the nine inbound distributions from the neighbouring cells, compute
+density and momentum, BGK-relax toward equilibrium, and write all nine
+outbound distributions.  LBM's signature is *state*: nine distributions
+plus macroscopic moments live simultaneously, making it the register-
+pressure extreme of the suite, with nine strided gathers per cell and a
+bounce-back branch at obstacle cells.
+
+Parboil's kernel is the D3Q19 lattice; the D2Q9 form used here has the
+same structure (gather / moments / relax / scatter, obstacle branches)
+with 9 instead of 19 directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+# D2Q9 stencil: direction vectors and weights.
+EX = [0, 1, 0, -1, 0, 1, -1, -1, 1]
+EY = [0, 0, 1, 0, -1, 1, 1, -1, -1]
+W = [4 / 9] + [1 / 9] * 4 + [1 / 36] * 4
+OPPOSITE = [0, 3, 4, 1, 2, 7, 8, 5, 6]
+OMEGA = 1.2  # BGK relaxation rate
+
+
+def build_lbm_kernel(width: int, height: int):
+    b = KernelBuilder("lbm_stream_collide")
+    f_in = b.param_buf("f_in")  # (9, height, width) distributions
+    f_out = b.param_buf("f_out")
+    obstacle = b.param_buf("obstacle", DType.I32)
+
+    x = b.global_thread_id()
+    y = b.global_thread_id_y()
+    cell = b.iadd(b.imul(y, width), x)
+    plane = width * height
+
+    # Pull: f_i at this cell comes from the neighbour at -e_i (periodic).
+    f = []
+    for i in range(9):
+        sx = b.imod(b.iadd(b.isub(x, EX[i]), width), width)
+        sy = b.imod(b.iadd(b.isub(y, EY[i]), height), height)
+        src = b.iadd(b.imul(i, plane), b.iadd(b.imul(sy, width), sx))
+        f.append(b.mov(b.ld(f_in, src)))
+
+    # Macroscopic moments.
+    rho = b.let_f32(0.0)
+    ux = b.let_f32(0.0)
+    uy = b.let_f32(0.0)
+    for i in range(9):
+        b.assign(rho, b.fadd(rho, f[i]))
+        if EX[i]:
+            b.assign(ux, b.fma(float(EX[i]), f[i], ux))
+        if EY[i]:
+            b.assign(uy, b.fma(float(EY[i]), f[i], uy))
+    inv_rho = b.frcp(rho)
+    b.assign(ux, b.fmul(ux, inv_rho))
+    b.assign(uy, b.fmul(uy, inv_rho))
+
+    is_obstacle = b.ine(b.ld(obstacle, cell), 0)
+    usqr = b.fma(ux, ux, b.fmul(uy, uy))
+    for i in range(9):
+        dst = b.iadd(b.imul(i, plane), cell)
+        # Bounce-back at obstacles: reflect the opposite inbound direction.
+        ife = b.if_else(is_obstacle)
+        with ife.then():
+            b.st(f_out, dst, f[OPPOSITE[i]])
+        with ife.otherwise():
+            eu = b.fma(float(EX[i]), ux, b.fmul(float(EY[i]), uy))
+            feq = b.fmul(
+                W[i],
+                b.fmul(
+                    rho,
+                    b.fadd(
+                        b.fma(3.0, eu, 1.0),
+                        b.fsub(b.fmul(4.5, b.fmul(eu, eu)), b.fmul(1.5, usqr)),
+                    ),
+                ),
+            )
+            b.st(f_out, dst, b.fma(OMEGA, b.fsub(feq, f[i]), f[i]))
+    return b.finalize()
+
+
+def lbm_ref(f: np.ndarray, obstacle: np.ndarray) -> np.ndarray:
+    """One D2Q9 stream-collide step (pull scheme, periodic boundaries)."""
+    _nine, height, width = f.shape
+    pulled = np.empty_like(f)
+    for i in range(9):
+        pulled[i] = np.roll(np.roll(f[i], EY[i], axis=0), EX[i], axis=1)
+    rho = pulled.sum(axis=0)
+    ux = sum(EX[i] * pulled[i] for i in range(9)) / rho
+    uy = sum(EY[i] * pulled[i] for i in range(9)) / rho
+    usqr = ux * ux + uy * uy
+    out = np.empty_like(f)
+    for i in range(9):
+        eu = EX[i] * ux + EY[i] * uy
+        feq = W[i] * rho * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * usqr)
+        relaxed = pulled[i] + OMEGA * (feq - pulled[i])
+        out[i] = np.where(obstacle != 0, pulled[OPPOSITE[i]], relaxed)
+    return out
+
+
+@register
+class Lbm(Workload):
+    abbrev = "LBM"
+    name = "Lattice-Boltzmann"
+    suite = "Parboil"
+    description = "D2Q9 stream-collide step: 9-way gathers, obstacle bounce-back"
+    default_scale = {"width": 64, "height": 32, "steps": 2, "obstacle_frac": 0.05}
+
+    def run(self, ctx: RunContext) -> None:
+        width = self.scale["width"]
+        height = self.scale["height"]
+        rng = ctx.rng
+        # Near-equilibrium initial distributions with a gentle perturbation.
+        base = np.array(W)[:, None, None]
+        self._f0 = base * (1.0 + 0.01 * rng.standard_normal((9, height, width)))
+        self._obstacle = (rng.random((height, width)) < self.scale["obstacle_frac"]).astype(
+            np.int64
+        )
+        dev = ctx.device
+        ping = dev.from_array("ping", self._f0)
+        pong = dev.alloc("pong", 9 * width * height)
+        obstacle = dev.from_array("obstacle", self._obstacle, DType.I32, readonly=True)
+        kernel = build_lbm_kernel(width, height)
+        bufs = [ping, pong]
+        for step in range(self.scale["steps"]):
+            ctx.launch(
+                kernel,
+                (width // 16, height // 8),
+                (16, 8),
+                {"f_in": bufs[step % 2], "f_out": bufs[(step + 1) % 2], "obstacle": obstacle},
+            )
+        self._result = bufs[self.scale["steps"] % 2]
+
+    def check(self, ctx: RunContext) -> None:
+        expected = self._f0
+        for _ in range(self.scale["steps"]):
+            expected = lbm_ref(expected, self._obstacle)
+        got = ctx.device.download(self._result).reshape(expected.shape)
+        assert_close(got, expected, "distributions", tol=1e-9)

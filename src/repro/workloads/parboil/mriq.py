@@ -1,0 +1,95 @@
+"""MRI-Q (Parboil ``mri-q``).
+
+Non-Cartesian MRI reconstruction: for every voxel (thread), accumulate
+cos/sin phase contributions from every k-space sample.  The k-space data
+lives in constant memory (uniform broadcast loads); the trig pair per
+sample makes this the purest SFU-bound workload in the set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import KernelBuilder, MemSpace
+from repro.workloads.base import RunContext, Workload, assert_close, ceil_div
+from repro.workloads.registry import register
+
+
+def build_mriq_kernel(nk: int):
+    b = KernelBuilder("mriq_computeQ")
+    x = b.param_buf("x")
+    y = b.param_buf("y")
+    z = b.param_buf("z")
+    kx = b.param_buf("kx", space=MemSpace.CONST)
+    ky = b.param_buf("ky", space=MemSpace.CONST)
+    kz = b.param_buf("kz", space=MemSpace.CONST)
+    mag = b.param_buf("mag", space=MemSpace.CONST)
+    qr = b.param_buf("qr")
+    qi = b.param_buf("qi")
+    n = b.param_i32("n")
+
+    t = b.global_thread_id()
+    b.ret_if(b.ige(t, n))
+    xt = b.ld(x, t)
+    yt = b.ld(y, t)
+    zt = b.ld(z, t)
+    accr = b.let_f32(0.0)
+    acci = b.let_f32(0.0)
+    with b.for_range(0, nk) as k:
+        phase = b.fma(
+            b.ld(kx, k),
+            xt,
+            b.fma(b.ld(ky, k), yt, b.fmul(b.ld(kz, k), zt)),
+        )
+        phase = b.fmul(phase, 6.283185307179586)
+        m = b.ld(mag, k)
+        b.assign(accr, b.fma(m, b.fcos(phase), accr))
+        b.assign(acci, b.fma(m, b.fsin(phase), acci))
+    b.st(qr, t, accr)
+    b.st(qi, t, acci)
+    return b.finalize()
+
+
+def mriq_ref(pos, kpos, mag):
+    phase = 2.0 * np.pi * (pos @ kpos.T)
+    qr = (mag[None, :] * np.cos(phase)).sum(axis=1)
+    qi = (mag[None, :] * np.sin(phase)).sum(axis=1)
+    return qr, qi
+
+
+@register
+class MriQ(Workload):
+    abbrev = "MRIQ"
+    name = "MRI-Q"
+    suite = "Parboil"
+    description = "MRI reconstruction Q-matrix: trig-dense accumulation over k-space"
+    default_scale = {"voxels": 2048, "ksamples": 64, "block": 256}
+
+    def run(self, ctx: RunContext) -> None:
+        n = self.scale["voxels"]
+        nk = self.scale["ksamples"]
+        rng = ctx.rng
+        self._pos = rng.uniform(-1.0, 1.0, (n, 3))
+        self._kpos = rng.uniform(-0.5, 0.5, (nk, 3))
+        self._mag = rng.uniform(0.0, 1.0, nk)
+        dev = ctx.device
+        args = {
+            "x": dev.from_array("x", self._pos[:, 0], readonly=True),
+            "y": dev.from_array("y", self._pos[:, 1], readonly=True),
+            "z": dev.from_array("z", self._pos[:, 2], readonly=True),
+            "kx": dev.from_array("kx", self._kpos[:, 0], readonly=True),
+            "ky": dev.from_array("ky", self._kpos[:, 1], readonly=True),
+            "kz": dev.from_array("kz", self._kpos[:, 2], readonly=True),
+            "mag": dev.from_array("mag", self._mag, readonly=True),
+            "qr": dev.alloc("qr", n),
+            "qi": dev.alloc("qi", n),
+            "n": n,
+        }
+        self._q = (args["qr"], args["qi"])
+        kernel = build_mriq_kernel(nk)
+        ctx.launch(kernel, ceil_div(n, self.scale["block"]), self.scale["block"], args)
+
+    def check(self, ctx: RunContext) -> None:
+        qr, qi = mriq_ref(self._pos, self._kpos, self._mag)
+        assert_close(ctx.device.download(self._q[0]), qr, "Q real", tol=1e-9)
+        assert_close(ctx.device.download(self._q[1]), qi, "Q imag", tol=1e-9)

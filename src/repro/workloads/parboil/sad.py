@@ -1,0 +1,91 @@
+"""Sum of absolute differences (Parboil ``sad``).
+
+H.264-style motion estimation: each thread block handles one 4x4
+macroblock, and every thread evaluates one candidate displacement in an 8x8
+search window, accumulating |cur - ref| over the 16 block pixels.  Pure
+integer ALU with short offset-strided loads — the int-dominated, moderately
+coalesced region of the space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+MB = 4  # macroblock edge
+SEARCH = 8  # search window edge (threads per block = SEARCH*SEARCH)
+
+
+def build_sad_kernel(cur_width: int, ref_width: int, mbs_x: int):
+    b = KernelBuilder("sad_4x4")
+    cur = b.param_buf("cur", DType.I32)
+    ref = b.param_buf("ref", DType.I32)
+    sads = b.param_buf("sads", DType.I32)
+
+    # Block = one macroblock; thread = one candidate displacement.
+    mb_x = b.imul(b.imod(b.ctaid_x, mbs_x), MB)
+    mb_y = b.imul(b.idiv(b.ctaid_x, mbs_x), MB)
+    dx = b.tid_x
+    dy = b.tid_y
+
+    total = b.let_i32(0)
+    with b.for_range(0, MB) as py:
+        with b.for_range(0, MB) as px:
+            cidx = b.iadd(b.imul(b.iadd(mb_y, py), cur_width), b.iadd(mb_x, px))
+            ridx = b.iadd(
+                b.imul(b.iadd(b.iadd(mb_y, py), dy), ref_width),
+                b.iadd(b.iadd(mb_x, px), dx),
+            )
+            diff = b.isub(b.ld(cur, cidx), b.ld(ref, ridx))
+            b.assign(total, b.iadd(total, b.iabs(diff)))
+
+    out_idx = b.iadd(b.imul(b.ctaid_x, SEARCH * SEARCH), b.iadd(b.imul(dy, SEARCH), dx))
+    b.st(sads, out_idx, total)
+    return b.finalize()
+
+
+def sad_ref(cur, ref, mbs_x, mbs_y):
+    out = np.zeros((mbs_x * mbs_y, SEARCH * SEARCH), dtype=np.int64)
+    for mb in range(mbs_x * mbs_y):
+        bx = (mb % mbs_x) * MB
+        by = (mb // mbs_x) * MB
+        c = cur[by : by + MB, bx : bx + MB]
+        for dy in range(SEARCH):
+            for dx in range(SEARCH):
+                r = ref[by + dy : by + dy + MB, bx + dx : bx + dx + MB]
+                out[mb, dy * SEARCH + dx] = np.abs(c - r).sum()
+    return out.reshape(-1)
+
+
+@register
+class Sad(Workload):
+    abbrev = "SAD"
+    name = "SAD"
+    suite = "Parboil"
+    description = "4x4 macroblock motion-estimation SADs over an 8x8 search window"
+    default_scale = {"width": 64, "height": 32}
+
+    def run(self, ctx: RunContext) -> None:
+        width = self.scale["width"]
+        height = self.scale["height"]
+        rng = ctx.rng
+        # Reference frame is larger so displaced reads stay in bounds.
+        self._cur = rng.integers(0, 256, (height, width))
+        self._ref = rng.integers(0, 256, (height + SEARCH, width + SEARCH))
+        mbs_x = width // MB
+        mbs_y = height // MB
+        self._mbs = (mbs_x, mbs_y)
+        dev = ctx.device
+        cur = dev.from_array("cur", self._cur, DType.I32, readonly=True)
+        ref = dev.from_array("ref", self._ref, DType.I32, readonly=True)
+        nmb = mbs_x * mbs_y
+        self._sads = dev.alloc("sads", nmb * SEARCH * SEARCH, DType.I32)
+        kernel = build_sad_kernel(width, width + SEARCH, mbs_x)
+        ctx.launch(kernel, nmb, (SEARCH, SEARCH), {"cur": cur, "ref": ref, "sads": self._sads})
+
+    def check(self, ctx: RunContext) -> None:
+        expected = sad_ref(self._cur, self._ref, *self._mbs)
+        assert_close(ctx.device.download(self._sads), expected, "SAD values")

@@ -1,0 +1,93 @@
+"""Sparse matrix-vector multiply, CSR scalar kernel (Parboil ``spmv``).
+
+One thread per row walks that row's nonzeros: the trip count varies per
+row (warp imbalance + loop divergence) and ``x[col[j]]`` is an indirect,
+data-dependent gather (uncoalesced).  The canonical irregular memory
+workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close, ceil_div
+from repro.workloads.registry import register
+
+
+def build_spmv_kernel():
+    b = KernelBuilder("spmv_csr_scalar")
+    rowptr = b.param_buf("rowptr", DType.I32)
+    cols = b.param_buf("cols", DType.I32)
+    vals = b.param_buf("vals")
+    x = b.param_buf("x")
+    y = b.param_buf("y")
+    nrows = b.param_i32("nrows")
+
+    row = b.global_thread_id()
+    b.ret_if(b.ige(row, nrows))
+    start = b.ld(rowptr, row)
+    end = b.ld(rowptr, b.iadd(row, 1))
+    acc = b.let_f32(0.0)
+    j = b.let_i32(start)
+    loop = b.while_loop()
+    with loop.cond():
+        loop.set_cond(b.ilt(j, end))
+    with loop.body():
+        col = b.ld(cols, j)
+        b.assign(acc, b.fma(b.ld(vals, j), b.ld(x, col), acc))
+        b.assign(j, b.iadd(j, 1))
+    b.st(y, row, acc)
+    return b.finalize()
+
+
+def make_csr(rng: np.random.Generator, nrows: int, ncols: int, min_nnz: int, max_nnz: int):
+    """Random CSR matrix with power-law-ish row lengths."""
+    lens = rng.integers(min_nnz, max_nnz + 1, size=nrows)
+    # Skew: a few heavy rows, like real graphs/matrices.
+    heavy = rng.random(nrows) < 0.1
+    lens[heavy] = np.minimum(lens[heavy] * 4, ncols)
+    rowptr = np.concatenate([[0], np.cumsum(lens)])
+    nnz = int(rowptr[-1])
+    cols = np.empty(nnz, dtype=np.int64)
+    for r in range(nrows):
+        cols[rowptr[r] : rowptr[r + 1]] = rng.choice(ncols, size=lens[r], replace=False)
+    vals = rng.standard_normal(nnz)
+    return rowptr, cols, vals
+
+
+@register
+class Spmv(Workload):
+    abbrev = "SPMV"
+    name = "SpMV"
+    suite = "Parboil"
+    description = "CSR scalar sparse matrix-vector product (irregular gather)"
+    default_scale = {"nrows": 2048, "ncols": 2048, "min_nnz": 2, "max_nnz": 16, "block": 128}
+
+    def run(self, ctx: RunContext) -> None:
+        nrows = self.scale["nrows"]
+        rowptr, cols, vals = make_csr(
+            ctx.rng, nrows, self.scale["ncols"], self.scale["min_nnz"], self.scale["max_nnz"]
+        )
+        self._csr = (rowptr, cols, vals)
+        self._x = ctx.rng.standard_normal(self.scale["ncols"])
+        dev = ctx.device
+        args = {
+            "rowptr": dev.from_array("rowptr", rowptr, DType.I32, readonly=True),
+            "cols": dev.from_array("cols", cols, DType.I32, readonly=True),
+            "vals": dev.from_array("vals", vals, readonly=True),
+            "x": dev.from_array("x", self._x, readonly=True),
+            "y": dev.alloc("y", nrows),
+            "nrows": nrows,
+        }
+        self._y = args["y"]
+        kernel = build_spmv_kernel()
+        ctx.launch(kernel, ceil_div(nrows, self.scale["block"]), self.scale["block"], args)
+
+    def check(self, ctx: RunContext) -> None:
+        rowptr, cols, vals = self._csr
+        expected = np.zeros(self.scale["nrows"])
+        for r in range(self.scale["nrows"]):
+            s = slice(rowptr[r], rowptr[r + 1])
+            expected[r] = vals[s] @ self._x[cols[s]]
+        assert_close(ctx.device.download(self._y), expected, "spmv result", tol=1e-9)

@@ -1,0 +1,18 @@
+"""Rodinia workloads."""
+
+from repro.workloads.rodinia import (  # noqa: F401
+    backprop,
+    bfs,
+    gaussian,
+    hotspot,
+    hybridsort,
+    kmeans,
+    lavamd,
+    lud,
+    mummergpu,
+    nn,
+    nw,
+    pathfinder,
+    srad,
+    streamcluster,
+)

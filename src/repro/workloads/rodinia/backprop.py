@@ -1,0 +1,125 @@
+"""Back Propagation (Rodinia ``backprop``).
+
+Layer-forward kernel: blocks tile the (input x hidden) weight matrix, stage
+input activations and weights through shared memory, and tree-reduce the
+partial products per hidden unit; the host applies the sigmoid, then a
+second kernel adjusts the weights (streaming FMA over the weight matrix).
+Reproduces Rodinia's mix of shared-memory reduction and coalesced update
+passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+HID = 16  # hidden units per block tile (Rodinia uses 16)
+
+
+def build_layerforward_kernel(n_input: int):
+    """Each block handles a 16-input x 16-hidden weight tile."""
+    b = KernelBuilder("bpnn_layerforward")
+    inputs = b.param_buf("inputs")
+    weights = b.param_buf("weights")  # (n_input, HID) row-major
+    partial = b.param_buf("partial")  # (n_blocks, HID)
+    s_in = b.shared("s_in", HID)
+    s_w = b.shared("s_w", HID * HID)
+
+    tx = b.tid_x  # hidden index
+    ty = b.tid_y  # input index within tile
+    in_base = b.imul(b.ctaid_x, HID)
+    row = b.iadd(in_base, ty)
+
+    with b.if_(b.ieq(tx, 0)):
+        b.sst(s_in, ty, b.ld(inputs, row))
+    b.barrier()
+    sidx = b.iadd(b.imul(ty, HID), tx)
+    w = b.ld(weights, b.iadd(b.imul(row, HID), tx))
+    b.sst(s_w, sidx, b.fmul(w, b.sld(s_in, ty)))
+    b.barrier()
+
+    # Reduce over the input (ty) dimension.
+    step = b.let_i32(HID // 2)
+    tree = b.while_loop()
+    with tree.cond():
+        tree.set_cond(b.igt(step, 0))
+    with tree.body():
+        with b.if_(b.ilt(ty, step)):
+            other = b.iadd(sidx, b.imul(step, HID))
+            b.sst(s_w, sidx, b.fadd(b.sld(s_w, sidx), b.sld(s_w, other)))
+        b.barrier()
+        b.assign(step, b.ishr(step, 1))
+
+    with b.if_(b.ieq(ty, 0)):
+        b.st(partial, b.iadd(b.imul(b.ctaid_x, HID), tx), b.sld(s_w, tx))
+    return b.finalize()
+
+
+def build_adjust_weights_kernel(n_input: int):
+    b = KernelBuilder("bpnn_adjust_weights")
+    weights = b.param_buf("weights")
+    inputs = b.param_buf("inputs")
+    delta = b.param_buf("delta")  # (HID,)
+    eta = b.param_f32("eta")
+
+    tx = b.tid_x
+    ty = b.tid_y
+    row = b.iadd(b.imul(b.ctaid_x, HID), ty)
+    idx = b.iadd(b.imul(row, HID), tx)
+    grad = b.fmul(b.ld(delta, tx), b.ld(inputs, row))
+    b.st(weights, idx, b.fma(eta, grad, b.ld(weights, idx)))
+    return b.finalize()
+
+
+@register
+class BackProp(Workload):
+    abbrev = "BP"
+    name = "Back Propagation"
+    suite = "Rodinia"
+    description = "Neural-net layer forward (tiled reduction) + weight adjustment"
+    default_scale = {"n_input": 1024, "eta": 0.3}
+
+    def run(self, ctx: RunContext) -> None:
+        n_input = self.scale["n_input"]
+        assert n_input % HID == 0
+        rng = ctx.rng
+        self._inputs = rng.uniform(0.0, 1.0, n_input)
+        self._weights = rng.standard_normal((n_input, HID)) * 0.1
+        self._delta = rng.standard_normal(HID) * 0.05
+        dev = ctx.device
+        inputs = dev.from_array("inputs", self._inputs, readonly=True)
+        weights = dev.from_array("weights", self._weights)
+        n_blocks = n_input // HID
+        partial = dev.alloc("partial", n_blocks * HID)
+        delta = dev.from_array("delta", self._delta, readonly=True)
+
+        ctx.launch(
+            build_layerforward_kernel(n_input),
+            n_blocks,
+            (HID, HID),
+            {"inputs": inputs, "weights": weights, "partial": partial},
+        )
+        # Host folds partial sums and applies the sigmoid (as Rodinia does).
+        sums = ctx.device.download(partial).reshape(n_blocks, HID).sum(axis=0)
+        self._hidden = 1.0 / (1.0 + np.exp(-sums))
+
+        ctx.launch(
+            build_adjust_weights_kernel(n_input),
+            n_blocks,
+            (HID, HID),
+            {"weights": weights, "inputs": inputs, "delta": delta, "eta": self.scale["eta"]},
+        )
+        self._weights_buf = weights
+
+    def check(self, ctx: RunContext) -> None:
+        sums = self._inputs @ self._weights
+        expected_hidden = 1.0 / (1.0 + np.exp(-sums))
+        assert_close(self._hidden, expected_hidden, "hidden activations", tol=1e-9)
+        expected_weights = self._weights + self.scale["eta"] * np.outer(
+            self._inputs, self._delta
+        )
+        got = ctx.device.download(self._weights_buf).reshape(expected_weights.shape)
+        assert_close(got, expected_weights, "adjusted weights", tol=1e-9)

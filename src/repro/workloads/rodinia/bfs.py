@@ -1,0 +1,138 @@
+"""Breadth-first search (Rodinia ``bfs``).
+
+Level-synchronous frontier expansion: each thread owns one node; if the
+node is in the current frontier it walks its adjacency list (variable
+degree), labelling unvisited neighbours.  The frontier test deactivates
+most warps each level and the degree loop diverges within the rest, while
+neighbour gathers are data-dependent scatter — BFS is the canonical
+irregular workload and one of the abstract's divergence outliers (via
+MUMmerGPU's cousin behaviour).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close, ceil_div
+from repro.workloads.registry import register
+
+
+def build_bfs_kernel():
+    b = KernelBuilder("bfs_level")
+    rowptr = b.param_buf("rowptr", DType.I32)
+    adj = b.param_buf("adj", DType.I32)
+    frontier = b.param_buf("frontier", DType.I32)
+    next_frontier = b.param_buf("next_frontier", DType.I32)
+    cost = b.param_buf("cost", DType.I32)
+    changed = b.param_buf("changed", DType.I32)
+    n = b.param_i32("n")
+    level = b.param_i32("level")
+
+    v = b.global_thread_id()
+    b.ret_if(b.ige(v, n))
+    with b.if_(b.ine(b.ld(frontier, v), 0)):
+        b.st(frontier, v, 0)
+        start = b.ld(rowptr, v)
+        end = b.ld(rowptr, b.iadd(v, 1))
+        e = b.let_i32(start)
+        loop = b.while_loop()
+        with loop.cond():
+            loop.set_cond(b.ilt(e, end))
+        with loop.body():
+            u = b.ld(adj, e)
+            with b.if_(b.ieq(b.ld(cost, u), -1)):
+                b.st(cost, u, b.iadd(level, 1))
+                b.st(next_frontier, u, 1)
+                b.st(changed, 0, 1)
+            b.assign(e, b.iadd(e, 1))
+    return b.finalize()
+
+
+def make_graph(rng: np.random.Generator, n: int, avg_degree: int):
+    """Random directed graph in CSR form with skewed degrees."""
+    degrees = rng.poisson(avg_degree, n) + 1
+    hubs = rng.random(n) < 0.05
+    degrees[hubs] *= 4
+    degrees = np.minimum(degrees, n - 1)
+    rowptr = np.concatenate([[0], np.cumsum(degrees)])
+    adj = np.empty(int(rowptr[-1]), dtype=np.int64)
+    for v in range(n):
+        adj[rowptr[v] : rowptr[v + 1]] = rng.choice(n, size=degrees[v], replace=False)
+    return rowptr, adj
+
+
+def bfs_ref(rowptr: np.ndarray, adj: np.ndarray, source: int, n: int) -> np.ndarray:
+    cost = np.full(n, -1, dtype=np.int64)
+    cost[source] = 0
+    frontier = [source]
+    level = 0
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for u in adj[rowptr[v] : rowptr[v + 1]]:
+                if cost[u] == -1:
+                    cost[u] = level + 1
+                    nxt.append(int(u))
+        frontier = nxt
+        level += 1
+    return cost
+
+
+@register
+class Bfs(Workload):
+    abbrev = "BFS"
+    name = "BFS"
+    suite = "Rodinia"
+    description = "Level-synchronous breadth-first search over a CSR graph"
+    default_scale = {"n": 2048, "avg_degree": 4, "block": 128}
+
+    def run(self, ctx: RunContext) -> None:
+        n = self.scale["n"]
+        rowptr, adj = make_graph(ctx.rng, n, self.scale["avg_degree"])
+        self._graph = (rowptr, adj)
+        self._source = 0
+        dev = ctx.device
+        rowptr_b = dev.from_array("rowptr", rowptr, DType.I32, readonly=True)
+        adj_b = dev.from_array("adj", adj, DType.I32, readonly=True)
+        frontier = dev.alloc("frontier", n, DType.I32)
+        next_frontier = dev.alloc("next_frontier", n, DType.I32)
+        self._cost = dev.alloc("cost", n, DType.I32, fill=-1)
+        changed = dev.alloc("changed", 1, DType.I32)
+
+        host_frontier = np.zeros(n, dtype=np.int64)
+        host_frontier[self._source] = 1
+        dev.upload(frontier, host_frontier)
+        cost0 = np.full(n, -1, dtype=np.int64)
+        cost0[self._source] = 0
+        dev.upload(self._cost, cost0)
+
+        kernel = build_bfs_kernel()
+        grid = ceil_div(n, self.scale["block"])
+        level = 0
+        bufs = [frontier, next_frontier]
+        while True:
+            dev.upload(changed, np.zeros(1, dtype=np.int64))
+            ctx.launch(
+                kernel,
+                grid,
+                self.scale["block"],
+                {
+                    "rowptr": rowptr_b,
+                    "adj": adj_b,
+                    "frontier": bufs[level % 2],
+                    "next_frontier": bufs[(level + 1) % 2],
+                    "cost": self._cost,
+                    "changed": changed,
+                    "n": n,
+                    "level": level,
+                },
+            )
+            level += 1
+            if dev.download(changed)[0] == 0 or level > n:
+                break
+
+    def check(self, ctx: RunContext) -> None:
+        rowptr, adj = self._graph
+        expected = bfs_ref(rowptr, adj, self._source, self.scale["n"])
+        assert_close(ctx.device.download(self._cost), expected, "BFS levels")

@@ -1,0 +1,146 @@
+"""HotSpot thermal simulation (Rodinia ``hotspot``).
+
+Iterative 5-point stencil over temperature with a power term.  Each block
+stages a tile (plus clamp-to-edge halo) through shared memory; the halo
+loads and edge clamping produce boundary-warp divergence while interior
+traffic stays coalesced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+TILE = 16
+CAP = 0.5
+RX = 1.0
+RY = 1.0
+RZ = 4.0
+
+
+def build_hotspot_kernel(width: int, height: int):
+    b = KernelBuilder("hotspot_step")
+    temp_in = b.param_buf("temp_in")
+    power = b.param_buf("power")
+    temp_out = b.param_buf("temp_out")
+    amb = b.param_f32("amb")
+    pad = TILE + 2
+    tile = b.shared("tile", pad * pad)
+
+    tx = b.tid_x
+    ty = b.tid_y
+    x = b.iadd(b.imul(b.ctaid_x, TILE), tx)
+    y = b.iadd(b.imul(b.ctaid_y, TILE), ty)
+
+    def clamped_idx(xx, yy):
+        cx = b.imax(b.imin(xx, width - 1), 0)
+        cy = b.imax(b.imin(yy, height - 1), 0)
+        return b.iadd(b.imul(cy, width), cx)
+
+    centre_s = b.iadd(b.imul(b.iadd(ty, 1), pad), b.iadd(tx, 1))
+    b.sst(tile, centre_s, b.ld(temp_in, clamped_idx(x, y)))
+    # Halo edges (top/bottom rows, left/right columns of the tile).
+    with b.if_(b.ieq(ty, 0)):
+        b.sst(tile, b.iadd(tx, 1), b.ld(temp_in, clamped_idx(x, b.isub(y, 1))))
+    with b.if_(b.ieq(ty, TILE - 1)):
+        b.sst(
+            tile,
+            b.iadd(b.imul(TILE + 1, pad), b.iadd(tx, 1)),
+            b.ld(temp_in, clamped_idx(x, b.iadd(y, 1))),
+        )
+    with b.if_(b.ieq(tx, 0)):
+        b.sst(
+            tile,
+            b.imul(b.iadd(ty, 1), pad),
+            b.ld(temp_in, clamped_idx(b.isub(x, 1), y)),
+        )
+    with b.if_(b.ieq(tx, TILE - 1)):
+        b.sst(
+            tile,
+            b.iadd(b.imul(b.iadd(ty, 1), pad), TILE + 1),
+            b.ld(temp_in, clamped_idx(b.iadd(x, 1), y)),
+        )
+    b.barrier()
+
+    centre = b.sld(tile, centre_s)
+    north = b.sld(tile, b.isub(centre_s, pad))
+    south = b.sld(tile, b.iadd(centre_s, pad))
+    west = b.sld(tile, b.isub(centre_s, 1))
+    east = b.sld(tile, b.iadd(centre_s, 1))
+    p = b.ld(power, b.iadd(b.imul(y, width), x))
+    delta = b.fmul(
+        CAP,
+        b.fadd(
+            b.fadd(
+                p,
+                b.fmul(b.fadd(b.fadd(north, south), b.fmul(-2.0, centre)), 1.0 / RY),
+            ),
+            b.fadd(
+                b.fmul(b.fadd(b.fadd(east, west), b.fmul(-2.0, centre)), 1.0 / RX),
+                b.fmul(b.fsub(amb, centre), 1.0 / RZ),
+            ),
+        ),
+    )
+    b.st(temp_out, b.iadd(b.imul(y, width), x), b.fadd(centre, delta))
+    return b.finalize()
+
+
+def hotspot_ref(temp: np.ndarray, power: np.ndarray, amb: float) -> np.ndarray:
+    padded = np.pad(temp, 1, mode="edge")
+    north = padded[:-2, 1:-1]
+    south = padded[2:, 1:-1]
+    west = padded[1:-1, :-2]
+    east = padded[1:-1, 2:]
+    delta = CAP * (
+        power
+        + (north + south - 2 * temp) / RY
+        + (east + west - 2 * temp) / RX
+        + (amb - temp) / RZ
+    )
+    return temp + delta
+
+
+@register
+class HotSpot(Workload):
+    abbrev = "HS"
+    name = "HotSpot"
+    suite = "Rodinia"
+    description = "Iterative thermal 5-point stencil with shared-memory tiles and halos"
+    default_scale = {"size": 64, "iters": 3, "amb": 80.0}
+
+    def run(self, ctx: RunContext) -> None:
+        size = self.scale["size"]
+        assert size % TILE == 0
+        rng = ctx.rng
+        self._temp = rng.uniform(50.0, 90.0, (size, size))
+        self._power = rng.uniform(0.0, 2.0, (size, size))
+        dev = ctx.device
+        a = dev.from_array("a", self._temp)
+        bbuf = dev.from_array("b", self._temp)
+        power = dev.from_array("power", self._power, readonly=True)
+        kernel = build_hotspot_kernel(size, size)
+        bufs = [a, bbuf]
+        grid = (size // TILE, size // TILE)
+        for it in range(self.scale["iters"]):
+            ctx.launch(
+                kernel,
+                grid,
+                (TILE, TILE),
+                {
+                    "temp_in": bufs[it % 2],
+                    "power": power,
+                    "temp_out": bufs[(it + 1) % 2],
+                    "amb": self.scale["amb"],
+                },
+            )
+        self._result = bufs[self.scale["iters"] % 2]
+
+    def check(self, ctx: RunContext) -> None:
+        expected = self._temp
+        for _ in range(self.scale["iters"]):
+            expected = hotspot_ref(expected, self._power, self.scale["amb"])
+        got = ctx.device.download(self._result).reshape(expected.shape)
+        assert_close(got, expected, "temperature grid", tol=1e-9)

@@ -1,0 +1,163 @@
+"""Hybrid Sort (Rodinia ``hybridsort``) — bucket sort + per-bucket sort.
+
+Three kernels, as in Rodinia's bucketsort/mergesort pipeline:
+
+1. ``bucket_count`` — histogram of bucket occupancy via global atomics;
+2. ``bucket_scatter`` — atomic-offset scatter of elements into buckets
+   (data-dependent stores, heavy write scatter);
+3. ``oddeven_sort`` — per-block odd-even transposition sort of each bucket
+   in shared memory (alternating divergent compare-exchange phases).
+
+The phase mix — atomics, scatter, then a branch-dense sorting network — is
+what makes HYS a branch-divergence outlier in the abstract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder
+from repro.workloads.base import RunContext, Workload, ceil_div
+from repro.workloads.registry import register
+
+
+def build_count_kernel(nbuckets: int, lo: float, hi: float):
+    b = KernelBuilder("bucket_count")
+    data = b.param_buf("data")
+    counts = b.param_buf("counts", DType.I32)
+    n = b.param_i32("n")
+    i = b.global_thread_id()
+    b.ret_if(b.ige(i, n))
+    v = b.ld(data, i)
+    bucket = b.f2i(b.fmul(b.fsub(v, lo), nbuckets / (hi - lo)))
+    bucket = b.imax(b.imin(bucket, nbuckets - 1), 0)
+    b.atomic_add(counts, bucket, 1)
+    return b.finalize()
+
+
+def build_scatter_kernel(nbuckets: int, lo: float, hi: float, capacity: int):
+    b = KernelBuilder("bucket_scatter")
+    data = b.param_buf("data")
+    offsets = b.param_buf("offsets", DType.I32)  # running fill cursor per bucket
+    buckets = b.param_buf("buckets")  # (nbuckets, capacity), padded
+    n = b.param_i32("n")
+    i = b.global_thread_id()
+    b.ret_if(b.ige(i, n))
+    v = b.ld(data, i)
+    bucket = b.f2i(b.fmul(b.fsub(v, lo), nbuckets / (hi - lo)))
+    bucket = b.imax(b.imin(bucket, nbuckets - 1), 0)
+    slot = b.atomic_add(offsets, bucket, 1)
+    b.st(buckets, b.iadd(b.imul(bucket, capacity), slot), v)
+    return b.finalize()
+
+
+def build_oddeven_kernel(capacity: int):
+    """Odd-even transposition sort of one bucket per block (in shared)."""
+    b = KernelBuilder("oddeven_sort")
+    buckets = b.param_buf("buckets")
+    counts = b.param_buf("counts", DType.I32)
+    s = b.shared("keys", capacity)
+    tid = b.tid_x
+    cnt = b.ld(counts, b.ctaid_x)
+    base = b.imul(b.ctaid_x, capacity)
+
+    # Stage: pad the tail with +inf so inactive slots never win swaps.
+    idx = b.let_i32(tid)
+    stage = b.while_loop()
+    with stage.cond():
+        stage.set_cond(b.ilt(idx, capacity))
+    with stage.body():
+        v = b.let_f32(1e30)
+        with b.if_(b.ilt(idx, cnt)):
+            b.assign(v, b.ld(buckets, b.iadd(base, idx)))
+        b.sst(s, idx, v)
+        b.assign(idx, b.iadd(idx, b.ntid_x))
+    b.barrier()
+
+    with b.for_range(0, capacity) as phase:
+        parity = b.iand(phase, 1)
+        pair = b.iadd(b.imul(tid, 2), parity)
+        with b.if_(b.ilt(b.iadd(pair, 1), capacity)):
+            a = b.sld(s, pair)
+            c = b.sld(s, b.iadd(pair, 1))
+            with b.if_(b.fgt(a, c)):
+                b.sst(s, pair, c)
+                b.sst(s, b.iadd(pair, 1), a)
+        b.barrier()
+
+    idx2 = b.let_i32(tid)
+    unstage = b.while_loop()
+    with unstage.cond():
+        unstage.set_cond(b.ilt(idx2, capacity))
+    with unstage.body():
+        with b.if_(b.ilt(idx2, cnt)):
+            b.st(buckets, b.iadd(base, idx2), b.sld(s, idx2))
+        b.assign(idx2, b.iadd(idx2, b.ntid_x))
+    b.barrier()
+    return b.finalize()
+
+
+@register
+class HybridSort(Workload):
+    abbrev = "HYS"
+    name = "Hybrid Sort"
+    suite = "Rodinia"
+    description = "Bucket sort (atomics + scatter) followed by per-bucket odd-even sort"
+    default_scale = {"n": 2048, "nbuckets": 16, "block": 128}
+
+    def run(self, ctx: RunContext) -> None:
+        n = self.scale["n"]
+        nbuckets = self.scale["nbuckets"]
+        lo_v, hi_v = 0.0, 1.0
+        self._h = ctx.rng.uniform(lo_v, hi_v, n)
+        # Capacity: generous per-bucket padding (uniform data ~ n/nbuckets).
+        capacity = 2 * ceil_div(n, nbuckets)
+        capacity = 1 << (capacity - 1).bit_length()  # power of two
+        self._capacity = capacity
+        self._nbuckets = nbuckets
+
+        dev = ctx.device
+        data = dev.from_array("data", self._h, readonly=True)
+        counts = dev.alloc("counts", nbuckets, DType.I32)
+        offsets = dev.alloc("offsets", nbuckets, DType.I32)
+        self._buckets = dev.alloc("buckets", nbuckets * capacity)
+        self._counts = counts
+
+        block = self.scale["block"]
+        grid = ceil_div(n, block)
+        ctx.launch(
+            build_count_kernel(nbuckets, lo_v, hi_v),
+            grid,
+            block,
+            {"data": data, "counts": counts, "n": n},
+        )
+        ctx.launch(
+            build_scatter_kernel(nbuckets, lo_v, hi_v, capacity),
+            grid,
+            block,
+            {"data": data, "offsets": offsets, "buckets": self._buckets, "n": n},
+        )
+        # One thread per element pair; the sort network assumes full coverage.
+        assert capacity // 2 <= 512, "bucket capacity too large for one block"
+        ctx.launch(
+            build_oddeven_kernel(capacity),
+            nbuckets,
+            capacity // 2,
+            {"buckets": self._buckets, "counts": counts},
+        )
+
+    def check(self, ctx: RunContext) -> None:
+        dev = ctx.device
+        counts = dev.download(self._counts)
+        buckets = dev.download(self._buckets).reshape(self._nbuckets, self._capacity)
+        collected = np.concatenate(
+            [np.sort(buckets[b, : counts[b]]) for b in range(self._nbuckets)]
+        )
+        expected = np.sort(self._h)
+        if collected.shape != expected.shape or not np.allclose(collected, expected):
+            raise AssertionError("hybridsort: concatenated buckets != sorted input")
+        # Each bucket must itself be sorted by the odd-even kernel.
+        for bk in range(self._nbuckets):
+            seg = buckets[bk, : counts[bk]]
+            if np.any(np.diff(seg) < 0):
+                raise AssertionError(f"hybridsort: bucket {bk} not sorted")

@@ -1,0 +1,111 @@
+"""K-Means clustering (Rodinia ``kmeans``).
+
+The GPU kernel assigns each point to its nearest centre; centres are
+recomputed on the host between iterations, exactly as in Rodinia.  Features
+are stored point-major (``features[point*nfeatures + f]``), so each lane
+strides by ``nfeatures`` elements — the notorious uncoalesced layout that
+makes KM one of the abstract's memory-coalescing outliers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder, MemSpace
+from repro.workloads.base import RunContext, Workload, assert_close, ceil_div
+from repro.workloads.registry import register
+
+
+def build_assign_kernel(nclusters: int, nfeatures: int):
+    b = KernelBuilder("kmeans_assign")
+    feats = b.param_buf("feats")
+    # Cluster centres are broadcast reads every iteration; Rodinia binds
+    # them through the texture path.
+    centers = b.param_buf("centers", space=MemSpace.TEXTURE)
+    membership = b.param_buf("membership", DType.I32)
+    npoints = b.param_i32("npoints")
+
+    p = b.global_thread_id()
+    b.ret_if(b.ige(p, npoints))
+    base = b.imul(p, nfeatures)
+    best = b.let_i32(0)
+    best_dist = b.let_f32(1e30)
+    with b.for_range(0, nclusters) as c:
+        cbase = b.imul(c, nfeatures)
+        dist = b.let_f32(0.0)
+        with b.for_range(0, nfeatures) as f:
+            d = b.fsub(b.ld(feats, b.iadd(base, f)), b.ld(centers, b.iadd(cbase, f)))
+            b.assign(dist, b.fma(d, d, dist))
+        with b.if_(b.flt(dist, best_dist)):
+            b.assign(best_dist, dist)
+            b.assign(best, c)
+    b.st(membership, p, best)
+    return b.finalize()
+
+
+def assign_ref(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    d = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    return d.argmin(axis=1)
+
+
+def update_centers(points: np.ndarray, member: np.ndarray, old: np.ndarray) -> np.ndarray:
+    """Host-side Lloyd update; empty clusters keep their old centre."""
+    new = old.copy()
+    for c in range(old.shape[0]):
+        sel = member == c
+        if sel.any():
+            new[c] = points[sel].mean(axis=0)
+    return new
+
+
+@register
+class KMeans(Workload):
+    abbrev = "KM"
+    name = "K-Means"
+    suite = "Rodinia"
+    description = "K-means assignment kernel (point-major layout, host-side update)"
+    default_scale = {"npoints": 2048, "nfeatures": 8, "nclusters": 5, "iters": 3, "block": 128}
+
+    def run(self, ctx: RunContext) -> None:
+        npoints = self.scale["npoints"]
+        nfeatures = self.scale["nfeatures"]
+        nclusters = self.scale["nclusters"]
+        rng = ctx.rng
+        # Blobby data so iterations actually move the centres.
+        blob_centers = rng.standard_normal((nclusters, nfeatures)) * 4.0
+        blob_of = rng.integers(0, nclusters, npoints)
+        self._points = blob_centers[blob_of] + rng.standard_normal((npoints, nfeatures))
+        self._initial_centers = self._points[rng.choice(npoints, nclusters, replace=False)].copy()
+
+        dev = ctx.device
+        feats = dev.from_array("feats", self._points, readonly=True)
+        centers_buf = dev.from_array("centers", self._initial_centers)
+        self._membership = dev.alloc("membership", npoints, DType.I32)
+        kernel = build_assign_kernel(nclusters, nfeatures)
+
+        centers = self._initial_centers
+        for _ in range(self.scale["iters"]):
+            ctx.launch(
+                kernel,
+                ceil_div(npoints, self.scale["block"]),
+                self.scale["block"],
+                {
+                    "feats": feats,
+                    "centers": centers_buf,
+                    "membership": self._membership,
+                    "npoints": npoints,
+                },
+            )
+            member = dev.download(self._membership)
+            centers = update_centers(self._points, member, centers)
+            dev.upload(centers_buf, centers)
+
+    def check(self, ctx: RunContext) -> None:
+        # Replay Lloyd on the host from the same start and compare the final
+        # device membership against the host trajectory.
+        centers = self._initial_centers
+        member = None
+        for _ in range(self.scale["iters"]):
+            member = assign_ref(self._points, centers)
+            centers = update_centers(self._points, member, centers)
+        assert_close(ctx.device.download(self._membership), member, "final membership")

@@ -1,0 +1,150 @@
+"""LavaMD (Rodinia ``lavaMD``).
+
+Molecular dynamics over a 3-D grid of boxes: one block per home box, one
+thread per particle; the kernel walks the home box plus its (clipped)
+neighbour boxes, stages each neighbour's particles through shared memory,
+and accumulates an exponential pair potential.  Like N-Body but with
+neighbour lists: boundary boxes have fewer neighbours, so *blocks* (not
+warps) are imbalanced, and the two-level loop nest has data-driven trip
+counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+ALPHA = 0.5
+
+
+def build_lavamd_kernel(per_box: int):
+    b = KernelBuilder("lavamd_kernel")
+    px = b.param_buf("px")
+    py = b.param_buf("py")
+    pz = b.param_buf("pz")
+    charge = b.param_buf("charge")
+    #: Per-box neighbour list: offsets (box, slot) -> neighbour box id, -1 pad.
+    nlist = b.param_buf("nlist", DType.I32)
+    ncount = b.param_buf("ncount", DType.I32)
+    energy = b.param_buf("energy")
+    sx = b.shared("sx", per_box)
+    sy = b.shared("sy", per_box)
+    sz = b.shared("sz", per_box)
+    sq = b.shared("sq", per_box)
+
+    tid = b.tid_x
+    box = b.ctaid_x
+    me = b.iadd(b.imul(box, per_box), tid)
+    xi = b.ld(px, me)
+    yi = b.ld(py, me)
+    zi = b.ld(pz, me)
+    acc = b.let_f32(0.0)
+
+    # Walk the actual neighbour count (uniform per block, so the barriers
+    # inside the loop are legal), exactly as Rodinia iterates nn_number.
+    n_neigh = b.ld(ncount, box)
+    slot = b.let_i32(0)
+    walk = b.while_loop()
+    with walk.cond():
+        walk.set_cond(b.ilt(slot, n_neigh))
+    with walk.body():
+        nbox = b.ld(nlist, b.iadd(b.imul(box, 27), slot))
+        j = b.iadd(b.imul(nbox, per_box), tid)
+        b.sst(sx, tid, b.ld(px, j))
+        b.sst(sy, tid, b.ld(py, j))
+        b.sst(sz, tid, b.ld(pz, j))
+        b.sst(sq, tid, b.ld(charge, j))
+        b.barrier()
+        with b.for_range(0, per_box) as k:
+            dx = b.fsub(xi, b.sld(sx, k))
+            dy = b.fsub(yi, b.sld(sy, k))
+            dz = b.fsub(zi, b.sld(sz, k))
+            r2 = b.fma(dx, dx, b.fma(dy, dy, b.fmul(dz, dz)))
+            b.assign(
+                acc,
+                b.fma(b.sld(sq, k), b.fexp(b.fmul(-ALPHA, r2)), acc),
+            )
+        b.barrier()
+        b.assign(slot, b.iadd(slot, 1))
+
+    b.st(energy, me, acc)
+    return b.finalize()
+
+
+def make_boxes(dim: int):
+    """Neighbour lists of a dim^3 box grid (no wraparound: edges clip)."""
+    nlist = np.full((dim**3, 27), -1, dtype=np.int64)
+    ncount = np.zeros(dim**3, dtype=np.int64)
+    for bz in range(dim):
+        for by in range(dim):
+            for bx in range(dim):
+                home = (bz * dim + by) * dim + bx
+                slot = 0
+                for dz in (-1, 0, 1):
+                    for dy in (-1, 0, 1):
+                        for dx in (-1, 0, 1):
+                            nx, ny, nz = bx + dx, by + dy, bz + dz
+                            if 0 <= nx < dim and 0 <= ny < dim and 0 <= nz < dim:
+                                nlist[home, slot] = (nz * dim + ny) * dim + nx
+                                slot += 1
+                ncount[home] = slot
+    return nlist, ncount
+
+
+def lavamd_ref(pos, charge, nlist, ncount, per_box):
+    nboxes = len(ncount)
+    energy = np.zeros(nboxes * per_box)
+    for box in range(nboxes):
+        home = slice(box * per_box, (box + 1) * per_box)
+        for slot in range(ncount[box]):
+            nbox = nlist[box, slot]
+            neigh = slice(nbox * per_box, (nbox + 1) * per_box)
+            d = pos[home, None, :] - pos[None, neigh, :].reshape(1, per_box, 3)
+            r2 = (d**2).sum(axis=2)
+            energy[home] += (charge[neigh][None, :] * np.exp(-ALPHA * r2)).sum(axis=1)
+    return energy
+
+
+@register
+class LavaMD(Workload):
+    abbrev = "LMD"
+    name = "LavaMD"
+    suite = "Rodinia"
+    description = "Boxed molecular dynamics: neighbour-list pair potentials in shared memory"
+    default_scale = {"dim": 3, "per_box": 16}
+
+    def run(self, ctx: RunContext) -> None:
+        dim = self.scale["dim"]
+        per_box = self.scale["per_box"]
+        nboxes = dim**3
+        n = nboxes * per_box
+        rng = ctx.rng
+        # Particles jittered around their box centres.
+        box_idx = np.arange(n) // per_box
+        centres = np.stack(
+            [box_idx % dim, (box_idx // dim) % dim, box_idx // (dim * dim)], axis=1
+        ).astype(float)
+        self._pos = centres + rng.uniform(0.0, 1.0, (n, 3))
+        self._charge = rng.uniform(0.5, 1.5, n)
+        self._nlist, self._ncount = make_boxes(dim)
+        dev = ctx.device
+        args = {
+            "px": dev.from_array("px", self._pos[:, 0], readonly=True),
+            "py": dev.from_array("py", self._pos[:, 1], readonly=True),
+            "pz": dev.from_array("pz", self._pos[:, 2], readonly=True),
+            "charge": dev.from_array("charge", self._charge, readonly=True),
+            "nlist": dev.from_array("nlist", self._nlist, DType.I32, readonly=True),
+            "ncount": dev.from_array("ncount", self._ncount, DType.I32, readonly=True),
+            "energy": dev.alloc("energy", n),
+        }
+        self._energy = args["energy"]
+        self._per_box = per_box
+        kernel = build_lavamd_kernel(per_box)
+        ctx.launch(kernel, nboxes, per_box, args)
+
+    def check(self, ctx: RunContext) -> None:
+        expected = lavamd_ref(self._pos, self._charge, self._nlist, self._ncount, self._per_box)
+        assert_close(ctx.device.download(self._energy), expected, "pair energies", tol=1e-9)

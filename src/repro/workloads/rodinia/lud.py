@@ -1,0 +1,202 @@
+"""LU decomposition (Rodinia ``lud``).
+
+Blocked right-looking LU without pivoting, with Rodinia's three kernels per
+step: ``diagonal`` (one block factorises the diagonal tile — triangular
+loops, low parallelism), ``perimeter`` (row/column panel solves) and
+``internal`` (rank-TILE update of the trailing submatrix — a dense GEMM-like
+kernel).  The three kernels stress very different regions of the space
+within one workload, so LUD's kernels scatter widely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+TILE = 16
+
+
+def build_diagonal_kernel(n: int):
+    """Factorise the diagonal tile at (off, off) with one TILE-thread block."""
+    b = KernelBuilder("lud_diagonal")
+    m = b.param_buf("m")
+    off = b.param_i32("off")
+    s = b.shared("tile", TILE * TILE)
+    tid = b.tid_x
+
+    # Stage the tile (each thread loads one row).
+    with b.for_range(0, TILE) as j:
+        src = b.iadd(b.imul(b.iadd(off, tid), n), b.iadd(off, j))
+        b.sst(s, b.iadd(b.imul(tid, TILE), j), b.ld(m, src))
+    b.barrier()
+
+    with b.for_range(0, TILE - 1) as k:
+        # Column update: rows below k divide by the pivot...
+        with b.if_(b.igt(tid, k)):
+            pivot = b.sld(s, b.iadd(b.imul(k, TILE), k))
+            idx = b.iadd(b.imul(tid, TILE), k)
+            b.sst(s, idx, b.fdiv(b.sld(s, idx), pivot))
+        b.barrier()
+        # ...then eliminate the trailing submatrix row-wise.
+        with b.if_(b.igt(tid, k)):
+            lik = b.sld(s, b.iadd(b.imul(tid, TILE), k))
+            kp1 = b.iadd(k, 1)
+            j2 = b.let_i32(kp1)
+            loop = b.while_loop()
+            with loop.cond():
+                loop.set_cond(b.ilt(j2, TILE))
+            with loop.body():
+                idx = b.iadd(b.imul(tid, TILE), j2)
+                ukj = b.sld(s, b.iadd(b.imul(k, TILE), j2))
+                b.sst(s, idx, b.fsub(b.sld(s, idx), b.fmul(lik, ukj)))
+                b.assign(j2, b.iadd(j2, 1))
+        b.barrier()
+
+    with b.for_range(0, TILE) as j3:
+        dst = b.iadd(b.imul(b.iadd(off, tid), n), b.iadd(off, j3))
+        b.st(m, dst, b.sld(s, b.iadd(b.imul(tid, TILE), j3)))
+    return b.finalize()
+
+
+def build_perimeter_kernel(n: int):
+    """Update the row panel U(off, off+TILE..) and column panel L(off+TILE.., off).
+
+    Block i handles the i-th trailing tile pair; threads 0..TILE-1 work the
+    row panel, threads TILE..2*TILE-1 the column panel (intra-block
+    divergence by construction, as in Rodinia).
+    """
+    b = KernelBuilder("lud_perimeter")
+    m = b.param_buf("m")
+    off = b.param_i32("off")
+    diag = b.shared("diag", TILE * TILE)
+    peri_row = b.shared("peri_row", TILE * TILE)
+    peri_col = b.shared("peri_col", TILE * TILE)
+    tid = b.tid_x
+
+    half = b.ilt(tid, TILE)
+    col_t = b.imod(tid, TILE)
+    tile_off = b.iadd(off, b.imul(b.iadd(b.ctaid_x, 1), TILE))
+
+    # Stage the diagonal tile (all threads cooperate).
+    with b.for_range(0, TILE // 2) as r:
+        row = b.iadd(b.imul(b.idiv(tid, TILE), TILE // 2), r)
+        src = b.iadd(b.imul(b.iadd(off, row), n), b.iadd(off, col_t))
+        b.sst(diag, b.iadd(b.imul(row, TILE), col_t), b.ld(m, src))
+    b.barrier()
+
+    ife = b.if_else(half)
+    with ife.then():
+        # Row panel: solve L(diag) * X = A(off.., tile_off..) column by column.
+        with b.for_range(0, TILE) as r2:
+            src = b.iadd(b.imul(b.iadd(off, r2), n), b.iadd(tile_off, col_t))
+            b.sst(peri_row, b.iadd(b.imul(r2, TILE), col_t), b.ld(m, src))
+        # Forward substitution down the column (unit lower triangular).
+        with b.for_range(0, TILE) as k:
+            with b.for_range(0, TILE) as r3:
+                with b.if_(b.igt(r3, k)):
+                    lik = b.sld(diag, b.iadd(b.imul(r3, TILE), k))
+                    xkj = b.sld(peri_row, b.iadd(b.imul(k, TILE), col_t))
+                    idx = b.iadd(b.imul(r3, TILE), col_t)
+                    b.sst(peri_row, idx, b.fsub(b.sld(peri_row, idx), b.fmul(lik, xkj)))
+        with b.for_range(0, TILE) as r4:
+            dst = b.iadd(b.imul(b.iadd(off, r4), n), b.iadd(tile_off, col_t))
+            b.st(m, dst, b.sld(peri_row, b.iadd(b.imul(r4, TILE), col_t)))
+    with ife.otherwise():
+        # Column panel: solve X * U(diag) = A(tile_off.., off), row col_t.
+        row_base = b.imul(col_t, TILE)
+        with b.for_range(0, TILE) as c2:
+            src = b.iadd(b.imul(b.iadd(tile_off, col_t), n), b.iadd(off, c2))
+            b.sst(peri_col, b.iadd(row_base, c2), b.ld(m, src))
+        with b.for_range(0, TILE) as k2:
+            pivot = b.sld(diag, b.iadd(b.imul(k2, TILE), k2))
+            idxk = b.iadd(row_base, k2)
+            b.sst(peri_col, idxk, b.fdiv(b.sld(peri_col, idxk), pivot))
+            xik = b.sld(peri_col, idxk)
+            j5 = b.let_i32(b.iadd(k2, 1))
+            loop = b.while_loop()
+            with loop.cond():
+                loop.set_cond(b.ilt(j5, TILE))
+            with loop.body():
+                ukj = b.sld(diag, b.iadd(b.imul(k2, TILE), j5))
+                idxj = b.iadd(row_base, j5)
+                b.sst(peri_col, idxj, b.fsub(b.sld(peri_col, idxj), b.fmul(xik, ukj)))
+                b.assign(j5, b.iadd(j5, 1))
+        with b.for_range(0, TILE) as c3:
+            dst = b.iadd(b.imul(b.iadd(tile_off, col_t), n), b.iadd(off, c3))
+            b.st(m, dst, b.sld(peri_col, b.iadd(row_base, c3)))
+    return b.finalize()
+
+
+def build_internal_kernel(n: int):
+    """Trailing update A(ti, tj) -= L(ti, off) @ U(off, tj)."""
+    b = KernelBuilder("lud_internal")
+    m = b.param_buf("m")
+    off = b.param_i32("off")
+    sl = b.shared("L", TILE * TILE)
+    su = b.shared("U", TILE * TILE)
+    tx = b.tid_x
+    ty = b.tid_y
+
+    row = b.iadd(b.iadd(off, TILE), b.iadd(b.imul(b.ctaid_y, TILE), ty))
+    col = b.iadd(b.iadd(off, TILE), b.iadd(b.imul(b.ctaid_x, TILE), tx))
+    sidx = b.iadd(b.imul(ty, TILE), tx)
+    b.sst(sl, sidx, b.ld(m, b.iadd(b.imul(row, n), b.iadd(off, tx))))
+    b.sst(su, sidx, b.ld(m, b.iadd(b.imul(b.iadd(off, ty), n), col)))
+    b.barrier()
+
+    acc = b.let_f32(0.0)
+    with b.for_range(0, TILE) as k:
+        lv = b.sld(sl, b.iadd(b.imul(ty, TILE), k))
+        uv = b.sld(su, b.iadd(b.imul(k, TILE), tx))
+        b.assign(acc, b.fma(lv, uv, acc))
+    idx = b.iadd(b.imul(row, n), col)
+    b.st(m, idx, b.fsub(b.ld(m, idx), acc))
+    return b.finalize()
+
+
+def lud_ref(a: np.ndarray) -> np.ndarray:
+    """In-place blocked LU (no pivoting); returns combined L\\U matrix."""
+    m = a.copy()
+    n = m.shape[0]
+    for k in range(n - 1):
+        m[k + 1 :, k] /= m[k, k]
+        m[k + 1 :, k + 1 :] -= np.outer(m[k + 1 :, k], m[k, k + 1 :])
+    return m
+
+
+@register
+class Lud(Workload):
+    abbrev = "LUD"
+    name = "LU Decomposition"
+    suite = "Rodinia"
+    description = "Blocked LU: diagonal, perimeter and internal kernels per step"
+    default_scale = {"n": 64}
+
+    def run(self, ctx: RunContext) -> None:
+        n = self.scale["n"]
+        assert n % TILE == 0
+        rng = ctx.rng
+        # Diagonally dominant so unpivoted LU is stable.
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        self._a = a
+        dev = ctx.device
+        self._m = dev.from_array("m", a)
+        k_diag = build_diagonal_kernel(n)
+        k_peri = build_perimeter_kernel(n)
+        k_int = build_internal_kernel(n)
+        nblocks = n // TILE
+        for step in range(nblocks):
+            off = step * TILE
+            rest = nblocks - step - 1
+            ctx.launch(k_diag, 1, TILE, {"m": self._m, "off": off})
+            if rest > 0:
+                ctx.launch(k_peri, rest, 2 * TILE, {"m": self._m, "off": off})
+                ctx.launch(k_int, (rest, rest), (TILE, TILE), {"m": self._m, "off": off})
+
+    def check(self, ctx: RunContext) -> None:
+        expected = lud_ref(self._a)
+        got = ctx.device.download(self._m).reshape(expected.shape)
+        assert_close(got, expected, "LU factors", tol=1e-7)

@@ -1,0 +1,145 @@
+"""MUMmerGPU (Rodinia ``mummergpu``) — genome sequence matching.
+
+Each thread matches one DNA query against a reference *trie* bound to
+texture memory (as the original does with its suffix tree): a chain of data-dependent pointer dereferences
+(``node = children[node*4 + base]``) whose depth depends on the data.  The
+walk restarts at every query offset (maximal-exact-match semantics), so
+trip counts vary per lane at two nesting levels — the deepest sustained
+branch divergence in the set (the profile the abstract attributes to MUM),
+with the scattered fetches hitting the texture path rather than the
+coalescing rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder, MemSpace
+from repro.workloads.base import RunContext, Workload, assert_close, ceil_div
+from repro.workloads.registry import register
+
+ALPHABET = 4
+
+
+class Trie:
+    """Host-side trie over substrings of the reference, as flat int arrays."""
+
+    def __init__(self) -> None:
+        self.children = [[-1] * ALPHABET]
+
+    def insert(self, seq: np.ndarray) -> None:
+        node = 0
+        for base in seq:
+            nxt = self.children[node][base]
+            if nxt == -1:
+                nxt = len(self.children)
+                self.children.append([-1] * ALPHABET)
+                self.children[node][base] = nxt
+            node = nxt
+
+    def flat(self) -> np.ndarray:
+        return np.array(self.children, dtype=np.int64).reshape(-1)
+
+
+def build_trie(reference: np.ndarray, depth: int) -> Trie:
+    trie = Trie()
+    for start in range(len(reference)):
+        trie.insert(reference[start : start + depth])
+    return trie
+
+
+def build_match_kernel(qlen: int):
+    b = KernelBuilder("mummer_match")
+    # The reference trie lives in texture memory, as MUMmerGPU binds its
+    # suffix tree to textures (the walk is cached, not coalesced).
+    trie = b.param_buf("trie", DType.I32, space=MemSpace.TEXTURE)
+    # Queries are texture-bound too, as in the original.
+    queries = b.param_buf("queries", DType.I32, space=MemSpace.TEXTURE)
+    out = b.param_buf("out", DType.I32)  # best match length per query
+    nq = b.param_i32("nq")
+
+    t = b.global_thread_id()
+    b.ret_if(b.ige(t, nq))
+    qbase = b.imul(t, qlen)
+    best = b.let_i32(0)
+
+    with b.for_range(0, qlen) as start:
+        node = b.let_i32(0)
+        depth = b.let_i32(0)
+        pos = b.let_i32(start)
+        walking = b.let_i32(1)
+        walk = b.while_loop()
+        with walk.cond():
+            walk.set_cond(b.pand(b.ine(walking, 0), b.ilt(pos, qlen)))
+        with walk.body():
+            base = b.ld(queries, b.iadd(qbase, pos))
+            child = b.ld(trie, b.iadd(b.imul(node, ALPHABET), base))
+            ife = b.if_else(b.ieq(child, -1))
+            with ife.then():
+                b.assign(walking, 0)
+            with ife.otherwise():
+                b.assign(node, child)
+                b.assign(depth, b.iadd(depth, 1))
+                b.assign(pos, b.iadd(pos, 1))
+        with b.if_(b.igt(depth, best)):
+            b.assign(best, depth)
+
+    b.st(out, t, best)
+    return b.finalize()
+
+
+def match_ref(trie_children, queries: np.ndarray) -> np.ndarray:
+    out = np.zeros(queries.shape[0], dtype=np.int64)
+    for t, q in enumerate(queries):
+        best = 0
+        for start in range(len(q)):
+            node = 0
+            depth = 0
+            for pos in range(start, len(q)):
+                child = trie_children[node][q[pos]]
+                if child == -1:
+                    break
+                node = child
+                depth += 1
+            best = max(best, depth)
+        out[t] = best
+    return out
+
+
+@register
+class MummerGpu(Workload):
+    abbrev = "MUM"
+    name = "MUMmerGPU"
+    suite = "Rodinia"
+    description = "DNA query matching via texture-resident trie walks"
+    default_scale = {"ref_len": 256, "depth": 12, "nq": 256, "qlen": 24, "block": 64}
+
+    def run(self, ctx: RunContext) -> None:
+        rng = ctx.rng
+        reference = rng.integers(0, ALPHABET, self.scale["ref_len"])
+        trie = build_trie(reference, self.scale["depth"])
+        self._trie_children = trie.children
+        nq = self.scale["nq"]
+        qlen = self.scale["qlen"]
+        # Queries are reference substrings with point mutations, so match
+        # lengths are long-but-variable (data-dependent walk depths).
+        starts = rng.integers(0, self.scale["ref_len"] - qlen, nq)
+        self._queries = np.stack([reference[s : s + qlen] for s in starts])
+        mutate = rng.random((nq, qlen)) < 0.15
+        self._queries = np.where(
+            mutate, rng.integers(0, ALPHABET, (nq, qlen)), self._queries
+        )
+        dev = ctx.device
+        args = {
+            "trie": dev.from_array("trie", trie.flat(), DType.I32, readonly=True),
+            "queries": dev.from_array("queries", self._queries, DType.I32, readonly=True),
+            "out": dev.alloc("out", nq, DType.I32),
+            "nq": nq,
+        }
+        self._out = args["out"]
+        kernel = build_match_kernel(qlen)
+        ctx.launch(kernel, ceil_div(nq, self.scale["block"]), self.scale["block"], args)
+
+    def check(self, ctx: RunContext) -> None:
+        expected = match_ref(self._trie_children, self._queries)
+        assert_close(ctx.device.download(self._out), expected, "match lengths")

@@ -1,0 +1,119 @@
+"""Nearest Neighbor (Rodinia ``nn``).
+
+Kernel 1 computes the Euclidean distance from every record to the query
+(tiny, memory-bound, one sqrt).  Kernel 2 reduces to the k=1 nearest record
+with a shared-memory argmin tree whose compare-and-keep branches are
+data-dependent — unlike a sum reduction, *which* lane wins each comparison
+is random, so the tree branches diverge irregularly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder
+from repro.workloads.base import RunContext, Workload, ceil_div
+from repro.workloads.registry import register
+
+
+def build_distance_kernel():
+    b = KernelBuilder("nn_distance")
+    lat = b.param_buf("lat")
+    lng = b.param_buf("lng")
+    dist = b.param_buf("dist")
+    n = b.param_i32("n")
+    qlat = b.param_f32("qlat")
+    qlng = b.param_f32("qlng")
+    i = b.global_thread_id()
+    with b.if_(b.ilt(i, n)):
+        dlat = b.fsub(b.ld(lat, i), qlat)
+        dlng = b.fsub(b.ld(lng, i), qlng)
+        b.st(dist, i, b.fsqrt(b.fma(dlat, dlat, b.fmul(dlng, dlng))))
+    return b.finalize()
+
+
+def build_argmin_kernel(block: int):
+    b = KernelBuilder("nn_argmin")
+    dist = b.param_buf("dist")
+    out_val = b.param_buf("out_val")
+    out_idx = b.param_buf("out_idx", DType.I32)
+    n = b.param_i32("n")
+    sv = b.shared("sv", block)
+    si = b.shared("si", block, DType.I32)
+
+    tid = b.tid_x
+    gid = b.global_thread_id()
+    val = b.let_f32(1e30)
+    idx = b.let_i32(-1)
+    with b.if_(b.ilt(gid, n)):
+        b.assign(val, b.ld(dist, gid))
+        b.assign(idx, gid)
+    b.sst(sv, tid, val)
+    b.sst(si, tid, idx)
+    b.barrier()
+
+    step = b.let_i32(block // 2)
+    tree = b.while_loop()
+    with tree.cond():
+        tree.set_cond(b.igt(step, 0))
+    with tree.body():
+        with b.if_(b.ilt(tid, step)):
+            other = b.iadd(tid, step)
+            with b.if_(b.flt(b.sld(sv, other), b.sld(sv, tid))):
+                b.sst(sv, tid, b.sld(sv, other))
+                b.sst(si, tid, b.sld(si, other))
+        b.barrier()
+        b.assign(step, b.ishr(step, 1))
+
+    with b.if_(b.ieq(tid, 0)):
+        b.st(out_val, b.ctaid_x, b.sld(sv, 0))
+        b.st(out_idx, b.ctaid_x, b.sld(si, 0))
+    return b.finalize()
+
+
+@register
+class NearestNeighbor(Workload):
+    abbrev = "NN"
+    name = "Nearest Neighbor"
+    suite = "Rodinia"
+    description = "Distance computation plus data-dependent argmin reduction"
+    default_scale = {"n": 16384, "block": 256}
+
+    def run(self, ctx: RunContext) -> None:
+        n = self.scale["n"]
+        block = self.scale["block"]
+        rng = ctx.rng
+        self._lat = rng.uniform(20.0, 50.0, n)
+        self._lng = rng.uniform(-120.0, -70.0, n)
+        self._query = (35.0, -95.0)
+        dev = ctx.device
+        lat = dev.from_array("lat", self._lat, readonly=True)
+        lng = dev.from_array("lng", self._lng, readonly=True)
+        dist = dev.alloc("dist", n)
+        blocks = ceil_div(n, block)
+        part_val = dev.alloc("part_val", blocks)
+        part_idx = dev.alloc("part_idx", blocks, DType.I32)
+        ctx.launch(
+            build_distance_kernel(),
+            blocks,
+            block,
+            {"lat": lat, "lng": lng, "dist": dist, "n": n,
+             "qlat": self._query[0], "qlng": self._query[1]},
+        )
+        ctx.launch(
+            build_argmin_kernel(block),
+            blocks,
+            block,
+            {"dist": dist, "out_val": part_val, "out_idx": part_idx, "n": n},
+        )
+        self._parts = (part_val, part_idx)
+
+    def check(self, ctx: RunContext) -> None:
+        vals = ctx.device.download(self._parts[0])
+        idxs = ctx.device.download(self._parts[1])
+        winner = idxs[vals.argmin()]
+        dlat = self._lat - self._query[0]
+        dlng = self._lng - self._query[1]
+        expected = int(np.sqrt(dlat * dlat + dlng * dlng).argmin())
+        if int(winner) != expected:
+            raise AssertionError(f"nn: got record {winner}, expected {expected}")

@@ -1,0 +1,128 @@
+"""Needleman-Wunsch global alignment (Rodinia ``nw``).
+
+The score matrix is processed tile-by-tile along anti-diagonals: one kernel
+launch per tile diagonal (many small launches, a distinctive Rodinia
+trait), and inside each tile a shared-memory wavefront with a barrier per
+mini-diagonal.  The number of active threads ramps up and down the wavefront
+— textbook structured divergence plus extreme barrier density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+TILE = 16
+
+
+def build_nw_tile_kernel(dim: int, penalty: int):
+    """Process one anti-diagonal of TILE x TILE tiles.
+
+    ``dim`` is the padded matrix edge (alignment length + 1 boundary
+    row/col).  ``diag`` selects the tile diagonal and ``lo`` is the first
+    tile column on it, so ``tile_col = ctaid.x + lo``.
+    """
+    b = KernelBuilder("nw_tile")
+    score = b.param_buf("score", DType.I32)
+    ref = b.param_buf("ref", DType.I32)  # substitution scores, (dim-1)^2
+    diag = b.param_i32("diag")
+    lo = b.param_i32("lo")
+    s = b.shared("tile", (TILE + 1) * (TILE + 1), DType.I32)
+
+    tx = b.tid_x  # column within the tile
+    tile_col = b.iadd(b.ctaid_x, lo)
+    tile_row = b.isub(diag, tile_col)
+    base_r = b.imul(tile_row, TILE)  # matrix row of the tile's north boundary
+    base_c = b.imul(tile_col, TILE)
+    txp1 = b.iadd(tx, 1)
+
+    # Stage the tile's north boundary row and west boundary column.
+    b.sst(s, txp1, b.ld(score, b.iadd(b.imul(base_r, dim), b.iadd(base_c, txp1))))
+    b.sst(
+        s,
+        b.imul(txp1, TILE + 1),
+        b.ld(score, b.iadd(b.imul(b.iadd(base_r, txp1), dim), base_c)),
+    )
+    with b.if_(b.ieq(tx, 0)):
+        b.sst(s, 0, b.ld(score, b.iadd(b.imul(base_r, dim), base_c)))
+    b.barrier()
+
+    # Wavefront over the tile's 2*TILE-1 mini-diagonals.
+    with b.for_range(0, 2 * TILE - 1) as m:
+        i = b.isub(m, tx)  # row within tile for this thread (col = tx)
+        on_wave = b.pand(b.ige(i, 0), b.ilt(i, TILE))
+        with b.if_(on_wave):
+            si = b.iadd(b.imul(b.iadd(i, 1), TILE + 1), txp1)
+            rr = b.iadd(base_r, i)  # 0-based cell row in the (dim-1)^2 ref grid
+            rc = b.iadd(base_c, tx)
+            sub = b.ld(ref, b.iadd(b.imul(rr, dim - 1), rc))
+            nw_v = b.iadd(b.sld(s, b.isub(si, TILE + 2)), sub)
+            up_v = b.isub(b.sld(s, b.isub(si, TILE + 1)), penalty)
+            left_v = b.isub(b.sld(s, b.isub(si, 1)), penalty)
+            b.sst(s, si, b.imax(nw_v, b.imax(up_v, left_v)))
+        b.barrier()
+
+    # Write the tile interior back (coalesced row by row).
+    with b.for_range(0, TILE) as i2:
+        ip1 = b.iadd(i2, 1)
+        out = b.iadd(b.imul(b.iadd(base_r, ip1), dim), b.iadd(base_c, txp1))
+        b.st(score, out, b.sld(s, b.iadd(b.imul(ip1, TILE + 1), txp1)))
+    return b.finalize()
+
+
+def nw_ref(sub: np.ndarray, penalty: int) -> np.ndarray:
+    n = sub.shape[0]
+    score = np.zeros((n + 1, n + 1), dtype=np.int64)
+    score[0, :] = -penalty * np.arange(n + 1)
+    score[:, 0] = -penalty * np.arange(n + 1)
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            score[i, j] = max(
+                score[i - 1, j - 1] + sub[i - 1, j - 1],
+                score[i - 1, j] - penalty,
+                score[i, j - 1] - penalty,
+            )
+    return score
+
+
+@register
+class NeedlemanWunsch(Workload):
+    abbrev = "NW"
+    name = "Needleman-Wunsch"
+    suite = "Rodinia"
+    description = "Tiled anti-diagonal DP alignment; one launch per tile diagonal"
+    default_scale = {"n": 128, "penalty": 10}
+
+    def run(self, ctx: RunContext) -> None:
+        n = self.scale["n"]
+        penalty = self.scale["penalty"]
+        assert n % TILE == 0
+        dim = n + 1
+        rng = ctx.rng
+        self._sub = rng.integers(-4, 5, (n, n))
+        init = np.zeros((dim, dim), dtype=np.int64)
+        init[0, :] = -penalty * np.arange(dim)
+        init[:, 0] = -penalty * np.arange(dim)
+        dev = ctx.device
+        self._score = dev.from_array("score", init, DType.I32)
+        ref = dev.from_array("ref", self._sub, DType.I32, readonly=True)
+        kernel = build_nw_tile_kernel(dim, penalty)
+        ntiles = n // TILE
+        for diag in range(2 * ntiles - 1):
+            lo = max(0, diag - ntiles + 1)
+            hi = min(diag, ntiles - 1)
+            ctx.launch(
+                kernel,
+                hi - lo + 1,
+                TILE,
+                {"score": self._score, "ref": ref, "diag": diag, "lo": lo},
+            )
+        self._penalty = penalty
+
+    def check(self, ctx: RunContext) -> None:
+        expected = nw_ref(self._sub, self._penalty)
+        got = ctx.device.download(self._score).reshape(expected.shape)
+        assert_close(got, expected, "alignment score matrix")

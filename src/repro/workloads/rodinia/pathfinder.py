@@ -1,0 +1,115 @@
+"""PathFinder (Rodinia ``pathfinder``).
+
+Dynamic programming over a grid: each step keeps, for every column, the
+cheapest path cost from the row above (min of three neighbours).  The
+kernel processes several rows per launch inside shared memory with a
+barrier per row and ghost-zone columns that go inactive as the stencil
+shrinks — Rodinia's signature "pyramid" divergence pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+BLOCK = 128
+
+
+def build_pathfinder_kernel(cols: int, rows_per_launch: int):
+    b = KernelBuilder("pathfinder_dynproc")
+    wall = b.param_buf("wall", DType.I32)  # (rows, cols) costs
+    src = b.param_buf("src", DType.I32)  # current best costs per column
+    dst = b.param_buf("dst", DType.I32)
+    row0 = b.param_i32("row0")
+    border = rows_per_launch  # ghost-zone width
+    s_prev = b.shared("prev", BLOCK, DType.I32)
+    s_cur = b.shared("cur", BLOCK, DType.I32)
+
+    tid = b.tid_x
+    # Each block computes BLOCK - 2*border interior columns.
+    stride = BLOCK - 2 * border
+    col = b.iadd(b.isub(b.imul(b.ctaid_x, stride), border), tid)
+    in_range = b.pand(b.ige(col, 0), b.ilt(col, cols))
+
+    val = b.let_i32(2**30)
+    with b.if_(in_range):
+        b.assign(val, b.ld(src, col))
+    b.sst(s_prev, tid, val)
+    # Seed s_cur as well: lanes outside the shrinking window never write it,
+    # yet the row-advance copy below reads every slot.
+    b.sst(s_cur, tid, val)
+    b.barrier()
+
+    with b.for_range(0, rows_per_launch) as r:
+        # The valid computation window shrinks by one on each side per row.
+        lo_ok = b.igt(tid, r)
+        hi_ok = b.ilt(tid, b.isub(BLOCK - 1, r))
+        alive = b.pand(b.pand(lo_ok, hi_ok), in_range)
+        with b.if_(alive):
+            left = b.sld(s_prev, b.isub(tid, 1))
+            centre = b.sld(s_prev, tid)
+            right = b.sld(s_prev, b.iadd(tid, 1))
+            best = b.imin(b.imin(left, centre), right)
+            cost = b.ld(wall, b.iadd(b.imul(b.iadd(row0, r), cols), col))
+            b.sst(s_cur, tid, b.iadd(best, cost))
+        b.barrier()
+        b.sst(s_prev, tid, b.sld(s_cur, tid))
+        b.barrier()
+
+    # Interior threads write their final value.
+    interior = b.pand(
+        b.pand(b.ige(tid, border), b.ilt(tid, BLOCK - border)), in_range
+    )
+    with b.if_(interior):
+        b.st(dst, col, b.sld(s_prev, tid))
+    return b.finalize()
+
+
+def pathfinder_ref(wall: np.ndarray) -> np.ndarray:
+    rows, cols = wall.shape
+    cost = wall[0].astype(np.int64).copy()
+    for r in range(1, rows):
+        padded = np.pad(cost, 1, constant_values=2**30)
+        best = np.minimum(np.minimum(padded[:-2], padded[1:-1]), padded[2:])
+        cost = best + wall[r]
+    return cost
+
+
+@register
+class PathFinder(Workload):
+    abbrev = "PF"
+    name = "PathFinder"
+    suite = "Rodinia"
+    description = "Grid DP with ghost-zone tiling (pyramid-shaped active regions)"
+    default_scale = {"rows": 17, "cols": 1024, "rows_per_launch": 4}
+
+    def run(self, ctx: RunContext) -> None:
+        rows, cols = self.scale["rows"], self.scale["cols"]
+        rpl = self.scale["rows_per_launch"]
+        assert (rows - 1) % rpl == 0
+        self._wall = ctx.rng.integers(1, 10, (rows, cols))
+        dev = ctx.device
+        wall = dev.from_array("wall", self._wall, DType.I32, readonly=True)
+        a = dev.from_array("a", self._wall[0], DType.I32)
+        bbuf = dev.alloc("b", cols, DType.I32)
+        bufs = [a, bbuf]
+        stride = BLOCK - 2 * rpl
+        grid = -(-cols // stride)
+        kernel = build_pathfinder_kernel(cols, rpl)
+        flip = 0
+        for row0 in range(1, rows, rpl):
+            ctx.launch(
+                kernel,
+                grid,
+                BLOCK,
+                {"wall": wall, "src": bufs[flip], "dst": bufs[1 - flip], "row0": row0},
+            )
+            flip = 1 - flip
+        self._result = bufs[flip]
+
+    def check(self, ctx: RunContext) -> None:
+        expected = pathfinder_ref(self._wall)
+        assert_close(ctx.device.download(self._result), expected, "path costs")

@@ -1,0 +1,196 @@
+"""SRAD — Speckle Reducing Anisotropic Diffusion (Rodinia ``srad``).
+
+Two kernels per iteration, as in Rodinia: ``srad1`` computes directional
+derivatives and the diffusion coefficient (FP-division dense, clamped
+coefficient branches), ``srad2`` applies the divergence update.  Neighbour
+indices use precomputed clamped index vectors like the original, so loads
+mix unit-stride and row-stride patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+
+def build_srad1_kernel(cols: int):
+    b = KernelBuilder("srad1")
+    img = b.param_buf("img")
+    dn = b.param_buf("dn")
+    ds = b.param_buf("ds")
+    dw = b.param_buf("dw")
+    de = b.param_buf("de")
+    coeff = b.param_buf("coeff")
+    idx_n = b.param_buf("idx_n", DType.I32)
+    idx_s = b.param_buf("idx_s", DType.I32)
+    idx_w = b.param_buf("idx_w", DType.I32)
+    idx_e = b.param_buf("idx_e", DType.I32)
+    q0sqr = b.param_f32("q0sqr")
+    n = b.param_i32("n")
+
+    i = b.global_thread_id()
+    b.ret_if(b.ige(i, n))
+    row = b.idiv(i, cols)
+    col = b.imod(i, cols)
+    jc = b.ld(img, i)
+    vn = b.fsub(b.ld(img, b.iadd(b.imul(b.ld(idx_n, row), cols), col)), jc)
+    vs = b.fsub(b.ld(img, b.iadd(b.imul(b.ld(idx_s, row), cols), col)), jc)
+    vw = b.fsub(b.ld(img, b.iadd(b.imul(row, cols), b.ld(idx_w, col))), jc)
+    ve = b.fsub(b.ld(img, b.iadd(b.imul(row, cols), b.ld(idx_e, col))), jc)
+    b.st(dn, i, vn)
+    b.st(ds, i, vs)
+    b.st(dw, i, vw)
+    b.st(de, i, ve)
+
+    g2 = b.fdiv(
+        b.fadd(
+            b.fadd(b.fmul(vn, vn), b.fmul(vs, vs)),
+            b.fadd(b.fmul(vw, vw), b.fmul(ve, ve)),
+        ),
+        b.fmul(jc, jc),
+    )
+    l = b.fdiv(b.fadd(b.fadd(vn, vs), b.fadd(vw, ve)), jc)
+    num = b.fsub(b.fmul(0.5, g2), b.fmul(b.fmul(1.0 / 16.0, l), l))
+    den = b.fma(0.25, l, 1.0)
+    qsqr = b.fdiv(num, b.fmul(den, den))
+    den2 = b.fdiv(b.fsub(qsqr, q0sqr), b.fmul(q0sqr, b.fadd(1.0, q0sqr)))
+    c = b.frcp(b.fadd(1.0, den2))
+    # Clamp the coefficient to [0, 1] — data-dependent branches.
+    with b.if_(b.flt(c, 0.0)):
+        b.assign(c, 0.0)  # type: ignore[arg-type]
+    with b.if_(b.fgt(c, 1.0)):
+        b.assign(c, 1.0)  # type: ignore[arg-type]
+    b.st(coeff, i, c)
+    return b.finalize()
+
+
+def build_srad2_kernel(cols: int):
+    b = KernelBuilder("srad2")
+    img = b.param_buf("img")
+    dn = b.param_buf("dn")
+    ds = b.param_buf("ds")
+    dw = b.param_buf("dw")
+    de = b.param_buf("de")
+    coeff = b.param_buf("coeff")
+    idx_s = b.param_buf("idx_s", DType.I32)
+    idx_e = b.param_buf("idx_e", DType.I32)
+    lam = b.param_f32("lam")
+    n = b.param_i32("n")
+
+    i = b.global_thread_id()
+    b.ret_if(b.ige(i, n))
+    row = b.idiv(i, cols)
+    col = b.imod(i, cols)
+    cn = b.ld(coeff, i)
+    cw = b.ld(coeff, i)
+    cs = b.ld(coeff, b.iadd(b.imul(b.ld(idx_s, row), cols), col))
+    ce = b.ld(coeff, b.iadd(b.imul(row, cols), b.ld(idx_e, col)))
+    d = b.fadd(
+        b.fadd(b.fmul(cn, b.ld(dn, i)), b.fmul(cs, b.ld(ds, i))),
+        b.fadd(b.fmul(cw, b.ld(dw, i)), b.fmul(ce, b.ld(de, i))),
+    )
+    b.st(img, i, b.fma(b.fmul(lam, 0.25), d, b.ld(img, i)))
+    return b.finalize()
+
+
+def srad_ref(img: np.ndarray, q0sqr: float, lam: float) -> np.ndarray:
+    rows, cols = img.shape
+    idx_n = np.maximum(np.arange(rows) - 1, 0)
+    idx_s = np.minimum(np.arange(rows) + 1, rows - 1)
+    idx_w = np.maximum(np.arange(cols) - 1, 0)
+    idx_e = np.minimum(np.arange(cols) + 1, cols - 1)
+    jc = img
+    dn = img[idx_n, :] - jc
+    ds = img[idx_s, :] - jc
+    dw = img[:, idx_w] - jc
+    de = img[:, idx_e] - jc
+    g2 = (dn**2 + ds**2 + dw**2 + de**2) / (jc * jc)
+    l = (dn + ds + dw + de) / jc
+    num = 0.5 * g2 - (l * l) / 16.0
+    den = (1.0 + 0.25 * l) ** 2
+    qsqr = num / den
+    den2 = (qsqr - q0sqr) / (q0sqr * (1.0 + q0sqr))
+    c = np.clip(1.0 / (1.0 + den2), 0.0, 1.0)
+    cs = c[idx_s, :]
+    ce = c[:, idx_e]
+    d = c * dn + cs * ds + c * dw + ce * de
+    return img + lam * 0.25 * d
+
+
+@register
+class Srad(Workload):
+    abbrev = "SRAD"
+    name = "SRAD"
+    suite = "Rodinia"
+    description = "Speckle-reducing anisotropic diffusion (two kernels per iteration)"
+    default_scale = {"rows": 64, "cols": 64, "iters": 2, "lam": 0.5}
+
+    def run(self, ctx: RunContext) -> None:
+        rows, cols = self.scale["rows"], self.scale["cols"]
+        n = rows * cols
+        self._img = np.exp(ctx.rng.uniform(0.0, 1.0, (rows, cols)))
+        dev = ctx.device
+        img = dev.from_array("img", self._img)
+        bufs = {name: dev.alloc(name, n) for name in ("dn", "ds", "dw", "de", "coeff")}
+        idx = {
+            "idx_n": np.maximum(np.arange(rows) - 1, 0),
+            "idx_s": np.minimum(np.arange(rows) + 1, rows - 1),
+            "idx_w": np.maximum(np.arange(cols) - 1, 0),
+            "idx_e": np.minimum(np.arange(cols) + 1, cols - 1),
+        }
+        idx_bufs = {
+            name: dev.from_array(name, arr, DType.I32, readonly=True)
+            for name, arr in idx.items()
+        }
+        k1 = build_srad1_kernel(cols)
+        k2 = build_srad2_kernel(cols)
+        self._q0sqrs = []
+        for _ in range(self.scale["iters"]):
+            # Rodinia computes q0sqr from a host-side ROI statistic each iter.
+            host_img = dev.download(img).reshape(rows, cols)
+            roi = host_img[: rows // 2, : cols // 2]
+            q0sqr = float(roi.var() / (roi.mean() ** 2))
+            self._q0sqrs.append(q0sqr)
+            ctx.launch(
+                k1,
+                n // 128,
+                128,
+                {
+                    "img": img,
+                    **bufs,
+                    "idx_n": idx_bufs["idx_n"],
+                    "idx_s": idx_bufs["idx_s"],
+                    "idx_w": idx_bufs["idx_w"],
+                    "idx_e": idx_bufs["idx_e"],
+                    "q0sqr": q0sqr,
+                    "n": n,
+                },
+            )
+            ctx.launch(
+                k2,
+                n // 128,
+                128,
+                {
+                    "img": img,
+                    "dn": bufs["dn"],
+                    "ds": bufs["ds"],
+                    "dw": bufs["dw"],
+                    "de": bufs["de"],
+                    "coeff": bufs["coeff"],
+                    "idx_s": idx_bufs["idx_s"],
+                    "idx_e": idx_bufs["idx_e"],
+                    "lam": self.scale["lam"],
+                    "n": n,
+                },
+            )
+        self._img_buf = img
+
+    def check(self, ctx: RunContext) -> None:
+        expected = self._img
+        for q0sqr in self._q0sqrs:
+            expected = srad_ref(expected, q0sqr, self.scale["lam"])
+        got = ctx.device.download(self._img_buf).reshape(expected.shape)
+        assert_close(got, expected, "diffused image", tol=1e-9)

@@ -1,0 +1,77 @@
+"""Run workloads under trace collection and produce workload profiles."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Type, Union
+
+from repro.simt.executor import Executor, profile_all_blocks, stride_sampler
+from repro.simt.memory import Device
+from repro.trace.collector import CollectorConfig, KernelTraceCollector
+from repro.trace.profile import WorkloadProfile
+from repro.workloads import registry
+from repro.workloads.base import RunContext, Workload
+
+#: Default cap on profiled blocks per kernel launch; functional execution
+#: always covers every block, this only bounds observation cost.
+DEFAULT_SAMPLE_BLOCKS = 48
+
+
+def run_workload(
+    workload: Union[Workload, Type[Workload], str],
+    verify: bool = True,
+    sample_blocks: Optional[int] = DEFAULT_SAMPLE_BLOCKS,
+    collector_config: Optional[CollectorConfig] = None,
+    seed: int = 1234,
+) -> WorkloadProfile:
+    """Execute one workload under trace collection.
+
+    ``verify=True`` (the default) also runs the workload's numpy reference
+    check, so every characterization run doubles as a correctness test of
+    the simulator and the kernel implementations.
+    """
+    if isinstance(workload, str):
+        workload = registry.get(workload)
+    if isinstance(workload, type):
+        workload = workload()
+
+    device = Device()
+    collector = KernelTraceCollector(collector_config)
+    pf = profile_all_blocks if sample_blocks is None else stride_sampler(sample_blocks)
+    executor = Executor(device, sinks=[collector], profile_filter=pf)
+    ctx = RunContext(device, executor, seed=seed)
+    workload.run(ctx)
+    if verify:
+        workload.check(ctx)
+    return WorkloadProfile(
+        workload=workload.abbrev,
+        suite=workload.suite,
+        kernels=collector.profiles,
+    )
+
+
+def run_suite(
+    abbrevs: Optional[Sequence[str]] = None,
+    verify: bool = True,
+    sample_blocks: Optional[int] = DEFAULT_SAMPLE_BLOCKS,
+    collector_config: Optional[CollectorConfig] = None,
+    progress: Optional[callable] = None,
+) -> List[WorkloadProfile]:
+    """Characterize a set of workloads (all registered ones by default)."""
+    classes: Iterable[Type[Workload]]
+    if abbrevs is None:
+        classes = registry.all_workloads()
+    else:
+        classes = [registry.get(a) for a in abbrevs]
+    profiles = []
+    for cls in classes:
+        if progress is not None:
+            progress(cls.abbrev)
+        profiles.append(
+            run_workload(
+                cls,
+                verify=verify,
+                sample_blocks=sample_blocks,
+                collector_config=collector_config,
+            )
+        )
+    return profiles

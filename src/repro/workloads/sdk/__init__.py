@@ -1,0 +1,19 @@
+"""CUDA SDK workloads."""
+
+from repro.workloads.sdk import (  # noqa: F401
+    bitonic,
+    blackscholes,
+    convolution,
+    dct8x8,
+    dwthaar,
+    histogram,
+    matrixmul,
+    montecarlo,
+    nbody,
+    reduction,
+    scalarprod,
+    scan,
+    similarityscore,
+    transpose,
+    vectoradd,
+)

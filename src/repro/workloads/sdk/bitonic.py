@@ -1,0 +1,81 @@
+"""Bitonic sort (CUDA SDK ``sortingNetworks``).
+
+Each block sorts one shared-memory segment with a full bitonic network.
+The compare-exchange direction depends on ``tid & k`` and the partner index
+on ``tid ^ j`` — alternating warp-uniform and intra-warp divergent stages as
+the stride crosses the warp width.  A divergence/shared-memory stress
+pattern very unlike the guard-branch kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+
+def build_bitonic_kernel(block: int):
+    """Sort ``block`` i32 keys per block, ascending."""
+    b = KernelBuilder("bitonic_sort")
+    data = b.param_buf("data", DType.I32)
+    s = b.shared("keys", block, DType.I32)
+    tid = b.tid_x
+    gid = b.global_thread_id()
+    b.sst(s, tid, b.ld(data, gid))
+    b.barrier()
+
+    k = b.let_i32(2)
+    outer = b.while_loop()
+    with outer.cond():
+        outer.set_cond(b.ile(k, block))
+    with outer.body():
+        j = b.let_i32(b.ishr(k, 1))
+        inner = b.while_loop()
+        with inner.cond():
+            inner.set_cond(b.igt(j, 0))
+        with inner.body():
+            partner = b.ixor(tid, j)
+            with b.if_(b.igt(partner, tid)):
+                mine = b.sld(s, tid)
+                theirs = b.sld(s, partner)
+                ascending = b.ieq(b.iand(tid, k), 0)
+                wrong = b.por(
+                    b.pand(ascending, b.igt(mine, theirs)),
+                    b.pand(b.pnot(ascending), b.ilt(mine, theirs)),
+                )
+                with b.if_(wrong):
+                    b.sst(s, tid, theirs)
+                    b.sst(s, partner, mine)
+            b.barrier()
+            b.assign(j, b.ishr(j, 1))
+        b.assign(k, b.ishl(k, 1))
+
+    b.st(data, gid, b.sld(s, tid))
+    return b.finalize()
+
+
+@register
+class BitonicSort(Workload):
+    abbrev = "BIT"
+    name = "Bitonic Sort"
+    suite = "CUDA SDK"
+    description = "Per-block bitonic sorting network in shared memory"
+    default_scale = {"block": 256, "blocks": 8}
+
+    def run(self, ctx: RunContext) -> None:
+        block = self.scale["block"]
+        blocks = self.scale["blocks"]
+        assert block & (block - 1) == 0, "block must be a power of two"
+        self._h = ctx.rng.integers(0, 1_000_000, size=block * blocks)
+        dev = ctx.device
+        self._data = dev.from_array("data", self._h, DType.I32)
+        kernel = build_bitonic_kernel(block)
+        ctx.launch(kernel, blocks, block, {"data": self._data})
+        self._block = block
+
+    def check(self, ctx: RunContext) -> None:
+        result = ctx.device.download(self._data).reshape(-1, self._block)
+        expected = np.sort(self._h.reshape(-1, self._block), axis=1)
+        assert_close(result, expected, "per-block sorted keys")

@@ -1,0 +1,103 @@
+"""8x8 block DCT (CUDA SDK ``dct8x8``).
+
+Each thread block transforms one 8x8 image tile: the tile is staged into
+shared memory and multiplied by the DCT-II basis from constant memory on
+both sides (C * X * C^T), with a barrier between the two passes.  Dense
+FMA over tiny tiles with broadcast constant reads — the JPEG-era signal
+kernel, occupying the compute-regular/const-heavy region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import KernelBuilder, MemSpace
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+B = 8  # DCT block edge
+
+
+def dct_basis() -> np.ndarray:
+    k = np.arange(B)
+    basis = np.cos((2 * k[None, :] + 1) * k[:, None] * np.pi / (2 * B))
+    basis *= np.sqrt(2.0 / B)
+    basis[0] *= np.sqrt(0.5)
+    return basis
+
+
+def build_dct_kernel(width: int):
+    b = KernelBuilder("dct8x8")
+    img = b.param_buf("img")
+    out = b.param_buf("out")
+    basis = b.param_buf("basis", space=MemSpace.CONST)
+    tile = b.shared("tile", B * B)
+    mid = b.shared("mid", B * B)
+
+    tx = b.tid_x  # column within the 8x8 tile
+    ty = b.tid_y  # row
+    gx = b.iadd(b.imul(b.ctaid_x, B), tx)
+    gy = b.iadd(b.imul(b.ctaid_y, B), ty)
+    sidx = b.iadd(b.imul(ty, B), tx)
+    b.sst(tile, sidx, b.ld(img, b.iadd(b.imul(gy, width), gx)))
+    b.barrier()
+
+    # Row pass: mid = basis @ tile  (thread (ty,tx) computes mid[ty][tx]).
+    acc = b.let_f32(0.0)
+    with b.for_range(0, B) as k:
+        c = b.ld(basis, b.iadd(b.imul(ty, B), k))
+        v = b.sld(tile, b.iadd(b.imul(k, B), tx))
+        b.assign(acc, b.fma(c, v, acc))
+    b.sst(mid, sidx, acc)
+    b.barrier()
+
+    # Column pass: out = mid @ basis^T.
+    acc2 = b.let_f32(0.0)
+    with b.for_range(0, B) as k2:
+        m = b.sld(mid, b.iadd(b.imul(ty, B), k2))
+        c2 = b.ld(basis, b.iadd(b.imul(tx, B), k2))
+        b.assign(acc2, b.fma(m, c2, acc2))
+    b.st(out, b.iadd(b.imul(gy, width), gx), acc2)
+    return b.finalize()
+
+
+def dct_ref(image: np.ndarray) -> np.ndarray:
+    basis = dct_basis()
+    h, w = image.shape
+    out = np.empty_like(image)
+    for by in range(0, h, B):
+        for bx in range(0, w, B):
+            tile = image[by : by + B, bx : bx + B]
+            out[by : by + B, bx : bx + B] = basis @ tile @ basis.T
+    return out
+
+
+@register
+class Dct8x8(Workload):
+    abbrev = "DCT"
+    name = "DCT 8x8"
+    suite = "CUDA SDK"
+    description = "Per-tile 2D DCT-II via shared memory and const-memory basis"
+    default_scale = {"width": 128, "height": 64}
+
+    def run(self, ctx: RunContext) -> None:
+        width = self.scale["width"]
+        height = self.scale["height"]
+        assert width % B == 0 and height % B == 0
+        self._img = ctx.rng.uniform(-128.0, 127.0, (height, width))
+        dev = ctx.device
+        img = dev.from_array("img", self._img, readonly=True)
+        basis = dev.from_array("basis", dct_basis(), readonly=True)
+        self._out = dev.alloc("out", width * height)
+        kernel = build_dct_kernel(width)
+        ctx.launch(
+            kernel,
+            (width // B, height // B),
+            (B, B),
+            {"img": img, "out": self._out, "basis": basis},
+        )
+
+    def check(self, ctx: RunContext) -> None:
+        expected = dct_ref(self._img)
+        got = ctx.device.download(self._out).reshape(expected.shape)
+        assert_close(got, expected, "DCT coefficients", tol=1e-9)

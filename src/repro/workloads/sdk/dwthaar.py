@@ -1,0 +1,90 @@
+"""1-D Haar discrete wavelet transform (CUDA SDK ``dwtHaar1D``).
+
+One decomposition level per launch: thread i combines elements ``2i`` and
+``2i+1`` into an approximation and a detail coefficient.  Reads are
+two-element strided (half-efficient coalescing) and each level halves the
+active data, so the launch series sweeps from full to tiny grids — a
+distinctive geometry signature, with log2(n) kernel launches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close, ceil_div
+from repro.workloads.registry import register
+
+INV_SQRT2 = 0.7071067811865476
+
+
+def build_dwt_level_kernel():
+    b = KernelBuilder("dwt_haar_level")
+    src = b.param_buf("src")
+    approx = b.param_buf("approx")
+    detail = b.param_buf("detail")
+    half = b.param_i32("half")
+    i = b.global_thread_id()
+    with b.if_(b.ilt(i, half)):
+        a = b.ld(src, b.imul(i, 2))
+        c = b.ld(src, b.iadd(b.imul(i, 2), 1))
+        b.st(approx, i, b.fmul(b.fadd(a, c), INV_SQRT2))
+        b.st(detail, i, b.fmul(b.fsub(a, c), INV_SQRT2))
+    return b.finalize()
+
+
+def dwt_ref(signal: np.ndarray):
+    """Full Haar decomposition: per-level details plus the final approx."""
+    details = []
+    approx = signal.copy()
+    while len(approx) > 1:
+        a = (approx[0::2] + approx[1::2]) * INV_SQRT2
+        d = (approx[0::2] - approx[1::2]) * INV_SQRT2
+        details.append(d)
+        approx = a
+    return approx, details
+
+
+@register
+class DwtHaar(Workload):
+    abbrev = "DWT"
+    name = "Haar Wavelet (1D)"
+    suite = "CUDA SDK"
+    description = "Multi-level Haar DWT: one launch per level, halving grids"
+    default_scale = {"n": 8192, "block": 128}
+
+    def run(self, ctx: RunContext) -> None:
+        n = self.scale["n"]
+        assert n & (n - 1) == 0, "signal length must be a power of two"
+        block = self.scale["block"]
+        self._signal = ctx.rng.standard_normal(n)
+        dev = ctx.device
+        ping = dev.from_array("ping", self._signal)
+        pong = dev.alloc("pong", n // 2)
+        self._details = []
+        kernel = build_dwt_level_kernel()
+        src, dst = ping, pong
+        half = n // 2
+        level = 0
+        while half >= 1:
+            detail = dev.alloc(f"detail{level}", half)
+            ctx.launch(
+                kernel,
+                ceil_div(half, block),
+                block,
+                {"src": src, "approx": dst, "detail": detail, "half": half},
+            )
+            self._details.append(detail)
+            src, dst = dst, src
+            half //= 2
+            level += 1
+        self._approx = src  # last written approximation buffer (length 1 slot 0)
+
+    def check(self, ctx: RunContext) -> None:
+        approx_ref, details_ref = dwt_ref(self._signal)
+        for level, (buf, ref) in enumerate(zip(self._details, details_ref)):
+            got = ctx.device.download(buf)
+            assert_close(got, ref, f"detail level {level}", tol=1e-9)
+        final = ctx.device.download(self._approx)[0]
+        if not np.isclose(final, approx_ref[0], rtol=1e-9):
+            raise AssertionError(f"final approximation {final} != {approx_ref[0]}")

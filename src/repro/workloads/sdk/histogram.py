@@ -1,0 +1,64 @@
+"""64-bin histogram (CUDA SDK ``histogram64``).
+
+Each thread walks a grid-strided slice of the input and atomically bumps
+the bin of every element.  Data-dependent atomic scatter: the bin pattern
+(and therefore contention) is input-driven, exercising the atomic/
+serialisation corner of the workload space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+BINS = 64
+
+
+def build_histogram_kernel():
+    b = KernelBuilder("histogram64")
+    data = b.param_buf("data", DType.I32)
+    bins = b.param_buf("bins", DType.I32)
+    n = b.param_i32("n")
+    i = b.let_i32(b.global_thread_id())
+    stride = b.imul(b.ntid_x, b.nctaid_x)
+    loop = b.while_loop()
+    with loop.cond():
+        loop.set_cond(b.ilt(i, n))
+    with loop.body():
+        value = b.ld(data, i)
+        b.atomic_add(bins, value, 1)
+        b.assign(i, b.iadd(i, stride))
+    return b.finalize()
+
+
+@register
+class Histogram64(Workload):
+    abbrev = "HG"
+    name = "Histogram (64 bins)"
+    suite = "CUDA SDK"
+    description = "Grid-stride 64-bin histogram via global atomics"
+    default_scale = {"n": 16384, "block": 128, "blocks": 16}
+
+    def run(self, ctx: RunContext) -> None:
+        n = self.scale["n"]
+        # Zipf-ish skew so some bins are contended, as in real byte streams.
+        raw = ctx.rng.zipf(1.5, size=n)
+        self._h = np.minimum(raw - 1, BINS - 1).astype(np.int64)
+        dev = ctx.device
+        data = dev.from_array("data", self._h, DType.I32, readonly=True)
+        self._bins = dev.alloc("bins", BINS, DType.I32)
+        kernel = build_histogram_kernel()
+        ctx.launch(
+            kernel,
+            self.scale["blocks"],
+            self.scale["block"],
+            {"data": data, "bins": self._bins, "n": n},
+        )
+
+    def check(self, ctx: RunContext) -> None:
+        result = ctx.device.download(self._bins)
+        expected = np.bincount(self._h, minlength=BINS)
+        assert_close(result, expected, "histogram bins")

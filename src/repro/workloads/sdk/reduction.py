@@ -1,0 +1,191 @@
+"""Parallel Reduction (CUDA SDK ``reduction``).
+
+The SDK reduction benchmark famously runs a *series* of kernel variants,
+each fixing one inefficiency of the previous — and the characterization
+paper observes exactly this internal kernel diversity.  We reproduce the
+first four:
+
+* ``reduce0`` — interleaved addressing with a modulo test: massively
+  divergent (every other thread idles at the first level);
+* ``reduce1`` — interleaved addressing with contiguous threads: divergence
+  gone, but the strided shared-memory indices cause bank conflicts;
+* ``reduce2`` — sequential addressing: conflict-free halving strides;
+* ``reduce3`` — grid-stride first add during global load, then the
+  sequential-addressing tree (the "useful work while loading" variant).
+
+All variants compute the same sum, so every launch is verified.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import KernelBuilder
+from repro.workloads.base import RunContext, Workload, ceil_div
+from repro.workloads.registry import register
+
+
+def _tree_sequential(b, s, tid, block):
+    """Sequential-addressing shared-memory tree (reduce2/3 inner phase)."""
+    step = b.let_i32(block // 2)
+    tree = b.while_loop()
+    with tree.cond():
+        tree.set_cond(b.igt(step, 0))
+    with tree.body():
+        with b.if_(b.ilt(tid, step)):
+            b.sst(s, tid, b.fadd(b.sld(s, tid), b.sld(s, b.iadd(tid, step))))
+        b.barrier()
+        b.assign(step, b.ishr(step, 1))
+
+
+def build_reduce0_kernel(block: int):
+    """Interleaved addressing, divergent modulo test."""
+    b = KernelBuilder("reduce0_interleaved_divergent")
+    src = b.param_buf("src")
+    dst = b.param_buf("dst")
+    n = b.param_i32("n")
+    s = b.shared("sdata", block)
+    tid = b.tid_x
+    gid = b.global_thread_id()
+    v = b.let_f32(0.0)
+    with b.if_(b.ilt(gid, n)):
+        b.assign(v, b.ld(src, gid))
+    b.sst(s, tid, v)
+    b.barrier()
+
+    stride = b.let_i32(1)
+    loop = b.while_loop()
+    with loop.cond():
+        loop.set_cond(b.ilt(stride, block))
+    with loop.body():
+        period = b.imul(stride, 2)
+        with b.if_(b.ieq(b.imod(tid, period), 0)):
+            b.sst(s, tid, b.fadd(b.sld(s, tid), b.sld(s, b.iadd(tid, stride))))
+        b.barrier()
+        b.assign(stride, period)
+
+    with b.if_(b.ieq(tid, 0)):
+        b.st(dst, b.ctaid_x, b.sld(s, 0))
+    return b.finalize()
+
+
+def build_reduce1_kernel(block: int):
+    """Interleaved addressing with contiguous threads (bank conflicts)."""
+    b = KernelBuilder("reduce1_interleaved_conflicts")
+    src = b.param_buf("src")
+    dst = b.param_buf("dst")
+    n = b.param_i32("n")
+    s = b.shared("sdata", block)
+    tid = b.tid_x
+    gid = b.global_thread_id()
+    v = b.let_f32(0.0)
+    with b.if_(b.ilt(gid, n)):
+        b.assign(v, b.ld(src, gid))
+    b.sst(s, tid, v)
+    b.barrier()
+
+    stride = b.let_i32(1)
+    loop = b.while_loop()
+    with loop.cond():
+        loop.set_cond(b.ilt(stride, block))
+    with loop.body():
+        index = b.imul(b.imul(stride, 2), tid)
+        with b.if_(b.ilt(index, block)):
+            b.sst(s, index, b.fadd(b.sld(s, index), b.sld(s, b.iadd(index, stride))))
+        b.barrier()
+        b.assign(stride, b.imul(stride, 2))
+
+    with b.if_(b.ieq(tid, 0)):
+        b.st(dst, b.ctaid_x, b.sld(s, 0))
+    return b.finalize()
+
+
+def build_reduce2_kernel(block: int):
+    """Sequential addressing."""
+    b = KernelBuilder("reduce2_sequential")
+    src = b.param_buf("src")
+    dst = b.param_buf("dst")
+    n = b.param_i32("n")
+    s = b.shared("sdata", block)
+    tid = b.tid_x
+    gid = b.global_thread_id()
+    v = b.let_f32(0.0)
+    with b.if_(b.ilt(gid, n)):
+        b.assign(v, b.ld(src, gid))
+    b.sst(s, tid, v)
+    b.barrier()
+    _tree_sequential(b, s, tid, block)
+    with b.if_(b.ieq(tid, 0)):
+        b.st(dst, b.ctaid_x, b.sld(s, 0))
+    return b.finalize()
+
+
+def build_reduce3_kernel(block: int):
+    """Grid-stride first add during load + sequential tree."""
+    b = KernelBuilder("reduce3_firstadd")
+    src = b.param_buf("src")
+    dst = b.param_buf("dst")
+    n = b.param_i32("n")
+    s = b.shared("sdata", block)
+    tid = b.tid_x
+    stride_total = b.imul(b.ntid_x, b.nctaid_x)
+    acc = b.let_f32(0.0)
+    i = b.let_i32(b.global_thread_id())
+    loop = b.while_loop()
+    with loop.cond():
+        loop.set_cond(b.ilt(i, n))
+    with loop.body():
+        b.assign(acc, b.fadd(acc, b.ld(src, i)))
+        b.assign(i, b.iadd(i, stride_total))
+    b.sst(s, tid, acc)
+    b.barrier()
+    _tree_sequential(b, s, tid, block)
+    with b.if_(b.ieq(tid, 0)):
+        b.st(dst, b.ctaid_x, b.sld(s, 0))
+    return b.finalize()
+
+
+# Kept under its historical name for callers/tests that build one level.
+build_reduce_kernel = build_reduce3_kernel
+
+
+@register
+class ParallelReduction(Workload):
+    abbrev = "RD"
+    name = "Parallel Reduction"
+    suite = "CUDA SDK"
+    description = "SDK reduction kernel series (reduce0..reduce3) + final fold"
+    default_scale = {"n": 16384, "block": 256, "blocks": 16}
+
+    def run(self, ctx: RunContext) -> None:
+        n = self.scale["n"]
+        block = self.scale["block"]
+        blocks = self.scale["blocks"]
+        self._h = ctx.rng.standard_normal(n)
+        dev = ctx.device
+        src = dev.from_array("src", self._h, readonly=True)
+        self._partials = []
+        variants = [
+            ("p0", build_reduce0_kernel(block), ceil_div(n, block)),
+            ("p1", build_reduce1_kernel(block), ceil_div(n, block)),
+            ("p2", build_reduce2_kernel(block), ceil_div(n, block)),
+            ("p3", build_reduce3_kernel(block), blocks),
+        ]
+        for name, kernel, grid in variants:
+            partial = dev.alloc(name, grid)
+            ctx.launch(kernel, grid, block, {"src": src, "dst": partial, "n": n})
+            self._partials.append(partial)
+        # Second level: fold the reduce3 partials with one block.
+        self._out = dev.alloc("out", 1)
+        k2 = build_reduce3_kernel(32)
+        ctx.launch(k2, 1, 32, {"src": self._partials[-1], "dst": self._out, "n": blocks})
+
+    def check(self, ctx: RunContext) -> None:
+        expected = self._h.sum()
+        for partial in self._partials:
+            got = ctx.device.download(partial).sum()
+            if not np.isclose(got, expected, rtol=1e-9):
+                raise AssertionError(f"{partial.name}: got {got}, expected {expected}")
+        total = ctx.device.download(self._out)[0]
+        if not np.isclose(total, expected, rtol=1e-9):
+            raise AssertionError(f"final fold: got {total}, expected {expected}")

@@ -1,0 +1,179 @@
+"""Scan of Large Arrays (CUDA SDK ``scanLargeArray``).
+
+Work-efficient Blelloch exclusive scan: per-block up-sweep/down-sweep in
+shared memory, a second launch scanning the per-block totals, and a uniform
+add pass.  The ``tid % (2*stride) == 2*stride-1`` participation pattern is
+the textbook source of intra-warp divergence — the reason the abstract
+singles SLA out as diverse in both the divergence and coalescing
+subspaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt import DType, KernelBuilder
+from repro.workloads.base import RunContext, Workload, assert_close
+from repro.workloads.registry import register
+
+
+def build_scan_block_kernel(block: int):
+    """Exclusive Blelloch scan of `block` elements per thread block."""
+    b = KernelBuilder("scan_block")
+    src = b.param_buf("src", DType.I32)
+    dst = b.param_buf("dst", DType.I32)
+    sums = b.param_buf("sums", DType.I32)
+    n = b.param_i32("n")
+    s = b.shared("temp", block, DType.I32)
+    tid = b.tid_x
+    gid = b.global_thread_id()
+
+    val = b.let_i32(0)
+    with b.if_(b.ilt(gid, n)):
+        b.assign(val, b.ld(src, gid))
+    b.sst(s, tid, val)
+    b.barrier()
+
+    # Up-sweep: build the partial-sum tree in place.
+    stride = b.let_i32(1)
+    up = b.while_loop()
+    with up.cond():
+        up.set_cond(b.ilt(stride, block))
+    with up.body():
+        period = b.imul(stride, 2)
+        with b.if_(b.ieq(b.imod(tid, period), b.isub(period, 1))):
+            b.sst(s, tid, b.iadd(b.sld(s, tid), b.sld(s, b.isub(tid, stride))))
+        b.barrier()
+        b.assign(stride, period)
+
+    # Record the block total, clear the root.
+    with b.if_(b.ieq(tid, block - 1)):
+        b.st(sums, b.ctaid_x, b.sld(s, tid))
+        b.sst(s, tid, 0)
+    b.barrier()
+
+    # Down-sweep: traverse back down converting to an exclusive scan.
+    stride2 = b.let_i32(block // 2)
+    down = b.while_loop()
+    with down.cond():
+        down.set_cond(b.igt(stride2, 0))
+    with down.body():
+        period = b.imul(stride2, 2)
+        with b.if_(b.ieq(b.imod(tid, period), b.isub(period, 1))):
+            left = b.isub(tid, stride2)
+            t = b.sld(s, left)
+            b.sst(s, left, b.sld(s, tid))
+            b.sst(s, tid, b.iadd(b.sld(s, tid), t))
+        b.barrier()
+        b.assign(stride2, b.ishr(stride2, 1))
+
+    with b.if_(b.ilt(gid, n)):
+        b.st(dst, gid, b.sld(s, tid))
+    return b.finalize()
+
+
+def build_scan_naive_kernel(block: int):
+    """SDK ``scan_naive``: Hillis-Steele O(n log n) scan of one small array.
+
+    The double-buffered ``tid >= offset`` update is divergent at sub-warp
+    offsets — a different divergence signature from the Blelloch tree, and
+    part of why the paper sees SLA's kernels as internally diverse.
+    """
+    b = KernelBuilder("scan_naive")
+    src = b.param_buf("src", DType.I32)
+    dst = b.param_buf("dst", DType.I32)
+    temp = b.shared("temp", 2 * block, DType.I32)
+    tid = b.tid_x
+    gid = b.global_thread_id()
+
+    # Shifted load makes the result an exclusive scan.
+    v = b.let_i32(0)
+    with b.if_(b.igt(tid, 0)):
+        b.assign(v, b.ld(src, b.isub(gid, 1)))
+    b.sst(temp, tid, v)
+    b.barrier()
+
+    pout = b.let_i32(0)
+    offset = b.let_i32(1)
+    loop = b.while_loop()
+    with loop.cond():
+        loop.set_cond(b.ilt(offset, block))
+    with loop.body():
+        pin = b.mov(pout)  # snapshot before the ping-pong flip
+        b.assign(pout, b.isub(1, pout))
+        out_idx = b.iadd(b.imul(pout, block), tid)
+        in_idx = b.iadd(b.imul(pin, block), tid)
+        ife = b.if_else(b.ige(tid, offset))
+        with ife.then():
+            b.sst(temp, out_idx, b.iadd(b.sld(temp, in_idx), b.sld(temp, b.isub(in_idx, offset))))
+        with ife.otherwise():
+            b.sst(temp, out_idx, b.sld(temp, in_idx))
+        b.barrier()
+        b.assign(offset, b.ishl(offset, 1))
+
+    b.st(dst, gid, b.sld(temp, b.iadd(b.imul(pout, block), tid)))
+    return b.finalize()
+
+
+def build_uniform_add_kernel():
+    b = KernelBuilder("uniform_add")
+    dst = b.param_buf("dst", DType.I32)
+    sums = b.param_buf("sums", DType.I32)
+    n = b.param_i32("n")
+    gid = b.global_thread_id()
+    with b.if_(b.ilt(gid, n)):
+        offset = b.ld(sums, b.ctaid_x)
+        b.st(dst, gid, b.iadd(b.ld(dst, gid), offset))
+    return b.finalize()
+
+
+@register
+class ScanLargeArrays(Workload):
+    abbrev = "SLA"
+    name = "Scan of Large Arrays"
+    suite = "CUDA SDK"
+    description = "SDK scan series: naive Hillis-Steele + Blelloch large-array pipeline"
+    default_scale = {"n": 8192, "block": 256}
+
+    def run(self, ctx: RunContext) -> None:
+        n = self.scale["n"]
+        block = self.scale["block"]
+        nblocks = n // block
+        assert n % block == 0 and nblocks & (nblocks - 1) == 0, "n/block must be a power of two"
+        self._h = ctx.rng.integers(0, 16, size=n).astype(np.int64)
+        dev = ctx.device
+        src = dev.from_array("src", self._h, DType.I32, readonly=True)
+
+        # SDK scan_naive: small-array O(n log n) scan, one launch per block
+        # of the first few blocks (the SDK app benchmarks it on small sizes).
+        self._naive_dst = dev.alloc("naive_dst", block, DType.I32)
+        ctx.launch(
+            build_scan_naive_kernel(block),
+            1,
+            block,
+            {"src": src, "dst": self._naive_dst},
+        )
+        self._dst = dev.alloc("dst", n, DType.I32)
+        sums = dev.alloc("sums", nblocks, DType.I32)
+        sums_scanned = dev.alloc("sums_scanned", max(nblocks, 1), DType.I32)
+        dummy = dev.alloc("dummy", 1, DType.I32)
+
+        k_scan = build_scan_block_kernel(block)
+        ctx.launch(k_scan, nblocks, block, {"src": src, "dst": self._dst, "sums": sums, "n": n})
+        # Scan the block sums with a single (power-of-two sized) block.
+        k_scan_sums = build_scan_block_kernel(nblocks)
+        ctx.launch(
+            k_scan_sums,
+            1,
+            nblocks,
+            {"src": sums, "dst": sums_scanned, "sums": dummy, "n": nblocks},
+        )
+        k_add = build_uniform_add_kernel()
+        ctx.launch(k_add, nblocks, block, {"dst": self._dst, "sums": sums_scanned, "n": n})
+
+    def check(self, ctx: RunContext) -> None:
+        expected = np.concatenate([[0], np.cumsum(self._h)[:-1]])
+        naive = ctx.device.download(self._naive_dst)
+        assert_close(naive, expected[: len(naive)], "naive scan (first block)")
+        result = ctx.device.download(self._dst)
+        assert_close(result, expected, "exclusive scan")

@@ -1,0 +1,46 @@
+"""Shared fixtures.
+
+``suite_profiles`` characterizes all 29 workloads once per machine (results
+are cached on disk by the pipeline), so analysis-level tests can run against
+real data without re-simulating per test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import characterize_suites
+from repro.simt import Device, Executor, KernelBuilder
+from repro.trace import KernelTraceCollector
+
+
+@pytest.fixture(scope="session")
+def suite_profiles():
+    return characterize_suites()
+
+
+@pytest.fixture()
+def device():
+    return Device()
+
+
+def run_kernel(kernel, grid, block, args, device=None, **executor_kwargs):
+    """Execute a kernel under a fresh collector; returns (device, profile)."""
+    device = device or Device()
+    collector = KernelTraceCollector()
+    executor = Executor(device, sinks=[collector], **executor_kwargs)
+    executor.launch(kernel, grid, block, args)
+    return device, collector.profiles[0]
+
+
+def build_copy_kernel():
+    """Guarded element-wise copy used by several tests."""
+    b = KernelBuilder("copy")
+    src = b.param_buf("src")
+    dst = b.param_buf("dst")
+    n = b.param_i32("n")
+    i = b.global_thread_id()
+    with b.if_(b.ilt(i, n)):
+        b.st(dst, i, b.ld(src, i))
+    return b.finalize()

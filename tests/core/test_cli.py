@@ -1,0 +1,102 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_prints_all_workloads(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for abbrev in ("VA", "MUM", "SS", "KM", "TPACF"):
+        assert abbrev in out
+
+
+def test_characterize_subset(capsys):
+    assert main(["characterize", "VA", "--sample-blocks", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "instruction mix" in out
+    assert "VA" in out
+
+
+def test_characterize_csv_export(tmp_path, capsys):
+    path = tmp_path / "features.csv"
+    assert main(["characterize", "VA", "HG", "--sample-blocks", "8", "--csv", str(path)]) == 0
+    lines = path.read_text().strip().splitlines()
+    assert lines[0].startswith("workload,suite,")
+    assert len(lines) == 3
+
+
+def test_analyze_runs_on_cached_suite(capsys, suite_profiles):
+    # suite_profiles fixture has warmed the on-disk cache for all workloads.
+    assert main(["analyze"]) == 0
+    out = capsys.readouterr().out
+    assert "BIC-optimal K" in out
+    assert "representative" in out
+
+
+def test_subspace_known(capsys, suite_profiles):
+    assert main(["subspace", "branch divergence"]) == 0
+    out = capsys.readouterr().out
+    assert "variation" in out
+
+
+def test_subspace_unknown_errors(capsys):
+    assert main(["subspace", "nope"]) == 2
+    assert "unknown subspace" in capsys.readouterr().err
+
+
+def test_stress_all_blocks(capsys, suite_profiles):
+    assert main(["stress", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "branch divergence unit" in out
+    assert "texture cache" in out
+
+
+def test_stress_unknown_block(capsys, suite_profiles):
+    assert main(["stress", "--block", "warp turbo"]) == 2
+
+
+def test_evaluate(capsys, suite_profiles):
+    assert main(["evaluate", "--subset-k", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "mean |error|" in out
+    assert "same winner" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_report_to_stdout(capsys, suite_profiles):
+    assert main(["report"]) == 0
+    out = capsys.readouterr().out
+    assert "# GPGPU workload characterization report" in out
+    assert "## Clusters" in out
+
+
+def test_report_to_file(tmp_path, suite_profiles):
+    path = tmp_path / "report.md"
+    assert main(["report", "-o", str(path)]) == 0
+    text = path.read_text()
+    assert "Functional-block stress" in text
+    assert "| suite |" in text
+
+
+def test_disasm_stats(capsys):
+    assert main(["disasm", "RD"]) == 0
+    out = capsys.readouterr().out
+    assert "reduce0_interleaved_divergent" in out
+    assert "reg pressure" in out
+
+
+def test_disasm_full(capsys):
+    assert main(["disasm", "VA", "--full"]) == 0
+    out = capsys.readouterr().out
+    assert ".kernel vectoradd" in out
+    assert "ld.global" in out
+
+
+def test_disasm_unknown(capsys):
+    assert main(["disasm", "NOPE"]) == 2

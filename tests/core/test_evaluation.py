@@ -1,0 +1,120 @@
+"""Design-space evaluation metrics: geomean, Kendall tau, subset accuracy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.stats import kendalltau as scipy_kendalltau
+
+from repro.core.evaluation import (
+    STRESS_PROFILES,
+    all_stress_rankings,
+    evaluate_subset,
+    geomean,
+    kendall_tau,
+    random_subset_errors,
+    stress_ranking,
+)
+from repro.core.featurespace import FeatureMatrix
+
+
+def test_geomean_basic():
+    assert geomean(np.array([1.0, 4.0])) == pytest.approx(2.0)
+
+
+def test_geomean_weighted():
+    v = np.array([2.0, 8.0])
+    w = np.array([3.0, 1.0])
+    assert geomean(v, w) == pytest.approx(np.exp((3 * np.log(2) + np.log(8)) / 4))
+
+
+def test_geomean_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        geomean(np.array([1.0, 0.0]))
+
+
+def test_kendall_tau_extremes():
+    assert kendall_tau([1, 2, 3, 4], [2, 3, 4, 5]) == 1.0
+    assert kendall_tau([1, 2, 3, 4], [4, 3, 2, 1]) == -1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(-100, 100, allow_nan=False), min_size=3, max_size=15, unique=True),
+    st.lists(st.floats(-100, 100, allow_nan=False), min_size=3, max_size=15, unique=True),
+)
+def test_kendall_tau_matches_scipy(a, b):
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    ours = kendall_tau(a, b)
+    theirs = scipy_kendalltau(a, b).statistic
+    assert ours == pytest.approx(theirs, abs=1e-9)
+
+
+def test_evaluate_subset_perfect_when_subset_is_everything():
+    rng = np.random.default_rng(0)
+    perf = rng.uniform(0.5, 3.0, (10, 6))
+    ev = evaluate_subset(perf, list(range(10)), [0.1] * 10, [f"d{j}" for j in range(6)])
+    assert ev.mean_error == pytest.approx(0.0, abs=1e-12)
+    assert ev.kendall_tau == 1.0
+    assert ev.same_winner
+
+
+def test_evaluate_subset_weighting_matters():
+    # Two homogeneous groups; a weighted single-per-group subset is exact.
+    perf = np.vstack([np.tile([2.0, 1.0], (6, 1)), np.tile([1.0, 2.0], (2, 1))])
+    ev = evaluate_subset(perf, [0, 6], [6 / 8, 2 / 8], ["d0", "d1"])
+    assert ev.mean_error == pytest.approx(0.0, abs=1e-12)
+
+
+def test_evaluate_subset_alignment_checked():
+    perf = np.ones((4, 2))
+    with pytest.raises(ValueError):
+        evaluate_subset(perf, [0, 1], [1.0], ["d0", "d1"])
+
+
+def test_random_subset_errors_distribution():
+    rng = np.random.default_rng(1)
+    perf = rng.uniform(0.5, 2.0, (12, 5))
+    errors = random_subset_errors(perf, subset_size=3, trials=50, rng=rng)
+    assert errors.shape == (50,)
+    assert np.all(errors >= 0)
+
+
+def _fm_for_stress():
+    from repro.core import metrics
+
+    names = metrics.metric_names()
+    rng = np.random.default_rng(5)
+    values = rng.uniform(0, 1, (6, len(names)))
+    # Make w0 the clear divergence stressor.
+    fm = FeatureMatrix([f"w{i}" for i in range(6)], ["s"] * 6, names, values)
+    di = names.index("div.rate")
+    si = names.index("div.simd_efficiency")
+    fm.values[0, di] = 5.0
+    fm.values[0, si] = 0.0
+    return fm
+
+
+def test_stress_ranking_picks_extreme_workload():
+    fm = _fm_for_stress()
+    ranking = stress_ranking(fm, "branch divergence unit", top=3)
+    assert ranking[0][0] == "w0"
+    scores = [s for _, s in ranking]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_all_stress_rankings_cover_blocks():
+    fm = _fm_for_stress()
+    rankings = all_stress_rankings(fm, top=2)
+    assert set(rankings) == set(STRESS_PROFILES)
+    assert all(len(v) == 2 for v in rankings.values())
+
+
+def test_stress_rankings_on_real_suite(suite_profiles):
+    fm = FeatureMatrix.from_profiles(suite_profiles)
+    div = [w for w, _ in stress_ranking(fm, "branch divergence unit", top=8)]
+    # The known heavy-divergence workloads must dominate this ranking.
+    assert len({"BFS", "SLA", "MUM", "SS", "BIT", "NW"} & set(div)) >= 4
+    sfu = [w for w, _ in stress_ranking(fm, "SFU pipeline", top=4)]
+    assert "MRIQ" in sfu or "BS" in sfu

@@ -1,0 +1,104 @@
+"""Feature matrix, standardization and correlation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.featurespace import (
+    FeatureMatrix,
+    correlated_pairs,
+    correlation_matrix,
+    standardize,
+)
+
+
+def _fm(values):
+    values = np.asarray(values, dtype=float)
+    n, d = values.shape
+    return FeatureMatrix(
+        workloads=[f"w{i}" for i in range(n)],
+        suites=["A" if i % 2 else "B" for i in range(n)],
+        metric_names=[f"m{j}" for j in range(d)],
+        values=values,
+    )
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError, match="shape"):
+        FeatureMatrix(["a"], ["s"], ["m0", "m1"], np.zeros((1, 3)))
+
+
+def test_row_and_column_access():
+    fm = _fm([[1, 2], [3, 4]])
+    assert fm.row("w1") == {"m0": 3.0, "m1": 4.0}
+    assert np.array_equal(fm.column("m1"), [2.0, 4.0])
+
+
+def test_subset_preserves_order_and_values():
+    fm = _fm([[1, 2, 3], [4, 5, 6]])
+    sub = fm.subset(["m2", "m0"])
+    assert sub.metric_names == ["m2", "m0"]
+    assert np.array_equal(sub.values, [[3, 1], [6, 4]])
+
+
+def test_subset_is_a_copy():
+    fm = _fm([[1, 2], [3, 4]])
+    sub = fm.subset(["m0"])
+    sub.values[0, 0] = 99
+    assert fm.values[0, 0] == 1
+
+
+def test_standardize_zero_mean_unit_std():
+    rng = np.random.default_rng(0)
+    fm = _fm(rng.standard_normal((12, 4)) * 5 + 3)
+    sm = standardize(fm)
+    assert np.allclose(sm.z.mean(axis=0), 0, atol=1e-12)
+    assert np.allclose(sm.z.std(axis=0), 1, atol=1e-12)
+
+
+def test_standardize_drops_constant_columns():
+    fm = _fm([[1, 5, 2], [2, 5, 3], [3, 5, 4]])
+    sm = standardize(fm)
+    assert sm.dropped == ["m1"]
+    assert sm.metric_names == ["m0", "m2"]
+    assert sm.z.shape == (3, 2)
+
+
+def test_correlation_matrix_diagonal_ones():
+    rng = np.random.default_rng(1)
+    fm = _fm(rng.standard_normal((15, 5)))
+    corr, names = correlation_matrix(fm)
+    assert np.allclose(np.diag(corr), 1.0)
+    assert len(names) == 5
+    assert np.allclose(corr, corr.T)
+
+
+def test_correlated_pairs_found_and_sorted():
+    rng = np.random.default_rng(2)
+    base = rng.standard_normal(20)
+    values = np.column_stack(
+        [base, base * 2 + 0.01 * rng.standard_normal(20), -base, rng.standard_normal(20)]
+    )
+    pairs = correlated_pairs(_fm(values), threshold=0.9)
+    found = {(a, b) for a, b, _ in pairs}
+    assert ("m0", "m1") in found
+    assert ("m0", "m2") in found
+    mags = [abs(r) for _, _, r in pairs]
+    assert mags == sorted(mags, reverse=True)
+    # Anti-correlation is reported with its sign.
+    r02 = next(r for a, b, r in pairs if (a, b) == ("m0", "m2"))
+    assert r02 < 0
+
+
+def test_correlated_pairs_empty_for_independent_columns():
+    rng = np.random.default_rng(3)
+    pairs = correlated_pairs(_fm(rng.standard_normal((200, 4))), threshold=0.9)
+    assert pairs == []
+
+
+def test_from_profiles_uses_registry(suite_profiles):
+    fm = FeatureMatrix.from_profiles(suite_profiles)
+    from repro.core import metrics
+
+    assert fm.metric_names == metrics.metric_names()
+    assert fm.n_workloads == len(suite_profiles)
+    assert np.isfinite(fm.values).all()

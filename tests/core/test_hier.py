@@ -1,0 +1,115 @@
+"""Hierarchical clustering: scipy cross-checks and structural properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+from scipy.cluster import hierarchy as sp_hier
+from scipy.spatial.distance import pdist
+
+from repro.core.analysis.hier import euclidean_distance_matrix, linkage
+
+
+@pytest.fixture()
+def points():
+    rng = np.random.default_rng(11)
+    return np.vstack(
+        [rng.standard_normal((5, 3)) + c for c in ([0, 0, 0], [10, 0, 0], [0, 10, 0])]
+    )
+
+
+def _labels(n):
+    return [f"w{i}" for i in range(n)]
+
+
+def test_distance_matrix_matches_scipy(points):
+    ours = euclidean_distance_matrix(points)
+    theirs = sp_hier.distance.squareform(pdist(points))
+    assert np.allclose(ours, theirs, atol=1e-10)
+
+
+@pytest.mark.parametrize("method", ["single", "complete", "average", "ward"])
+def test_merge_heights_match_scipy(points, method):
+    dendro = linkage(points, _labels(len(points)), method=method)
+    z = sp_hier.linkage(points, method=method)
+    ours = sorted(m.height for m in dendro.merges)
+    theirs = sorted(z[:, 2])
+    assert np.allclose(ours, theirs, atol=1e-8)
+
+
+@pytest.mark.parametrize("method", ["single", "complete", "average", "ward"])
+def test_cut_recovers_planted_clusters(points, method):
+    dendro = linkage(points, _labels(len(points)), method=method)
+    labels = dendro.cut(3)
+    truth = np.repeat([0, 1, 2], 5)
+    mapping = {}
+    for ours, true in zip(labels, truth):
+        assert mapping.setdefault(ours, true) == true
+    assert len(set(labels)) == 3
+
+
+def test_cut_extremes(points):
+    dendro = linkage(points, _labels(len(points)), method="average")
+    assert len(set(dendro.cut(1))) == 1
+    assert len(set(dendro.cut(len(points)))) == len(points)
+    with pytest.raises(ValueError):
+        dendro.cut(0)
+    with pytest.raises(ValueError):
+        dendro.cut(len(points) + 1)
+
+
+def test_merge_sizes_telescoping(points):
+    dendro = linkage(points, _labels(len(points)), method="average")
+    assert dendro.merges[-1].size == len(points)
+
+
+def test_merge_height_of_outlier_is_largest():
+    rng = np.random.default_rng(2)
+    pts = rng.standard_normal((8, 2))
+    pts = np.vstack([pts, [50.0, 50.0]])
+    labels = _labels(9)
+    dendro = linkage(pts, labels, method="average")
+    heights = {lab: dendro.merge_height_of(lab) for lab in labels}
+    assert max(heights, key=heights.get) == "w8"
+
+
+def test_cophenetic_matches_scipy(points):
+    dendro = linkage(points, _labels(len(points)), method="average")
+    z = sp_hier.linkage(points, method="average")
+    ours = dendro.cophenetic_matrix()
+    theirs = sp_hier.distance.squareform(sp_hier.cophenet(z))
+    assert np.allclose(np.sort(ours.ravel()), np.sort(theirs.ravel()), atol=1e-8)
+
+
+def test_unknown_method_rejected(points):
+    with pytest.raises(ValueError, match="unknown linkage"):
+        linkage(points, _labels(len(points)), method="median")
+
+
+def test_label_mismatch_rejected(points):
+    with pytest.raises(ValueError, match="mismatch"):
+        linkage(points, _labels(3), method="average")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(np.float64, (7, 3), elements=st.floats(-50, 50, allow_nan=False)),
+    st.sampled_from(["complete", "average", "ward"]),
+)
+def test_heights_monotonic_nondecreasing(values, method):
+    """Complete/average/Ward linkage can never produce height inversions."""
+    dendro = linkage(values, _labels(7), method=method)
+    heights = [m.height for m in dendro.merges]
+    assert all(b >= a - 1e-9 for a, b in zip(heights, heights[1:]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(np.float64, (6, 2), elements=st.floats(-10, 10, allow_nan=False)))
+def test_every_cut_is_a_partition(values):
+    dendro = linkage(values, _labels(6), method="average")
+    for k in range(1, 7):
+        labels = dendro.cut(k)
+        assert len(labels) == 6
+        assert set(labels) == set(range(len(set(labels))))
+        assert len(set(labels)) == k

@@ -1,0 +1,126 @@
+"""K-means + BIC: recovery of planted clusters and model-selection behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis.kmeans import KMeansResult, bic_score, choose_k, kmeans
+
+
+def _blobs(k, per, d=4, spread=8.0, seed=5):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((k, d)) * spread
+    return np.vstack([c + rng.standard_normal((per, d)) for c in centers])
+
+
+def test_recovers_planted_partition():
+    pts = _blobs(3, 10)
+    result = kmeans(pts, 3, np.random.default_rng(0))
+    truth = np.repeat([0, 1, 2], 10)
+    mapping = {}
+    for ours, true in zip(result.labels, truth):
+        assert mapping.setdefault(ours, true) == true
+
+
+def test_bic_selects_planted_k():
+    pts = _blobs(4, 8)
+    best_k, _fits = choose_k(pts, range(1, 9), np.random.default_rng(1))
+    assert best_k == 4
+
+
+def test_inertia_decreases_with_k():
+    pts = _blobs(3, 10)
+    rng = np.random.default_rng(2)
+    inertias = [kmeans(pts, k, rng).inertia for k in (1, 2, 4, 8)]
+    assert all(b <= a + 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+
+def test_k_equals_n_gives_zero_inertia():
+    pts = _blobs(2, 3)
+    result = kmeans(pts, len(pts), np.random.default_rng(3))
+    assert result.inertia == pytest.approx(0.0, abs=1e-18)
+
+
+def test_invalid_k_rejected():
+    pts = _blobs(2, 3)
+    with pytest.raises(ValueError):
+        kmeans(pts, 0)
+    with pytest.raises(ValueError):
+        kmeans(pts, len(pts) + 1)
+
+
+def test_deterministic_given_seed():
+    pts = _blobs(3, 10)
+    a = kmeans(pts, 3, np.random.default_rng(42))
+    b = kmeans(pts, 3, np.random.default_rng(42))
+    assert np.array_equal(a.labels, b.labels)
+
+
+def test_cluster_members_partition():
+    pts = _blobs(3, 10)
+    result = kmeans(pts, 3, np.random.default_rng(4))
+    members = result.cluster_members()
+    combined = sorted(int(i) for group in members for i in group)
+    assert combined == list(range(len(pts)))
+
+
+def test_centers_are_cluster_means():
+    pts = _blobs(2, 12)
+    result = kmeans(pts, 2, np.random.default_rng(6))
+    for j in range(2):
+        sel = result.labels == j
+        assert np.allclose(result.centers[j], pts[sel].mean(axis=0), atol=1e-9)
+
+
+def test_bic_penalises_overfitting_on_single_blob():
+    rng = np.random.default_rng(7)
+    pts = rng.standard_normal((24, 3))
+    best_k, fits = choose_k(pts, range(1, 8), rng)
+    assert best_k <= 2  # a single Gaussian should not fragment far
+
+
+def test_bic_minus_inf_when_k_equals_n():
+    pts = _blobs(2, 2)
+    result = kmeans(pts, len(pts), np.random.default_rng(8))
+    assert bic_score(pts, result) == -np.inf
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 5), st.integers(3, 8), st.integers(0, 1000))
+def test_labels_within_range_and_assignment_optimal(k, per, seed):
+    pts = _blobs(k, per, seed=seed)
+    result = kmeans(pts, k, np.random.default_rng(seed))
+    assert result.labels.min() >= 0 and result.labels.max() < k
+    # Every point sits with its closest centre (Lloyd fixed point).
+    d = ((pts[:, None, :] - result.centers[None, :, :]) ** 2).sum(axis=2)
+    assert np.array_equal(result.labels, d.argmin(axis=1))
+
+
+def test_rand_index_identical_partitions():
+    from repro.core.analysis.kmeans import rand_index
+
+    assert rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0  # label permutation
+    assert rand_index([0, 1, 2], [0, 1, 2]) == 1.0
+
+
+def test_rand_index_disagreement():
+    from repro.core.analysis.kmeans import rand_index
+
+    # One pair agreement differs: {0,1} together vs apart.
+    assert 0.0 <= rand_index([0, 0, 1], [0, 1, 1]) < 1.0
+
+
+def test_rand_index_shape_check():
+    import pytest as _pytest
+
+    from repro.core.analysis.kmeans import rand_index
+
+    with _pytest.raises(ValueError):
+        rand_index([0, 1], [0, 1, 2])
+
+
+def test_rand_index_single_item():
+    from repro.core.analysis.kmeans import rand_index
+
+    assert rand_index([0], [5]) == 1.0

@@ -1,0 +1,128 @@
+"""PCA: algebraic properties, scipy cross-check, and behaviour on edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.analysis.pca import fit_pca, full_spectrum
+from repro.core.featurespace import FeatureMatrix, standardize
+
+
+def _fm(values, prefix="m"):
+    values = np.asarray(values, dtype=float)
+    n, d = values.shape
+    return FeatureMatrix(
+        workloads=[f"w{i}" for i in range(n)],
+        suites=["s"] * n,
+        metric_names=[f"{prefix}{j}" for j in range(d)],
+        values=values,
+    )
+
+
+@pytest.fixture()
+def random_matrix():
+    rng = np.random.default_rng(3)
+    base = rng.standard_normal((20, 6))
+    # Add correlated columns to exercise the "correlated reduction" path.
+    extra = base[:, :2] @ rng.standard_normal((2, 4)) + 0.01 * rng.standard_normal((20, 4))
+    return _fm(np.hstack([base, extra]))
+
+
+def test_components_orthonormal(random_matrix):
+    pca = fit_pca(standardize(random_matrix), n_components=5)
+    gram = pca.components.T @ pca.components
+    assert np.allclose(gram, np.eye(5), atol=1e-10)
+
+
+def test_explained_variance_descending(random_matrix):
+    pca = fit_pca(standardize(random_matrix), variance_target=None)
+    assert np.all(np.diff(pca.explained_variance) <= 1e-12)
+
+
+def test_variance_target_respected(random_matrix):
+    pca = fit_pca(standardize(random_matrix), variance_target=0.9)
+    assert pca.retained >= 0.9
+    smaller = fit_pca(standardize(random_matrix), n_components=pca.n_components - 1)
+    assert smaller.retained < 0.9
+
+
+def test_scores_reproduce_projection(random_matrix):
+    sm = standardize(random_matrix)
+    pca = fit_pca(sm, n_components=3)
+    assert np.allclose(pca.scores, sm.z @ pca.components)
+
+
+def test_score_variance_equals_eigenvalues(random_matrix):
+    sm = standardize(random_matrix)
+    pca = fit_pca(sm, variance_target=None)
+    var = pca.scores.var(axis=0, ddof=1)
+    assert np.allclose(var, pca.explained_variance, atol=1e-10)
+
+
+def test_matches_scipy_svd(random_matrix):
+    sm = standardize(random_matrix)
+    pca = fit_pca(sm, n_components=4)
+    _u, s, vt = np.linalg.svd(sm.z, full_matrices=False)
+    ratio = (s**2) / (s**2).sum()
+    assert np.allclose(pca.explained_ratio, ratio[:4], atol=1e-10)
+    for j in range(4):
+        # Components match up to sign.
+        dot = abs(float(vt[j] @ pca.components[:, j]))
+        assert dot == pytest.approx(1.0, abs=1e-8)
+
+
+def test_full_spectrum_sums_to_one(random_matrix):
+    spectrum = full_spectrum(standardize(random_matrix))
+    assert spectrum.sum() == pytest.approx(1.0)
+
+
+def test_deterministic_sign_convention(random_matrix):
+    sm = standardize(random_matrix)
+    a = fit_pca(sm, n_components=3)
+    b = fit_pca(sm, n_components=3)
+    assert np.array_equal(a.components, b.components)
+    for j in range(3):
+        pivot = np.argmax(np.abs(a.components[:, j]))
+        assert a.components[pivot, j] > 0
+
+
+def test_top_loadings_sorted(random_matrix):
+    pca = fit_pca(standardize(random_matrix), n_components=2)
+    loadings = pca.top_loadings(0, n=4)
+    mags = [abs(v) for _, v in loadings]
+    assert mags == sorted(mags, reverse=True)
+
+
+def test_single_workload_rejected():
+    fm = _fm(np.ones((1, 3)))
+    with pytest.raises(ValueError):
+        fit_pca(standardize(fm))
+
+
+def test_constant_columns_dropped_before_pca():
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal((10, 3))
+    values[:, 1] = 7.0
+    sm = standardize(_fm(values))
+    assert sm.dropped == ["m1"]
+    pca = fit_pca(sm, variance_target=None)
+    assert pca.components.shape[0] == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        (8, 5),
+        elements=st.floats(-100, 100, allow_nan=False),
+    )
+)
+def test_pca_never_loses_variance(values):
+    values = values + np.arange(5) * 1e-3  # avoid fully degenerate input
+    values[:, 0] += np.arange(8)  # ensure at least one varying column
+    sm = standardize(_fm(values))
+    pca = fit_pca(sm, variance_target=None)
+    assert pca.retained == pytest.approx(1.0, abs=1e-9)
+    assert 1 <= pca.n_components <= 5

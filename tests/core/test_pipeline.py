@@ -1,0 +1,76 @@
+"""Pipeline orchestration: caching, analysis integration, determinism."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import AnalysisResult, analyze, characterize_suites
+
+
+def test_cache_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    first = characterize_suites(abbrevs=["VA"], sample_blocks=8)
+    files = list(tmp_path.glob("*.pkl"))
+    assert len(files) == 1
+    second = characterize_suites(abbrevs=["VA"], sample_blocks=8)
+    assert second[0].workload == "VA"
+    assert second[0].total_warp_instrs == first[0].total_warp_instrs
+
+
+def test_cache_key_varies_with_config(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    characterize_suites(abbrevs=["VA"], sample_blocks=8)
+    characterize_suites(abbrevs=["VA"], sample_blocks=4)
+    characterize_suites(abbrevs=["HG"], sample_blocks=8)
+    assert len(list(tmp_path.glob("*.pkl"))) == 3
+
+
+def test_cache_can_be_disabled(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    characterize_suites(abbrevs=["VA"], sample_blocks=8, use_cache=False)
+    assert list(tmp_path.glob("*.pkl")) == []
+
+
+def test_analyze_produces_complete_result(suite_profiles):
+    result = analyze(suite_profiles)
+    assert isinstance(result, AnalysisResult)
+    n = len(suite_profiles)
+    assert len(result.workloads) == n
+    assert result.pca.scores.shape[0] == n
+    assert result.pca.retained >= 0.9
+    assert len(result.dendrogram.merges) == n - 1
+    assert result.kmeans_best_k == max(result.kmeans_bics, key=result.kmeans_bics.get)
+    assert sum(r.cluster_size for r in result.representatives) == n
+    assert set(result.subspaces) == {"branch divergence", "memory coalescing"}
+
+
+def test_analyze_deterministic(suite_profiles):
+    a = analyze(suite_profiles, seed=7)
+    b = analyze(suite_profiles, seed=7)
+    assert np.array_equal(a.kmeans.labels, b.kmeans.labels)
+    assert [r.workload for r in a.representatives] == [r.workload for r in b.representatives]
+    assert np.array_equal(a.pca.scores, b.pca.scores)
+
+
+def test_analyze_variance_target_changes_dimensionality(suite_profiles):
+    lo = analyze(suite_profiles, variance_target=0.7)
+    hi = analyze(suite_profiles, variance_target=0.95)
+    assert lo.pca.n_components < hi.pca.n_components
+
+
+def test_analyze_custom_subspaces(suite_profiles):
+    result = analyze(suite_profiles, subspaces={"sfu": ["mix.sfu", "mix.fp"]})
+    assert list(result.subspaces) == ["sfu"]
+
+
+def test_profiles_are_deterministic_across_runs():
+    a = characterize_suites(abbrevs=["SLA"], sample_blocks=16, use_cache=False)
+    b = characterize_suites(abbrevs=["SLA"], sample_blocks=16, use_cache=False)
+    pa, pb = a[0], b[0]
+    assert pa.total_thread_instrs == pb.total_thread_instrs
+    from repro.core import metrics
+
+    va = metrics.extract_vector(pa)
+    vb = metrics.extract_vector(pb)
+    assert va == vb

@@ -1,0 +1,56 @@
+"""Out-of-sample workload placement."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import analyze
+from repro.core.placement import place_workload
+from repro.workloads.runner import run_workload
+
+
+@pytest.fixture(scope="module")
+def analysis(suite_profiles):
+    return analyze(suite_profiles)
+
+
+def test_replaced_suite_member_lands_on_itself(analysis):
+    """Re-characterizing a suite workload must find itself at distance ~0."""
+    profile = run_workload("VA")
+    placement = place_workload(profile, analysis)
+    assert placement.nearest == "VA"
+    assert placement.neighbors[0][1] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_rescaled_member_stays_in_neighborhood(analysis):
+    from repro.workloads import registry
+
+    cls = registry.get("VA")
+    profile = run_workload(cls(n=4096))  # quarter-size input
+    placement = place_workload(profile, analysis)
+    assert "VA" in [w for w, _ in placement.neighbors[:3]]
+
+
+def test_neighbors_sorted_and_complete(analysis):
+    placement = place_workload(run_workload("HG"), analysis)
+    dists = [d for _, d in placement.neighbors]
+    assert dists == sorted(dists)
+    assert len(placement.neighbors) == len(analysis.workloads)
+
+
+def test_cluster_assignment_valid(analysis):
+    placement = place_workload(run_workload("MM"), analysis)
+    assert 0 <= placement.cluster < analysis.kmeans.k
+
+
+def test_novelty_detection(analysis):
+    # A suite member is by definition not novel relative to the suite.
+    member = place_workload(run_workload("STEN"), analysis)
+    assert not member.is_novel(quantile=0.99)
+    # Novelty threshold is monotone in the quantile.
+    assert member._suite_quantile(0.5) <= member._suite_quantile(0.95)
+
+
+def test_scores_dimensionality(analysis):
+    placement = place_workload(run_workload("SAD"), analysis)
+    assert placement.scores.shape == (analysis.pca.n_components,)
+    assert np.isfinite(placement.scores).all()

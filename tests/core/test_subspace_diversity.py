@@ -1,0 +1,140 @@
+"""Subspace analysis, diversity statistics and representative selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import metrics
+from repro.core.analysis.diversity import (
+    coverage_of_subset,
+    nearest_neighbor_distances,
+    outlier_ranking,
+    representatives,
+    suite_diversity,
+)
+from repro.core.analysis.kmeans import kmeans
+from repro.core.analysis.subspace import (
+    analyze_subspace,
+    kernel_heterogeneity,
+    variation_scores,
+)
+from repro.core.featurespace import FeatureMatrix, standardize
+
+
+def _fm(values, suites=None):
+    values = np.asarray(values, dtype=float)
+    n, d = values.shape
+    return FeatureMatrix(
+        workloads=[f"w{i}" for i in range(n)],
+        suites=suites or ["s"] * n,
+        metric_names=[f"m{j}" for j in range(d)],
+        values=values,
+    )
+
+
+def test_variation_scores_centroid_distance():
+    fm = _fm([[0, 0], [0, 0], [10, 10], [0, 0]])
+    sm = standardize(fm)
+    scores = variation_scores(sm)
+    assert scores.argmax() == 2
+    assert scores[0] == pytest.approx(scores[1])
+
+
+def test_variation_normalised_by_dimension():
+    rng = np.random.default_rng(0)
+    base = rng.standard_normal((10, 2))
+    fm2 = _fm(base)
+    fm4 = _fm(np.hstack([base, base]))
+    v2 = variation_scores(standardize(fm2))
+    v4 = variation_scores(standardize(fm4))
+    assert np.allclose(v2, v4)
+
+
+def test_analyze_subspace_pipeline():
+    rng = np.random.default_rng(1)
+    fm = _fm(rng.standard_normal((12, 6)))
+    sub = analyze_subspace(fm, ["m0", "m1", "m2"], "test")
+    assert sub.name == "test"
+    assert sub.feature_matrix.metric_names == ["m0", "m1", "m2"]
+    assert len(sub.variation) == 12
+    ranking = sub.ranking()
+    assert len(ranking) == 12
+    scores = [s for _, s in ranking]
+    assert scores == sorted(scores, reverse=True)
+    assert sub.top(3) == [w for w, _ in ranking[:3]]
+
+
+def test_analyze_subspace_rejects_constant_subspace():
+    fm = _fm(np.ones((5, 3)))
+    with pytest.raises(ValueError, match="no varying"):
+        analyze_subspace(fm, ["m0"], "dead")
+
+
+def test_outlier_ranking_orders_by_centroid_distance():
+    fm_values = np.zeros((5, 2))
+    fm_values[3] = [9, 9]
+    ranking = outlier_ranking(fm_values, [f"w{i}" for i in range(5)])
+    assert ranking[0][0] == "w3"
+
+
+def test_nearest_neighbor_distances():
+    pts = np.array([[0.0, 0], [1, 0], [10, 0]])
+    d = nearest_neighbor_distances(pts)
+    assert d[0] == pytest.approx(1.0)
+    assert d[2] == pytest.approx(9.0)
+
+
+def test_coverage_of_subset_zero_when_complete():
+    pts = np.random.default_rng(2).standard_normal((6, 3))
+    assert coverage_of_subset(pts, range(6)) == pytest.approx(0.0)
+    assert coverage_of_subset(pts, [0]) > 0
+
+
+def test_representatives_nearest_to_centroid():
+    rng = np.random.default_rng(3)
+    pts = np.vstack([rng.standard_normal((6, 2)), rng.standard_normal((6, 2)) + 20])
+    km = kmeans(pts, 2, rng)
+    reps = representatives(km, pts, [f"w{i}" for i in range(12)])
+    assert len(reps) == 2
+    assert sum(r.cluster_size for r in reps) == 12
+    assert sum(r.weight for r in reps) == pytest.approx(1.0)
+    for rep in reps:
+        # Exemplar really is the member closest to its centre.
+        members = np.flatnonzero(km.labels == rep.cluster)
+        dists = np.linalg.norm(pts[members] - km.centers[rep.cluster], axis=1)
+        assert rep.index == members[dists.argmin()]
+        assert rep.workload in rep.members
+
+
+def test_suite_diversity_stats():
+    suites = ["A"] * 4 + ["B"] * 4
+    pts = np.vstack([np.zeros((4, 2)), np.array([[0, 0], [4, 0], [0, 4], [4, 4]])])
+    stats = {s.suite: s for s in suite_diversity(pts, [f"w{i}" for i in range(8)], suites)}
+    assert stats["A"].mean_pairwise == pytest.approx(0.0)
+    assert stats["B"].mean_pairwise > 0
+    assert stats["B"].diameter == pytest.approx(np.sqrt(32))
+    assert stats["A"].n_workloads == 4
+
+
+def test_suite_diversity_single_member():
+    pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+    stats = suite_diversity(pts, ["a", "b"], ["X", "Y"])
+    assert stats[0].mean_pairwise == 0.0
+    assert stats[0].mean_centroid_dist == pytest.approx(2.5)
+
+
+def test_kernel_heterogeneity_on_real_profiles(suite_profiles):
+    het = kernel_heterogeneity(suite_profiles, list(metrics.DIVERGENCE_SUBSPACE))
+    by_name = dict(zip([p.workload for p in suite_profiles], het))
+    # Single-kernel workloads have zero cross-kernel spread by definition.
+    assert by_name["MUM"] == 0.0
+    # NN's uniform distance kernel vs divergent argmin kernel must register.
+    assert by_name["NN"] > 0.3
+    assert np.all(het >= 0)
+
+
+def test_real_subspace_claims(suite_profiles):
+    """The abstract's coalescing-diversity workloads surface in our top ranks."""
+    fm = FeatureMatrix.from_profiles(suite_profiles)
+    coal = analyze_subspace(fm, metrics.COALESCING_SUBSPACE, "memory coalescing")
+    top6 = set(coal.top(6))
+    assert {"SS", "KM"} <= top6  # two of the paper's four named workloads

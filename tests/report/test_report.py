@@ -1,0 +1,94 @@
+"""Text-mode tables and figures."""
+
+import numpy as np
+
+from repro.core.analysis.hier import linkage
+from repro.report import ascii_table, csv_lines, format_cell, text_bars, text_dendrogram, text_scatter
+
+
+def test_format_cell_types():
+    assert format_cell("x") == "x"
+    assert format_cell(3) == "3"
+    assert format_cell(True) == "yes"
+    assert format_cell(0.5) == "0.500"
+    assert "e" in format_cell(1.23e-9)
+
+
+def test_ascii_table_alignment():
+    out = ascii_table(["name", "v"], [["a", 1.0], ["longer", 22.5]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    widths = {len(line) for line in lines[1:] if line}
+    assert len(widths) == 1  # every row padded to the same width
+
+
+def test_ascii_table_empty_rows():
+    out = ascii_table(["a"], [])
+    assert "a" in out
+
+
+def test_csv_lines():
+    out = csv_lines(["a", "b"], [[1, 2.5], [3, 4.0]])
+    lines = out.strip().splitlines()
+    assert lines[0] == "a,b"
+    assert lines[1].startswith("1,2.5")
+
+
+def test_text_scatter_contains_labels():
+    out = text_scatter([0, 1, 2], [0, 1, 2], ["AA", "BB", "CC"])
+    assert "AA" in out and "CC" in out
+    assert "PC1" in out
+
+
+def test_text_scatter_degenerate_axis():
+    out = text_scatter([1, 1], [0, 5], ["A", "B"])
+    assert "A" in out
+
+
+def test_text_bars_scaled():
+    out = text_bars(["x", "yy"], [1.0, 2.0])
+    lines = out.splitlines()
+    assert lines[1].count("#") == 2 * lines[0].count("#")
+
+
+def test_text_bars_zero_values():
+    out = text_bars(["x"], [0.0])
+    assert "0.000" in out
+
+
+def test_text_dendrogram_lists_all_merges():
+    rng = np.random.default_rng(0)
+    pts = rng.standard_normal((5, 2))
+    dendro = linkage(pts, ["a", "b", "c", "d", "e"], method="average")
+    out = text_dendrogram(dendro)
+    assert len(out.strip().splitlines()) == 4
+    for label in "abcde":
+        assert label in out
+
+
+def test_text_dendrogram_empty():
+    dendro = linkage(np.zeros((1, 2)), ["only"], method="average")
+    assert "only" in text_dendrogram(dendro)
+
+
+def test_md_table():
+    from repro.report import md_table
+
+    out = md_table(["a", "b"], [[1, 2.5]])
+    lines = out.strip().splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2].startswith("| 1 | 2.5")
+
+
+def test_render_analysis_report_sections(suite_profiles):
+    from repro.core.pipeline import analyze
+    from repro.report import render_analysis_report
+
+    text = render_analysis_report(analyze(suite_profiles))
+    for section in ("## Workloads", "## Principal components", "## Clusters",
+                    "## Suite coverage", "## Subspace diversity"):
+        assert section in text
+    assert "branch divergence" in text

@@ -1,0 +1,138 @@
+"""Device memory: allocation, bounds, alignment, read-only enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.simt import Device, DType, LaunchError, MemoryFault
+
+
+def test_alloc_alignment_and_disjointness():
+    dev = Device()
+    a = dev.alloc("a", 10)
+    b = dev.alloc("b", 10)
+    assert a.base % 256 == 0
+    assert b.base % 256 == 0
+    assert b.base >= a.end
+
+
+def test_upload_download_roundtrip():
+    dev = Device()
+    buf = dev.alloc("x", 16)
+    data = np.arange(16.0)
+    dev.upload(buf, data)
+    assert np.array_equal(dev.download(buf), data)
+
+
+def test_download_is_a_copy():
+    dev = Device()
+    buf = dev.from_array("x", np.arange(4.0))
+    out = dev.download(buf)
+    out[0] = 99
+    assert dev.download(buf)[0] == 0.0
+
+
+def test_from_array_infers_dtype():
+    dev = Device()
+    fb = dev.from_array("f", np.array([1.5, 2.5]))
+    ib = dev.from_array("i", np.array([1, 2]))
+    assert fb.dtype is DType.F32
+    assert ib.dtype is DType.I32
+
+
+def test_fill_value():
+    dev = Device()
+    buf = dev.alloc("x", 4, DType.I32, fill=-1)
+    assert np.all(dev.download(buf) == -1)
+
+
+def test_upload_size_mismatch_rejected():
+    dev = Device()
+    buf = dev.alloc("x", 4)
+    with pytest.raises(LaunchError, match="mismatch"):
+        dev.upload(buf, np.zeros(5))
+
+
+def test_duplicate_name_rejected():
+    dev = Device()
+    dev.alloc("x", 4)
+    with pytest.raises(LaunchError, match="duplicate"):
+        dev.alloc("x", 4)
+
+
+def test_nonpositive_size_rejected():
+    dev = Device()
+    with pytest.raises(LaunchError):
+        dev.alloc("x", 0)
+
+
+def test_gather_in_bounds():
+    dev = Device()
+    buf = dev.from_array("x", np.array([10.0, 20.0, 30.0]))
+    addrs = np.array([buf.base, buf.base + 8, buf.base + 4])
+    assert np.array_equal(dev.gather(addrs, 4), [10.0, 30.0, 20.0])
+
+
+def test_gather_below_heap_faults():
+    dev = Device()
+    dev.alloc("x", 4)
+    with pytest.raises(MemoryFault, match="below heap"):
+        dev.gather(np.array([0]), 4)
+
+
+def test_gather_past_end_faults():
+    dev = Device()
+    buf = dev.alloc("x", 4)
+    with pytest.raises(MemoryFault, match="out-of-bounds"):
+        dev.gather(np.array([buf.base + 4 * 4]), 4)
+
+
+def test_misaligned_access_faults():
+    dev = Device()
+    buf = dev.alloc("x", 4)
+    with pytest.raises(MemoryFault, match="misaligned"):
+        dev.gather(np.array([buf.base + 2]), 4)
+
+
+def test_scatter_last_lane_wins():
+    dev = Device()
+    buf = dev.alloc("x", 4, DType.I32)
+    addrs = np.array([buf.base, buf.base, buf.base + 4])
+    dev.scatter(addrs, np.array([1, 2, 3]), 4)
+    out = dev.download(buf)
+    assert out[0] == 2  # duplicate address: highest lane index wins
+    assert out[1] == 3
+
+
+def test_store_to_readonly_faults():
+    dev = Device()
+    buf = dev.from_array("x", np.arange(4.0), readonly=True)
+    with pytest.raises(MemoryFault, match="read-only"):
+        dev.scatter(np.array([buf.base]), np.array([1.0]), 4)
+
+
+def test_atomic_on_readonly_faults():
+    dev = Device()
+    buf = dev.from_array("x", np.arange(4), readonly=True)
+    with pytest.raises(MemoryFault, match="read-only"):
+        dev.atomic_lane_view(np.array([buf.base]), 4)
+
+
+def test_gather_spanning_two_buffers():
+    dev = Device()
+    a = dev.from_array("a", np.array([1.0, 2.0]))
+    b = dev.from_array("b", np.array([3.0, 4.0]))
+    addrs = np.array([a.base, b.base, a.base + 4, b.base + 4])
+    assert np.array_equal(dev.gather(addrs, 4), [1.0, 3.0, 2.0, 4.0])
+
+
+def test_buffer_lookup_by_name():
+    dev = Device()
+    dev.alloc("x", 4)
+    assert dev.buffer("x").name == "x"
+    assert len(dev.buffers) == 1
+
+
+def test_access_on_empty_device_faults():
+    dev = Device()
+    with pytest.raises(MemoryFault):
+        dev.gather(np.array([0x1000]), 4)

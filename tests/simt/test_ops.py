@@ -1,0 +1,203 @@
+"""Per-opcode semantics: each scalar op validated against its numpy model."""
+
+import numpy as np
+import pytest
+
+from repro.simt import Device, DType, Executor, KernelBuilder
+
+LANES = 32
+
+
+def _eval_int_binop(emit_name, a_vals, b_vals):
+    b = KernelBuilder("k")
+    xa = b.param_buf("a", DType.I32)
+    xb = b.param_buf("b", DType.I32)
+    out = b.param_buf("out", DType.I32)
+    i = b.global_thread_id()
+    va = b.ld(xa, i)
+    vb = b.ld(xb, i)
+    b.st(out, i, getattr(b, emit_name)(va, vb))
+    dev = Device()
+    ba = dev.from_array("a", np.asarray(a_vals), DType.I32, readonly=True)
+    bb = dev.from_array("b", np.asarray(b_vals), DType.I32, readonly=True)
+    bo = dev.alloc("out", LANES, DType.I32)
+    Executor(dev).launch(b.finalize(), 1, LANES, {"a": ba, "b": bb, "out": bo})
+    return dev.download(bo)
+
+
+def _eval_fp_unop(emit_name, vals):
+    b = KernelBuilder("k")
+    x = b.param_buf("x")
+    out = b.param_buf("out")
+    i = b.global_thread_id()
+    b.st(out, i, getattr(b, emit_name)(b.ld(x, i)))
+    dev = Device()
+    bx = dev.from_array("x", np.asarray(vals, dtype=float), readonly=True)
+    bo = dev.alloc("out", LANES)
+    Executor(dev).launch(b.finalize(), 1, LANES, {"x": bx, "out": bo})
+    return dev.download(bo)
+
+
+_RNG = np.random.default_rng(77)
+_A = _RNG.integers(-1000, 1000, LANES)
+_B = _RNG.integers(1, 100, LANES)  # positive: safe for div/mod/shifts
+
+
+@pytest.mark.parametrize(
+    "name,ref",
+    [
+        ("iadd", lambda a, b: a + b),
+        ("isub", lambda a, b: a - b),
+        ("imul", lambda a, b: a * b),
+        ("imin", np.minimum),
+        ("imax", np.maximum),
+        ("iand", lambda a, b: a & b),
+        ("ior", lambda a, b: a | b),
+        ("ixor", lambda a, b: a ^ b),
+    ],
+)
+def test_int_binops(name, ref):
+    assert np.array_equal(_eval_int_binop(name, _A, _B), ref(_A, _B))
+
+
+def test_idiv_truncates_toward_zero():
+    got = _eval_int_binop("idiv", _A, _B)
+    expected = np.fix(_A / _B).astype(np.int64)
+    assert np.array_equal(got, expected)
+
+
+def test_imod_matches_c_remainder():
+    got = _eval_int_binop("imod", _A, _B)
+    expected = _A - np.fix(_A / _B).astype(np.int64) * _B
+    assert np.array_equal(got, expected)
+    # C guarantees sign(remainder) == sign(dividend).
+    nonzero = got != 0
+    assert np.all(np.sign(got[nonzero]) == np.sign(_A[nonzero]))
+
+
+def test_shifts():
+    shifts = np.abs(_B) % 16
+    assert np.array_equal(_eval_int_binop("ishl", _A, shifts), _A << shifts)
+    assert np.array_equal(_eval_int_binop("ishr", _A, shifts), _A >> shifts)
+
+
+_F = _RNG.uniform(0.1, 4.0, LANES)
+
+
+@pytest.mark.parametrize(
+    "name,ref",
+    [
+        ("fsqrt", np.sqrt),
+        ("fexp", np.exp),
+        ("flog", np.log),
+        ("fsin", np.sin),
+        ("fcos", np.cos),
+        ("frcp", lambda v: 1.0 / v),
+        ("ffloor", np.floor),
+        ("fabs", np.abs),
+        ("fneg", lambda v: -v),
+    ],
+)
+def test_fp_unops(name, ref):
+    assert np.allclose(_eval_fp_unop(name, _F), ref(_F), rtol=1e-12)
+
+
+def test_fma_is_mul_add():
+    b = KernelBuilder("k")
+    out = b.param_buf("out")
+    i = b.global_thread_id()
+    f = b.i2f(i)
+    b.st(out, i, b.fma(f, 2.0, 1.0))
+    dev = Device()
+    bo = dev.alloc("out", LANES)
+    Executor(dev).launch(b.finalize(), 1, LANES, {"out": bo})
+    assert np.allclose(dev.download(bo), np.arange(LANES) * 2.0 + 1.0)
+
+
+def test_fpow():
+    b = KernelBuilder("k")
+    x = b.param_buf("x")
+    out = b.param_buf("out")
+    i = b.global_thread_id()
+    b.st(out, i, b.fpow(b.ld(x, i), 1.5))
+    dev = Device()
+    bx = dev.from_array("x", _F, readonly=True)
+    bo = dev.alloc("out", LANES)
+    Executor(dev).launch(b.finalize(), 1, LANES, {"x": bx, "out": bo})
+    assert np.allclose(dev.download(bo), _F**1.5)
+
+
+@pytest.mark.parametrize(
+    "name,ref",
+    [
+        ("ilt", lambda a, b: a < b),
+        ("ile", lambda a, b: a <= b),
+        ("igt", lambda a, b: a > b),
+        ("ige", lambda a, b: a >= b),
+        ("ieq", lambda a, b: a == b),
+        ("ine", lambda a, b: a != b),
+    ],
+)
+def test_int_comparisons_via_select(name, ref):
+    b = KernelBuilder("k")
+    xa = b.param_buf("a", DType.I32)
+    xb = b.param_buf("b", DType.I32)
+    out = b.param_buf("out", DType.I32)
+    i = b.global_thread_id()
+    pred = getattr(b, name)(b.ld(xa, i), b.ld(xb, i))
+    b.st(out, i, b.sel(pred, 1, 0))
+    dev = Device()
+    small = _A % 5
+    other = _B % 5
+    ba = dev.from_array("a", small, DType.I32, readonly=True)
+    bb = dev.from_array("b", other, DType.I32, readonly=True)
+    bo = dev.alloc("out", LANES, DType.I32)
+    Executor(dev).launch(b.finalize(), 1, LANES, {"a": ba, "b": bb, "out": bo})
+    assert np.array_equal(dev.download(bo).astype(bool), ref(small, other))
+
+
+def test_predicate_logic():
+    b = KernelBuilder("k")
+    out = b.param_buf("out", DType.I32)
+    i = b.global_thread_id()
+    p = b.ilt(i, 16)
+    q = b.ieq(b.imod(i, 2), 0)
+    r = b.sel(b.pand(p, q), 1, b.sel(b.por(p, q), 2, b.sel(b.pnot(p), 3, 99)))
+    b.st(out, i, r)
+    dev = Device()
+    bo = dev.alloc("out", LANES, DType.I32)
+    Executor(dev).launch(b.finalize(), 1, LANES, {"out": bo})
+    lanes = np.arange(LANES)
+    p_ref = lanes < 16
+    q_ref = lanes % 2 == 0
+    expected = np.where(p_ref & q_ref, 1, np.where(p_ref | q_ref, 2, np.where(~p_ref, 3, 99)))
+    assert np.array_equal(dev.download(bo), expected)
+
+
+def test_f2i_truncates():
+    b = KernelBuilder("k")
+    x = b.param_buf("x")
+    out = b.param_buf("out", DType.I32)
+    i = b.global_thread_id()
+    b.st(out, i, b.f2i(b.ld(x, i)))
+    vals = np.array([1.9, -1.9, 0.5, -0.5] * 8)
+    dev = Device()
+    bx = dev.from_array("x", vals, readonly=True)
+    bo = dev.alloc("out", LANES, DType.I32)
+    Executor(dev).launch(b.finalize(), 1, LANES, {"x": bx, "out": bo})
+    assert np.array_equal(dev.download(bo), np.trunc(vals).astype(np.int64))
+
+
+def test_ineg_iabs():
+    got_neg = _eval_int_binop("iadd", -_A, np.zeros(LANES, dtype=np.int64))
+    assert np.array_equal(got_neg, -_A)
+    b = KernelBuilder("k")
+    xa = b.param_buf("a", DType.I32)
+    out = b.param_buf("out", DType.I32)
+    i = b.global_thread_id()
+    b.st(out, i, b.iabs(b.ineg(b.ld(xa, i))))
+    dev = Device()
+    ba = dev.from_array("a", _A, DType.I32, readonly=True)
+    bo = dev.alloc("out", LANES, DType.I32)
+    Executor(dev).launch(b.finalize(), 1, LANES, {"a": ba, "out": bo})
+    assert np.array_equal(dev.download(bo), np.abs(_A))

@@ -1,0 +1,141 @@
+"""Texture memory space: builder rules, execution, and collection."""
+
+import numpy as np
+import pytest
+
+from repro.simt import BuildError, Device, DType, KernelBuilder, MemSpace
+from tests.conftest import run_kernel
+
+
+def _tex_gather_kernel():
+    b = KernelBuilder("texgather")
+    tex = b.param_buf("tex", space=MemSpace.TEXTURE)
+    idx = b.param_buf("idx", DType.I32)
+    out = b.param_buf("out")
+    i = b.global_thread_id()
+    b.st(out, i, b.ld(tex, b.ld(idx, i)))
+    return b.finalize()
+
+
+def _run_tex_gather():
+    dev = Device()
+    data = np.arange(100.0) * 2
+    rng = np.random.default_rng(0)
+    indices = rng.integers(0, 100, 64)
+    tex = dev.from_array("tex", data, readonly=True)
+    idx = dev.from_array("idx", indices, DType.I32, readonly=True)
+    out = dev.alloc("out", 64)
+    _, profile = run_kernel(
+        _tex_gather_kernel(), 2, 32, {"tex": tex, "idx": idx, "out": out}, device=dev
+    )
+    return dev, out, data, indices, profile
+
+
+def test_texture_fetch_values():
+    dev, out, data, indices, _profile = _run_tex_gather()
+    assert np.array_equal(dev.download(out), data[indices])
+
+
+def test_texture_instruction_category():
+    profile = _run_tex_gather()[-1]
+    assert profile.thread_instrs["ld.tex"] == 64
+    # The texture fetch is not charged to the global-load category.
+    assert profile.thread_instrs["ld.global"] == 64  # only the idx loads
+
+
+def test_texture_not_in_coalescing_stats():
+    profile = _run_tex_gather()[-1]
+    # Global accesses: idx load + out store per warp = 4 accesses.
+    assert profile.gmem.accesses == 4
+
+
+def test_texture_stats_collected():
+    profile = _run_tex_gather()[-1]
+    t = profile.texture
+    assert t.accesses == 2  # one fetch per warp
+    assert t.lane_accesses == 64
+    assert t.line_accesses > 0
+    assert 0 < t.unique_lines <= t.line_accesses
+
+
+def test_texture_reuse_tracked():
+    b = KernelBuilder("texreuse")
+    tex = b.param_buf("tex", space=MemSpace.TEXTURE)
+    out = b.param_buf("out")
+    i = b.global_thread_id()
+    v = b.fadd(b.ld(tex, i), b.ld(tex, i))  # immediate line re-touch
+    b.st(out, i, v)
+    dev = Device()
+    tex_b = dev.from_array("tex", np.arange(64.0), readonly=True)
+    out_b = dev.alloc("out", 64)
+    _, p = run_kernel(b.finalize(), 2, 32, {"tex": tex_b, "out": out_b}, device=dev)
+    assert p.texture.reuse_cdf_at(16) == 1.0
+    assert p.texture.unique_line_ratio < 1.0
+
+
+def test_store_to_texture_rejected():
+    b = KernelBuilder("k")
+    tex = b.param_buf("tex", space=MemSpace.TEXTURE)
+    with pytest.raises(BuildError, match="read-only"):
+        b.st(tex, 0, 1.0)
+
+
+def test_atomic_on_texture_rejected():
+    b = KernelBuilder("k")
+    tex = b.param_buf("tex", DType.I32, space=MemSpace.TEXTURE)
+    with pytest.raises(BuildError):
+        b.atomic_add(tex, 0, 1)
+
+
+def test_texture_metrics_registered():
+    from repro.core import metrics
+
+    assert "mix.texture" in metrics.metric_names()
+    assert "tex.rd64" in metrics.metric_names()
+    assert "tex.unique_ratio" in metrics.metric_names()
+
+
+def test_texture_traffic_in_uarch_model():
+    from repro.trace.profile import KernelProfile, TextureStats
+    from repro.uarch import BASELINE, time_kernel
+
+    hist = np.zeros(64, dtype=np.int64)
+    base = KernelProfile(
+        kernel_name="t",
+        grid=(16, 1),
+        block=(128, 1),
+        total_blocks=16,
+        profiled_blocks=16,
+        threads_total=2048,
+        thread_instrs={"ld.tex": 100_000},
+        warp_instrs={"ld.tex": 4_000},
+        texture=TextureStats(
+            accesses=4_000,
+            lane_accesses=100_000,
+            reuse_histogram=hist,
+            cold_misses=50_000,
+            line_accesses=50_000,
+            unique_lines=50_000,
+        ),
+    )
+    with_tex_cache = time_kernel(base, BASELINE)
+    no_tex_cache = time_kernel(base, BASELINE.derive("notex", tex_cache_lines=0))
+    # All fetches are cold here, so the texture cache cannot help...
+    assert with_tex_cache.dram_transactions == no_tex_cache.dram_transactions
+    # ...but cache-resident reuse does.
+    hist2 = hist.copy()
+    hist2[3] = 40_000
+    reusing = KernelProfile(
+        **{
+            **base.__dict__,
+            "texture": TextureStats(
+                accesses=4_000,
+                lane_accesses=100_000,
+                reuse_histogram=hist2,
+                cold_misses=10_000,
+                line_accesses=50_000,
+                unique_lines=10_000,
+            ),
+        }
+    )
+    assert time_kernel(reusing, BASELINE).dram_transactions < with_tex_cache.dram_transactions

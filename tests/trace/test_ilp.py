@@ -1,0 +1,99 @@
+"""Windowed ILP tracker: analytic cases and invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.ilp import IlpTracker, IlpTrackerBank
+
+
+def test_fully_independent_stream():
+    t = IlpTracker(window=8)
+    for i in range(8):
+        t.note(f"r{i}", [])
+    assert t.ilp == 8.0
+
+
+def test_fully_serial_chain():
+    t = IlpTracker(window=8)
+    t.note("r0", [])
+    for i in range(1, 8):
+        t.note(f"r{i}", [f"r{i-1}"])
+    assert t.ilp == 1.0
+
+
+def test_two_independent_chains():
+    t = IlpTracker(window=8)
+    for i in range(4):
+        t.note("a", ["a"] if i else [])
+        t.note("b", ["b"] if i else [])
+    assert t.ilp == 2.0
+
+
+def test_partial_window_via_flush():
+    t = IlpTracker(window=100)
+    t.note("a", [])
+    t.note("b", [])
+    t.flush()
+    assert t.ilp == 2.0
+
+
+def test_window_reset_clears_dependences():
+    t = IlpTracker(window=2)
+    # Window 1: a <- (), b <- a : cp 2, ilp 1.
+    t.note("a", [])
+    t.note("b", ["a"])
+    # Window 2: c <- b crosses the window boundary, so the dep is dropped.
+    t.note("c", ["b"])
+    t.note("d", [])
+    t.flush()
+    assert t.ilp == (2 / 2 + 2 / 1) / 2
+
+
+def test_empty_stream_reports_serial_floor():
+    assert IlpTracker(window=32).ilp == 1.0
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(ValueError):
+        IlpTracker(window=0)
+
+
+def test_bank_runs_all_windows():
+    bank = IlpTrackerBank()
+    for i in range(300):
+        bank.note(f"r{i}", [f"r{i-1}"] if i else [])
+    bank.flush()
+    results = bank.results()
+    assert set(results) == {32, 64, 128, 256}
+    assert all(v == 1.0 for v in results.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.lists(st.integers(0, 5), max_size=3)),
+        min_size=1,
+        max_size=100,
+    ),
+    st.sampled_from([4, 16, 64]),
+)
+def test_ilp_bounds(stream, window):
+    """1 <= ILP <= window, always."""
+    t = IlpTracker(window)
+    for dest, srcs in stream:
+        t.note(f"r{dest}", [f"r{s}" for s in srcs])
+    t.flush()
+    assert 1.0 <= t.ilp <= window
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 200))
+def test_independent_stream_window_average(n):
+    t = IlpTracker(window=32)
+    for i in range(n):
+        t.note(f"r{i}", [])
+    t.flush()
+    q, r = divmod(n, 32)
+    expected = (32.0 * q + r) / (q + (1 if r else 0))
+    assert t.ilp == pytest.approx(expected)

@@ -1,0 +1,98 @@
+"""Reuse-distance engine: unit cases plus property test against a naive oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.reuse import ReuseDistanceTracker
+
+
+def naive_stack_distances(lines):
+    """O(N^2) Mattson reference: distinct lines since previous access."""
+    out = []
+    history = []
+    for line in lines:
+        if line in history:
+            pos = len(history) - 1 - history[::-1].index(line)
+            out.append(len(set(history[pos + 1 :])))
+            history.append(line)
+        else:
+            out.append(-1)
+            history.append(line)
+    return out
+
+
+def test_simple_sequence():
+    t = ReuseDistanceTracker()
+    assert t.access(1) == -1
+    assert t.access(2) == -1
+    assert t.access(1) == 1  # one distinct line (2) in between
+    assert t.access(1) == 0  # immediate re-reference
+    assert t.access(3) == -1
+    assert t.access(2) == 2  # 1 and 3 in between
+
+
+def test_cold_miss_accounting():
+    t = ReuseDistanceTracker()
+    for line in [1, 2, 3, 1, 2, 3]:
+        t.access(line)
+    assert t.cold_misses == 3
+    assert t.accesses == 6
+    assert t.cold_miss_rate == 0.5
+    assert t.unique_lines == 3
+
+
+def test_histogram_buckets():
+    t = ReuseDistanceTracker()
+    t.access(0)
+    t.access(0)  # distance 0 -> bucket 0
+    t.access(1)
+    t.access(0)  # distance 1 -> bucket 1
+    assert t.histogram[0] == 1
+    assert t.histogram[1] == 1
+
+
+def test_cdf_at_thresholds():
+    t = ReuseDistanceTracker()
+    # Touch 100 lines, then re-touch line 0: distance 99.
+    for line in range(100):
+        t.access(line)
+    t.access(0)
+    assert t.cdf_at(64) == 0.0
+    assert t.cdf_at(128) == 1.0
+
+
+def test_cdf_empty_is_zero():
+    t = ReuseDistanceTracker()
+    assert t.cdf_at(16) == 0.0
+    t.access(5)
+    assert t.cdf_at(16) == 0.0  # only a cold miss, no reuses
+
+
+def test_fenwick_growth_beyond_initial_capacity():
+    t = ReuseDistanceTracker()
+    n = 3000  # exceeds the initial Fenwick capacity of 1024
+    for i in range(n):
+        t.access(i)
+    assert t.access(0) == n - 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=120))
+def test_matches_naive_oracle(lines):
+    t = ReuseDistanceTracker()
+    got = [t.access(line) for line in lines]
+    assert got == naive_stack_distances(lines)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200))
+def test_invariants(lines):
+    t = ReuseDistanceTracker()
+    for line in lines:
+        d = t.access(line)
+        assert d == -1 or 0 <= d < t.unique_lines
+    assert t.cold_misses == len(set(lines))
+    assert t.accesses == len(lines)
+    assert int(t.histogram.sum()) + t.cold_misses == t.accesses
