@@ -13,13 +13,16 @@ import os
 import pytest
 
 from repro.core.pipeline import analyze, characterize_suites
+from repro.core.runtime import CharacterizationConfig
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 @pytest.fixture(scope="session")
 def profiles():
-    return characterize_suites()
+    # jobs=None defers to REPRO_JOBS, so `REPRO_JOBS=8 pytest benchmarks/`
+    # parallelizes the one-time suite characterization.
+    return characterize_suites(CharacterizationConfig())
 
 
 @pytest.fixture(scope="session")

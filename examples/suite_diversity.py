@@ -10,14 +10,19 @@ Run:  python examples/suite_diversity.py
 
 import numpy as np
 
-from repro.core import characterize_and_analyze
+from repro.core import CharacterizationConfig, ConsoleObserver, characterize_and_analyze
 from repro.core.analysis.diversity import outlier_ranking, suite_diversity
 from repro.report import ascii_table, text_dendrogram, text_scatter
 
 
 def main():
     print("characterizing the suites (first run simulates everything)...")
-    result = characterize_and_analyze(progress=lambda w: print(f"  {w}", flush=True))
+    # jobs=0 fans the first-run simulation out over every core; cached
+    # profiles make later runs instant.  ConsoleObserver streams live
+    # per-workload progress events to stderr.
+    result = characterize_and_analyze(
+        CharacterizationConfig(jobs=0), observer=ConsoleObserver()
+    )
 
     pca = result.pca
     print(

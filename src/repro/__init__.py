@@ -25,15 +25,30 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from repro.core import AnalysisResult, analyze, characterize_and_analyze, characterize_suites
+from repro.core import (
+    AnalysisResult,
+    CharacterizationConfig,
+    CharacterizationError,
+    CharacterizationResult,
+    RunObserver,
+    analyze,
+    characterize_and_analyze,
+    characterize_suites,
+    run_characterization,
+)
 from repro.workloads import run_suite, run_workload
 
 __all__ = [
     "AnalysisResult",
+    "CharacterizationConfig",
+    "CharacterizationError",
+    "CharacterizationResult",
+    "RunObserver",
     "__version__",
     "analyze",
     "characterize_and_analyze",
     "characterize_suites",
+    "run_characterization",
     "run_suite",
     "run_workload",
 ]

@@ -8,9 +8,11 @@ Surfaces the paper's workflows without writing Python::
     python -m repro subspace "branch divergence"
     python -m repro stress                     # functional-block rankings
     python -m repro evaluate --subset-k 8      # design-space evaluation
+    python -m repro profile-cache              # inspect the profile cache
 
-All commands reuse the on-disk profile cache, so only the first invocation
-simulates the suite.
+All commands share the sharded on-disk profile cache, so only the first
+invocation simulates the suite — and ``--jobs N`` (or ``REPRO_JOBS``) fans
+that first simulation out over N worker processes.
 """
 
 from __future__ import annotations
@@ -35,17 +37,35 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _profiles(args: argparse.Namespace):
-    from repro.core.pipeline import characterize_suites
+    from repro.core.runtime import (
+        CharacterizationConfig,
+        ConsoleObserver,
+        run_characterization,
+    )
 
-    abbrevs = args.workloads or None
-    return characterize_suites(
-        abbrevs=abbrevs,
+    config = CharacterizationConfig(
+        abbrevs=args.workloads or None,
         sample_blocks=args.sample_blocks,
         use_cache=not args.no_cache,
-        progress=(lambda w: print(f"  characterizing {w}...", file=sys.stderr))
-        if args.verbose
-        else None,
+        jobs=args.jobs,
     )
+    observer = ConsoleObserver(sys.stderr) if args.verbose else None
+    try:
+        result = run_characterization(config, observer)
+    except (KeyError, ValueError) as exc:
+        # Unknown workload abbrev or a bad REPRO_JOBS value.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        raise SystemExit(2)
+    if result.failures:
+        for failure in result.failures:
+            print(
+                f"error: {failure.workload} failed after {failure.attempts} "
+                f"attempt(s): {failure.error}",
+                file=sys.stderr,
+            )
+        raise SystemExit(1)
+    return result.profiles
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
@@ -64,10 +84,11 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         print(f"wrote {fm.n_workloads}x{fm.n_metrics} feature matrix to {args.csv}")
         return 0
     # Terminal-friendly: one table per metric group.
+    column = {name: i for i, name in enumerate(fm.metric_names)}
     for group in metrics.metric_groups():
         names = [s.name for s in metrics.all_metrics() if s.group == group]
         rows = [
-            [w] + [fm.values[i, fm.metric_names.index(n)] for n in names]
+            [w] + [fm.values[i, column[n]] for n in names]
             for i, w in enumerate(fm.workloads)
         ]
         print(ascii_table(["workload"] + names, rows, title=group))
@@ -249,6 +270,51 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile_cache(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core.runtime import ProfileCache
+    from repro.report import ascii_table
+
+    cache = ProfileCache()
+    if args.clear:
+        removed = cache.purge(stale_only=False)
+        print(f"removed {len(removed)} shard(s) from {cache.cache_dir}")
+        return 0
+    if args.purge:
+        removed = cache.purge(stale_only=True)
+        print(f"removed {len(removed)} stale/orphan shard(s) from {cache.cache_dir}")
+        return 0
+    entries = cache.entries()
+    if not entries:
+        print(f"profile cache at {cache.cache_dir} is empty")
+        return 0
+    now = time.time()
+    rows = [
+        [
+            e.workload,
+            "all" if e.sample_blocks is None else e.sample_blocks,
+            e.digest,
+            e.status,
+            f"{e.size_bytes / 1024:.0f}K",
+            f"{e.wall_seconds:.2f}s",
+            f"{max(now - e.created, 0) / 60:.0f}m" if e.created else "?",
+        ]
+        for e in entries
+    ]
+    print(
+        ascii_table(
+            ["workload", "sample", "digest", "status", "size", "sim time", "age"],
+            rows,
+            title=f"{len(entries)} shard(s) in {cache.cache_dir}",
+        )
+    )
+    stale = sum(e.status != "fresh" for e in entries)
+    if stale:
+        print(f"{stale} stale/orphan shard(s); `python -m repro profile-cache --purge` removes them")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -261,6 +327,13 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("workloads", nargs="*", help="workload abbrevs (default: all)")
         p.add_argument("--sample-blocks", type=int, default=48, help="profiled blocks per launch")
         p.add_argument("--no-cache", action="store_true", help="ignore the profile cache")
+        p.add_argument(
+            "-j",
+            "--jobs",
+            type=int,
+            default=None,
+            help="parallel worker processes (default: $REPRO_JOBS, then 1; 0 = all cores)",
+        )
         p.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
 
     p = sub.add_parser("list", help="list the registered workloads")
@@ -302,6 +375,11 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, workloads=False)
     p.add_argument("--subset-k", type=int, default=8)
     p.set_defaults(fn=_cmd_evaluate, workloads=[])
+
+    p = sub.add_parser("profile-cache", help="inspect the sharded profile cache")
+    p.add_argument("--purge", action="store_true", help="delete stale/orphan shards")
+    p.add_argument("--clear", action="store_true", help="delete every shard")
+    p.set_defaults(fn=_cmd_profile_cache)
 
     return parser
 

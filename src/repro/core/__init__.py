@@ -15,11 +15,43 @@ from repro.core.pipeline import (
     characterize_and_analyze,
     characterize_suites,
 )
+from repro.core.runtime import (
+    CharacterizationConfig,
+    CharacterizationError,
+    CharacterizationResult,
+    ConsoleObserver,
+    ProfileCache,
+    RunEvent,
+    RunObserver,
+    SuiteFinished,
+    SuiteStarted,
+    WorkloadCacheHit,
+    WorkloadFailed,
+    WorkloadFailure,
+    WorkloadFinished,
+    WorkloadStarted,
+    run_characterization,
+)
 
 __all__ = [
     "AnalysisResult",
+    "CharacterizationConfig",
+    "CharacterizationError",
+    "CharacterizationResult",
+    "ConsoleObserver",
     "FeatureMatrix",
+    "Placement",
+    "ProfileCache",
+    "RunEvent",
+    "RunObserver",
     "StandardizedMatrix",
+    "SuiteFinished",
+    "SuiteStarted",
+    "WorkloadCacheHit",
+    "WorkloadFailed",
+    "WorkloadFailure",
+    "WorkloadFinished",
+    "WorkloadStarted",
     "analyze",
     "characterize_and_analyze",
     "characterize_suites",
@@ -27,8 +59,8 @@ __all__ = [
     "correlation_matrix",
     "evaluation",
     "kernelspace",
-    "Placement",
-    "place_workload",
     "metrics",
+    "place_workload",
+    "run_characterization",
     "standardize",
 ]

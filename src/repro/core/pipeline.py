@@ -1,23 +1,28 @@
-"""End-to-end characterization pipeline with on-disk profile caching.
+"""End-to-end characterization pipeline.
 
 ``characterize_suites()`` runs every registered workload under trace
-collection (slow-ish: tens of seconds), and ``analyze()`` turns the
-profiles into the paper's artifacts — feature matrix, PCA, dendrogram,
-K-means clusters, subspace analyses, representatives.
+collection, and ``analyze()`` turns the profiles into the paper's artifacts
+— feature matrix, PCA, dendrogram, K-means clusters, subspace analyses,
+representatives.
 
-Profiles are cached on disk (pickle, keyed by a version stamp plus the
-workload list and sampling config), so the benchmark harness can regenerate
-every table/figure without re-simulating the suite each time.
+Execution, parallelism and caching live in :mod:`repro.core.runtime`:
+workloads fan out over a process pool (``CharacterizationConfig.jobs`` /
+``REPRO_JOBS``) and profiles are cached per workload in content-addressed
+shards that self-invalidate when the simulator, collector or the workload's
+own module changes — so every downstream command re-simulates only what an
+edit actually touched.
+
+The old scattered keyword API (``abbrevs=``, ``sample_blocks=``,
+``use_cache=``, ``verify=``, ``progress=``) still works through thin
+deprecation shims; new code passes a :class:`CharacterizationConfig` and,
+optionally, a :class:`RunObserver`.
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
-import pickle
-import tempfile
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -28,50 +33,90 @@ from repro.core.analysis.kmeans import KMeansResult, choose_k
 from repro.core.analysis.pca import PcaResult, fit_pca
 from repro.core.analysis.subspace import SubspaceAnalysis, analyze_subspace
 from repro.core.featurespace import FeatureMatrix, StandardizedMatrix, standardize
+from repro.core.runtime import (
+    CallbackObserver,
+    CharacterizationConfig,
+    CharacterizationError,
+    RunObserver,
+    run_characterization,
+)
 from repro.trace.profile import WorkloadProfile
-from repro.workloads.runner import DEFAULT_SAMPLE_BLOCKS, run_suite
 
-#: Bump to invalidate cached profiles after changes to the simulator,
-#: collector or workloads.
-CACHE_VERSION = 4
+_UNSET = object()
 
 
-def _cache_dir() -> str:
-    return os.environ.get(
-        "REPRO_CACHE_DIR", os.path.join(tempfile.gettempdir(), "repro-gpgpu-cache")
-    )
+def _coerce_config(
+    config: Union[CharacterizationConfig, Sequence[str], None],
+    observer: Optional[RunObserver],
+    legacy: Dict[str, object],
+) -> tuple:
+    """Resolve the (config, observer) pair from new- or old-style arguments."""
+    progress = legacy.pop("progress", _UNSET)
+    overrides = {k: v for k, v in legacy.items() if v is not _UNSET}
 
+    if config is not None and not isinstance(config, CharacterizationConfig):
+        # Old positional convention: first argument was the abbrev list.
+        overrides.setdefault("abbrevs", config)
+        config = None
 
-def _cache_key(abbrevs: Optional[Sequence[str]], sample_blocks: Optional[int]) -> str:
-    from repro.workloads import registry
-
-    names = list(abbrevs) if abbrevs is not None else registry.abbrevs()
-    payload = f"v{CACHE_VERSION}|{','.join(names)}|sample={sample_blocks}"
-    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+    if overrides:
+        warnings.warn(
+            "characterize_suites(abbrevs=..., sample_blocks=..., verify=..., "
+            "use_cache=...) keywords are deprecated; pass a "
+            "CharacterizationConfig instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        config = replace(config or CharacterizationConfig(), **overrides)
+    if progress is not _UNSET and progress is not None:
+        warnings.warn(
+            "the progress= callback is deprecated; pass an observer=RunObserver",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if observer is None:
+            observer = CallbackObserver(progress)
+    return config or CharacterizationConfig(), observer
 
 
 def characterize_suites(
-    abbrevs: Optional[Sequence[str]] = None,
-    sample_blocks: Optional[int] = DEFAULT_SAMPLE_BLOCKS,
-    verify: bool = True,
-    use_cache: bool = True,
-    progress: Optional[Callable[[str], None]] = None,
+    config: Union[CharacterizationConfig, Sequence[str], None] = None,
+    observer: Optional[RunObserver] = None,
+    *,
+    abbrevs=_UNSET,
+    sample_blocks=_UNSET,
+    verify=_UNSET,
+    use_cache=_UNSET,
+    progress=_UNSET,
 ) -> List[WorkloadProfile]:
-    """Profiles for the requested workloads (all registered ones by default)."""
-    path = os.path.join(_cache_dir(), _cache_key(abbrevs, sample_blocks) + ".pkl")
-    if use_cache and os.path.exists(path):
-        with open(path, "rb") as f:
-            return pickle.load(f)
-    profiles = run_suite(
-        abbrevs, verify=verify, sample_blocks=sample_blocks, progress=progress
+    """Profiles for the requested workloads (all registered ones by default).
+
+    New API::
+
+        characterize_suites(CharacterizationConfig(abbrevs=["VA"], jobs=4),
+                            observer=ConsoleObserver())
+
+    The pre-config keywords (``abbrevs``/``sample_blocks``/``verify``/
+    ``use_cache``/``progress``) are still accepted with a
+    ``DeprecationWarning``.  Raises :class:`CharacterizationError` if any
+    workload fails after retries; use :func:`repro.core.runtime.
+    run_characterization` directly for structured partial results.
+    """
+    config, observer = _coerce_config(
+        config,
+        observer,
+        {
+            "abbrevs": abbrevs,
+            "sample_blocks": sample_blocks,
+            "verify": verify,
+            "use_cache": use_cache,
+            "progress": progress,
+        },
     )
-    if use_cache:
-        os.makedirs(_cache_dir(), exist_ok=True)
-        tmp = path + f".tmp{os.getpid()}"
-        with open(tmp, "wb") as f:
-            pickle.dump(profiles, f)
-        os.replace(tmp, path)
-    return profiles
+    result = run_characterization(config, observer)
+    if result.failures:
+        raise CharacterizationError(result.failures)
+    return result.profiles
 
 
 @dataclass
@@ -136,9 +181,21 @@ def analyze(
     return result
 
 
-def characterize_and_analyze(**kwargs) -> AnalysisResult:
-    """One-call convenience: characterize all suites and run the analysis."""
-    analysis_keys = {"variance_target", "linkage_method", "k_range", "seed", "subspaces"}
-    analysis_kwargs = {k: v for k, v in kwargs.items() if k in analysis_keys}
-    char_kwargs = {k: v for k, v in kwargs.items() if k not in analysis_keys}
-    return analyze(characterize_suites(**char_kwargs), **analysis_kwargs)
+_ANALYSIS_KEYS = {"variance_target", "linkage_method", "k_range", "seed", "subspaces"}
+
+
+def characterize_and_analyze(
+    config: Optional[CharacterizationConfig] = None,
+    observer: Optional[RunObserver] = None,
+    **kwargs,
+) -> AnalysisResult:
+    """One-call convenience: characterize all suites and run the analysis.
+
+    Analysis keywords (``variance_target``, ``linkage_method``, ``k_range``,
+    ``seed``, ``subspaces``) go to :func:`analyze`; any remaining keywords
+    follow ``characterize_suites``'s deprecated legacy convention.
+    """
+    analysis_kwargs = {k: v for k, v in kwargs.items() if k in _ANALYSIS_KEYS}
+    char_kwargs = {k: v for k, v in kwargs.items() if k not in _ANALYSIS_KEYS}
+    profiles = characterize_suites(config, observer, **char_kwargs)
+    return analyze(profiles, **analysis_kwargs)

@@ -1,0 +1,795 @@
+"""Parallel characterization runtime: config, events, sharded cache, pool.
+
+This module is the execution engine behind ``characterize_suites()``:
+
+* :class:`CharacterizationConfig` — one object for every knob that used to
+  be a scattered keyword argument (workload set, sampling, verification,
+  caching, worker count, retries, timeouts).
+* typed run events (:class:`SuiteStarted`, :class:`WorkloadFinished`, …)
+  consumed through the :class:`RunObserver` interface — the CLI renders
+  them as live progress, tests assert on them, and anything else (a web
+  dashboard, a log shipper) can subscribe without touching the runtime.
+* :class:`ProfileCache` — a per-workload sharded, content-addressed profile
+  cache.  Each shard is keyed by a digest of the source files whose
+  behaviour it depends on (``repro/simt``, ``repro/trace``, the workload's
+  own module), so editing any of them invalidates exactly the affected
+  shards; there is no manual cache-version constant to bump.
+* :func:`run_characterization` — fans the per-workload simulations out over
+  a ``ProcessPoolExecutor`` (``jobs`` / ``REPRO_JOBS``), isolates worker
+  faults (a crashing or hanging workload is retried once, then reported as
+  a structured :class:`WorkloadFailure` without killing the suite run) and
+  returns a :class:`CharacterizationResult`.
+
+Profiles are bit-identical between the serial and parallel paths: every
+workload run is independently seeded, and results are re-ordered to the
+requested workload order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+import traceback as traceback_mod
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+    Type,
+)
+
+from repro.trace.profile import WorkloadProfile
+from repro.trace.serialize import dump_workload_profile, load_workload_profile
+from repro.workloads.runner import DEFAULT_SAMPLE_BLOCKS, run_workload
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker count: explicit value, else ``REPRO_JOBS``, else 1 (serial).
+
+    A value <= 0 (explicit or via the environment) means "all cores".
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}") from None
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+@dataclass(frozen=True)
+class CharacterizationConfig:
+    """Everything a characterization run needs, in one place.
+
+    Replaces the old scattered ``characterize_suites(abbrevs=...,
+    sample_blocks=..., use_cache=..., verify=..., progress=...)`` keywords.
+    """
+
+    #: Workload abbrevs to characterize (``None`` = every registered one).
+    abbrevs: Optional[Sequence[str]] = None
+    #: Profiled blocks per kernel launch (``None`` = profile every block).
+    sample_blocks: Optional[int] = DEFAULT_SAMPLE_BLOCKS
+    #: Run each workload's numpy reference check.
+    verify: bool = True
+    #: Consult/populate the on-disk sharded profile cache.
+    use_cache: bool = True
+    #: Parallel worker processes; ``None`` defers to ``REPRO_JOBS`` (then 1),
+    #: <= 0 means "all cores".
+    jobs: Optional[int] = None
+    #: How many times a failed workload is re-run before it is reported as a
+    #: structured failure.
+    retries: int = 1
+    #: Wall-clock budget per workload attempt, seconds (parallel runs only;
+    #: a hung worker is killed and the workload retried/failed).  ``None``
+    #: disables the watchdog.
+    workload_timeout: Optional[float] = None
+    #: Cache directory override (default: ``REPRO_CACHE_DIR`` env, then a
+    #: directory under the system temp dir).
+    cache_dir: Optional[str] = None
+
+    def resolved_jobs(self) -> int:
+        return resolve_jobs(self.jobs)
+
+    def workload_list(self) -> List[str]:
+        from repro.workloads import registry
+
+        return list(self.abbrevs) if self.abbrevs is not None else registry.abbrevs()
+
+
+# ---------------------------------------------------------------------------
+# Events and observers
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """Base class for typed runtime events."""
+
+    kind: ClassVar[str] = "event"
+
+
+@dataclass(frozen=True)
+class SuiteStarted(RunEvent):
+    kind: ClassVar[str] = "suite_started"
+    workloads: Tuple[str, ...]
+    jobs: int
+    sample_blocks: Optional[int]
+
+
+@dataclass(frozen=True)
+class WorkloadStarted(RunEvent):
+    kind: ClassVar[str] = "workload_started"
+    workload: str
+    attempt: int
+
+
+@dataclass(frozen=True)
+class WorkloadCacheHit(RunEvent):
+    kind: ClassVar[str] = "workload_cache_hit"
+    workload: str
+    path: str
+    #: Simulation seconds the hit saved (as recorded when the shard was built).
+    saved_seconds: float
+    warp_instrs: int
+
+
+@dataclass(frozen=True)
+class WorkloadFinished(RunEvent):
+    kind: ClassVar[str] = "workload_finished"
+    workload: str
+    wall_seconds: float
+    thread_instrs: int
+    warp_instrs: int
+    kernels: int
+    attempt: int
+
+
+@dataclass(frozen=True)
+class WorkloadFailed(RunEvent):
+    kind: ClassVar[str] = "workload_failed"
+    workload: str
+    error: str
+    attempts: int
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class SuiteFinished(RunEvent):
+    kind: ClassVar[str] = "suite_finished"
+    completed: int
+    failed: int
+    cache_hits: int
+    wall_seconds: float
+
+
+class RunObserver:
+    """Event sink for characterization runs.
+
+    Subclass and override ``on_event`` (every event) and/or the per-kind
+    hooks (``on_workload_finished`` etc. — named after ``RunEvent.kind``).
+    The default implementation dispatches ``on_event`` to the per-kind hook.
+    """
+
+    def on_event(self, event: RunEvent) -> None:
+        handler = getattr(self, f"on_{event.kind}", None)
+        if handler is not None:
+            handler(event)
+
+    # Per-kind hooks; all optional no-ops.
+    def on_suite_started(self, event: SuiteStarted) -> None: ...
+
+    def on_workload_started(self, event: WorkloadStarted) -> None: ...
+
+    def on_workload_cache_hit(self, event: WorkloadCacheHit) -> None: ...
+
+    def on_workload_finished(self, event: WorkloadFinished) -> None: ...
+
+    def on_workload_failed(self, event: WorkloadFailed) -> None: ...
+
+    def on_suite_finished(self, event: SuiteFinished) -> None: ...
+
+
+class CallbackObserver(RunObserver):
+    """Adapter for the legacy ``progress: Callable[[str], None]`` callback."""
+
+    def __init__(self, progress: Callable[[str], None]) -> None:
+        self._progress = progress
+
+    def on_workload_started(self, event: WorkloadStarted) -> None:
+        if event.attempt == 1:
+            self._progress(event.workload)
+
+
+class ConsoleObserver(RunObserver):
+    """Human-readable live progress, one line per event (used by ``-v``)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        import sys
+
+        self._stream = stream if stream is not None else sys.stderr
+        self._total = 0
+        self._done = 0
+
+    def _line(self, text: str) -> None:
+        print(text, file=self._stream, flush=True)
+
+    def on_suite_started(self, event: SuiteStarted) -> None:
+        self._total = len(event.workloads)
+        self._line(
+            f"characterizing {self._total} workloads "
+            f"(jobs={event.jobs}, sample_blocks={event.sample_blocks})"
+        )
+
+    def on_workload_started(self, event: WorkloadStarted) -> None:
+        retry = f" (retry {event.attempt - 1})" if event.attempt > 1 else ""
+        self._line(f"  {event.workload:6s} started{retry}")
+
+    def _count(self) -> str:
+        self._done += 1
+        return f"[{self._done}/{self._total}]" if self._total else ""
+
+    def on_workload_cache_hit(self, event: WorkloadCacheHit) -> None:
+        self._line(
+            f"  {event.workload:6s} cached  {self._count()} "
+            f"(saved {event.saved_seconds:.1f}s, {event.warp_instrs:,} warp instrs)"
+        )
+
+    def on_workload_finished(self, event: WorkloadFinished) -> None:
+        self._line(
+            f"  {event.workload:6s} ok      {self._count()} "
+            f"{event.wall_seconds:.2f}s, {event.warp_instrs:,} warp instrs, "
+            f"{event.kernels} kernels"
+        )
+
+    def on_workload_failed(self, event: WorkloadFailed) -> None:
+        self._line(
+            f"  {event.workload:6s} FAILED  {self._count()} "
+            f"after {event.attempts} attempts: {event.error}"
+        )
+
+    def on_suite_finished(self, event: SuiteFinished) -> None:
+        self._line(
+            f"done: {event.completed} ok, {event.failed} failed, "
+            f"{event.cache_hits} cache hits in {event.wall_seconds:.1f}s"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sharded, self-invalidating profile cache
+
+_SHARD_SUFFIX = ".profile.json"
+
+
+def default_cache_dir() -> str:
+    import tempfile
+
+    return os.environ.get(
+        "REPRO_CACHE_DIR", os.path.join(tempfile.gettempdir(), "repro-gpgpu-cache")
+    )
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One shard of the profile cache, as reported by inspection."""
+
+    path: str
+    workload: str
+    suite: str
+    sample_blocks: Optional[int]
+    digest: str
+    #: "fresh" (digest matches current sources), "stale" (it doesn't), or
+    #: "orphan" (the workload is no longer registered).
+    status: str
+    size_bytes: int
+    created: float
+    wall_seconds: float
+    warp_instrs: int
+
+
+class ProfileCache:
+    """Per-workload, content-addressed profile shards.
+
+    One shard per ``(workload, sample_blocks)``, named by a digest of the
+    source files the profile depends on.  A source edit changes the digest,
+    so the lookup simply misses — stale shards are never *read*, only left
+    on disk until purged.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir or default_cache_dir()
+        self._common_digest: Optional[str] = None
+
+    # -- digests ------------------------------------------------------------
+
+    @staticmethod
+    def _shared_source_files() -> List[str]:
+        """Source files every profile depends on (simulator + collector)."""
+        import repro.simt
+        import repro.trace
+        import repro.workloads.base
+        import repro.workloads.runner
+
+        files: List[str] = []
+        for pkg in (repro.simt, repro.trace):
+            root = os.path.dirname(os.path.abspath(pkg.__file__))
+            for dirpath, _dirnames, filenames in os.walk(root):
+                files.extend(
+                    os.path.join(dirpath, f) for f in filenames if f.endswith(".py")
+                )
+        files.append(os.path.abspath(repro.workloads.base.__file__))
+        files.append(os.path.abspath(repro.workloads.runner.__file__))
+        return sorted(files)
+
+    def _shared_digest(self) -> str:
+        if self._common_digest is None:
+            h = hashlib.sha256()
+            for path in self._shared_source_files():
+                h.update(path.encode())
+                with open(path, "rb") as f:
+                    h.update(f.read())
+            self._common_digest = h.hexdigest()
+        return self._common_digest
+
+    def digest_for(self, workload_cls: Type) -> str:
+        """Content digest for one workload: shared sources + its module."""
+        import inspect
+
+        h = hashlib.sha256(self._shared_digest().encode())
+        try:
+            module_file = inspect.getfile(workload_cls)
+        except (TypeError, OSError):  # dynamically defined class
+            module_file = None
+        if module_file and os.path.exists(module_file):
+            with open(module_file, "rb") as f:
+                h.update(f.read())
+        else:
+            h.update(repr(workload_cls.__qualname__).encode())
+        return h.hexdigest()[:16]
+
+    # -- shard IO -----------------------------------------------------------
+
+    @staticmethod
+    def _sample_tag(sample_blocks: Optional[int]) -> str:
+        return "all" if sample_blocks is None else str(sample_blocks)
+
+    def shard_path(
+        self, workload_cls: Type, sample_blocks: Optional[int], digest: Optional[str] = None
+    ) -> str:
+        digest = digest or self.digest_for(workload_cls)
+        name = f"{workload_cls.abbrev}-s{self._sample_tag(sample_blocks)}-{digest}"
+        return os.path.join(self.cache_dir, name + _SHARD_SUFFIX)
+
+    def lookup(
+        self, workload_cls: Type, sample_blocks: Optional[int]
+    ) -> Optional[Tuple[WorkloadProfile, Dict]]:
+        """Return ``(profile, metadata)`` on a fresh hit, ``None`` on a miss."""
+        path = self.shard_path(workload_cls, sample_blocks)
+        if not os.path.exists(path):
+            return None
+        try:
+            return load_workload_profile(path)
+        except Exception:
+            # A torn/corrupt shard behaves as a miss and is rebuilt.
+            return None
+
+    def store(
+        self,
+        workload_cls: Type,
+        sample_blocks: Optional[int],
+        profile: WorkloadProfile,
+        wall_seconds: float,
+    ) -> str:
+        """Atomically write one shard (temp file + ``os.replace``)."""
+        digest = self.digest_for(workload_cls)
+        path = self.shard_path(workload_cls, sample_blocks, digest)
+        os.makedirs(self.cache_dir, exist_ok=True)
+        metadata = {
+            "workload": workload_cls.abbrev,
+            "suite": workload_cls.suite,
+            "sample_blocks": sample_blocks,
+            "digest": digest,
+            "created": time.time(),
+            "wall_seconds": wall_seconds,
+            "warp_instrs": int(profile.total_warp_instrs),
+        }
+        tmp = path + f".tmp.{os.getpid()}"
+        try:
+            dump_workload_profile(profile, tmp, metadata=metadata)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return path
+
+    # -- inspection ---------------------------------------------------------
+
+    def entries(self) -> List[CacheEntry]:
+        """Scan the cache dir and classify every shard (for ``profile-cache``)."""
+        from repro.workloads import registry
+
+        if not os.path.isdir(self.cache_dir):
+            return []
+        try:
+            known = {cls.abbrev: cls for cls in registry.all_workloads()}
+        except Exception:
+            known = {}
+        fresh_digests = {
+            abbrev: self.digest_for(cls) for abbrev, cls in known.items()
+        }
+        out: List[CacheEntry] = []
+        for name in sorted(os.listdir(self.cache_dir)):
+            if not name.endswith(_SHARD_SUFFIX):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                _profile, meta = load_workload_profile(path)
+            except Exception:
+                meta = {}
+            workload = meta.get("workload", name.split("-", 1)[0])
+            digest = meta.get("digest", "")
+            if workload not in known:
+                status = "orphan"
+            elif digest == fresh_digests.get(workload):
+                status = "fresh"
+            else:
+                status = "stale"
+            out.append(
+                CacheEntry(
+                    path=path,
+                    workload=workload,
+                    suite=meta.get("suite", "?"),
+                    sample_blocks=meta.get("sample_blocks"),
+                    digest=digest,
+                    status=status,
+                    size_bytes=os.path.getsize(path),
+                    created=float(meta.get("created", 0.0)),
+                    wall_seconds=float(meta.get("wall_seconds", 0.0)),
+                    warp_instrs=int(meta.get("warp_instrs", 0)),
+                )
+            )
+        return out
+
+    def purge(self, stale_only: bool = True) -> List[str]:
+        """Delete stale/orphan shards (or every shard); returns removed paths."""
+        removed = []
+        for entry in self.entries():
+            if stale_only and entry.status == "fresh":
+                continue
+            os.unlink(entry.path)
+            removed.append(entry.path)
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# Results
+
+
+@dataclass(frozen=True)
+class WorkloadFailure:
+    """Structured record of one workload that could not be characterized."""
+
+    workload: str
+    error: str
+    attempts: int
+    wall_seconds: float
+    traceback: str = ""
+
+
+@dataclass
+class CharacterizationResult:
+    """Outcome of one suite run: profiles, failures and cache statistics."""
+
+    profiles: List[WorkloadProfile]
+    failures: List[WorkloadFailure]
+    cache_hits: int
+    cache_misses: int
+    wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+class CharacterizationError(RuntimeError):
+    """Raised by ``characterize_suites()`` when any workload fails."""
+
+    def __init__(self, failures: Sequence[WorkloadFailure]) -> None:
+        self.failures = list(failures)
+        lines = ", ".join(f"{f.workload} ({f.error})" for f in failures)
+        super().__init__(f"{len(self.failures)} workload(s) failed: {lines}")
+
+
+# ---------------------------------------------------------------------------
+# The runtime
+
+
+def _characterize_one(
+    abbrev: str, sample_blocks: Optional[int], verify: bool
+) -> Tuple[WorkloadProfile, float]:
+    """Worker entry point: simulate one workload, return (profile, seconds)."""
+    t0 = time.perf_counter()
+    profile = run_workload(abbrev, verify=verify, sample_blocks=sample_blocks)
+    return profile, time.perf_counter() - t0
+
+
+def _pool_context():
+    import multiprocessing as mp
+
+    # Fork keeps dynamically registered workloads (tests, plugins) visible in
+    # workers and avoids re-importing numpy per worker; fall back where
+    # unavailable (Windows/macOS spawn).
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+def run_characterization(
+    config: Optional[CharacterizationConfig] = None,
+    observer: Optional[RunObserver] = None,
+) -> CharacterizationResult:
+    """Characterize a workload set under ``config``, emitting typed events.
+
+    Serial when ``jobs`` resolves to 1, process-pool parallel otherwise.
+    Workload faults (exceptions, worker death, hangs past
+    ``workload_timeout``) are retried ``retries`` times and then reported as
+    :class:`WorkloadFailure` entries — one bad workload never aborts the
+    suite.  Returned profiles follow the requested workload order.
+    """
+    from repro.workloads import registry
+
+    config = config or CharacterizationConfig()
+    emit = observer.on_event if observer is not None else (lambda event: None)
+    abbrevs = config.workload_list()
+    # Resolve every abbrev up front so typos fail fast, before simulating.
+    classes = {abbrev: registry.get(abbrev) for abbrev in abbrevs}
+    jobs = config.resolved_jobs()
+    cache = ProfileCache(config.cache_dir) if config.use_cache else None
+
+    t0 = time.perf_counter()
+    emit(SuiteStarted(workloads=tuple(abbrevs), jobs=jobs, sample_blocks=config.sample_blocks))
+
+    results: Dict[str, WorkloadProfile] = {}
+    failures: Dict[str, WorkloadFailure] = {}
+    cache_hits = 0
+
+    todo: List[str] = []
+    for abbrev in abbrevs:
+        if abbrev in results:  # duplicate request
+            continue
+        hit = cache.lookup(classes[abbrev], config.sample_blocks) if cache else None
+        if hit is not None:
+            profile, meta = hit
+            results[abbrev] = profile
+            cache_hits += 1
+            emit(
+                WorkloadCacheHit(
+                    workload=abbrev,
+                    path=cache.shard_path(classes[abbrev], config.sample_blocks),
+                    saved_seconds=float(meta.get("wall_seconds", 0.0)),
+                    warp_instrs=int(meta.get("warp_instrs", profile.total_warp_instrs)),
+                )
+            )
+        elif abbrev not in todo:
+            todo.append(abbrev)
+
+    def record_success(abbrev: str, profile: WorkloadProfile, wall: float, attempt: int) -> None:
+        results[abbrev] = profile
+        if cache:
+            cache.store(classes[abbrev], config.sample_blocks, profile, wall)
+        emit(
+            WorkloadFinished(
+                workload=abbrev,
+                wall_seconds=wall,
+                thread_instrs=int(profile.total_thread_instrs),
+                warp_instrs=int(profile.total_warp_instrs),
+                kernels=len(profile.kernels),
+                attempt=attempt,
+            )
+        )
+
+    def record_failure(abbrev: str, error: str, attempts: int, wall: float, tb: str = "") -> None:
+        failures[abbrev] = WorkloadFailure(
+            workload=abbrev, error=error, attempts=attempts, wall_seconds=wall, traceback=tb
+        )
+        emit(WorkloadFailed(workload=abbrev, error=error, attempts=attempts, wall_seconds=wall))
+
+    max_attempts = 1 + max(config.retries, 0)
+
+    if todo and jobs <= 1:
+        _run_serial(config, todo, emit, record_success, record_failure, max_attempts)
+    elif todo:
+        _run_parallel(config, todo, jobs, emit, record_success, record_failure, max_attempts)
+
+    wall = time.perf_counter() - t0
+    emit(
+        SuiteFinished(
+            completed=len(results),
+            failed=len(failures),
+            cache_hits=cache_hits,
+            wall_seconds=wall,
+        )
+    )
+    ordered = [results[a] for a in abbrevs if a in results]
+    ordered_failures = [failures[a] for a in abbrevs if a in failures]
+    return CharacterizationResult(
+        profiles=ordered,
+        failures=ordered_failures,
+        cache_hits=cache_hits,
+        cache_misses=len(todo),
+        wall_seconds=wall,
+    )
+
+
+def _run_serial(config, todo, emit, record_success, record_failure, max_attempts) -> None:
+    for abbrev in todo:
+        spent = 0.0
+        for attempt in range(1, max_attempts + 1):
+            emit(WorkloadStarted(workload=abbrev, attempt=attempt))
+            t0 = time.perf_counter()
+            try:
+                profile, wall = _characterize_one(abbrev, config.sample_blocks, config.verify)
+            except Exception as exc:
+                spent += time.perf_counter() - t0
+                if attempt == max_attempts:
+                    record_failure(
+                        abbrev,
+                        f"{type(exc).__name__}: {exc}",
+                        attempt,
+                        spent,
+                        traceback_mod.format_exc(),
+                    )
+            else:
+                record_success(abbrev, profile, wall, attempt)
+                break
+
+
+def _run_parallel(config, todo, jobs, emit, record_success, record_failure, max_attempts) -> None:
+    """Windowed process-pool execution with retry, crash and hang isolation.
+
+    At most ``jobs`` futures are in flight, so a submitted task starts
+    (approximately) immediately and ``workload_timeout`` can be measured
+    from submission.  A worker crash breaks the whole pool
+    (``BrokenProcessPool``) without telling us *which* task crashed, so
+    after the first break the window narrows to 1: the next break is then
+    unambiguously attributable, and a workload observed in flight across
+    ``max_attempts`` breaks is declared the crasher.
+    """
+    mp_context = _pool_context()
+    queue = deque((abbrev, 1) for abbrev in todo)
+    spent: Dict[str, float] = {abbrev: 0.0 for abbrev in todo}
+    pool_breaks: Dict[str, int] = {abbrev: 0 for abbrev in todo}
+    window = jobs
+    executor = ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
+    in_flight: Dict = {}  # future -> (abbrev, attempt, start, deadline)
+
+    def kill_pool() -> None:
+        nonlocal executor
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        executor = ProcessPoolExecutor(max_workers=max(window, 1), mp_context=mp_context)
+
+    def handle_fault(abbrev: str, attempt: int, wall: float, error: str, tb: str = "") -> None:
+        spent[abbrev] += wall
+        if attempt >= max_attempts:
+            record_failure(abbrev, error, attempt, spent[abbrev], tb)
+        else:
+            queue.append((abbrev, attempt + 1))
+
+    try:
+        while queue or in_flight:
+            while queue and len(in_flight) < window:
+                abbrev, attempt = queue.popleft()
+                emit(WorkloadStarted(workload=abbrev, attempt=attempt))
+                fut = executor.submit(
+                    _characterize_one, abbrev, config.sample_blocks, config.verify
+                )
+                start = time.monotonic()
+                deadline = (
+                    start + config.workload_timeout if config.workload_timeout else None
+                )
+                in_flight[fut] = (abbrev, attempt, start, deadline)
+
+            wait_for = None
+            deadlines = [d for (_a, _t, _s, d) in in_flight.values() if d is not None]
+            if deadlines:
+                wait_for = max(0.05, min(deadlines) - time.monotonic())
+            done, _pending = wait(set(in_flight), timeout=wait_for, return_when=FIRST_COMPLETED)
+
+            if not done:
+                now = time.monotonic()
+                expired = {
+                    fut
+                    for fut, (_a, _t, _s, d) in in_flight.items()
+                    if d is not None and now >= d
+                }
+                if not expired:
+                    continue
+                # A hung worker can only be reclaimed by killing the pool;
+                # innocent in-flight tasks are re-queued at the same attempt.
+                kill_pool()
+                for fut, (abbrev, attempt, start, _d) in in_flight.items():
+                    if fut in expired:
+                        handle_fault(
+                            abbrev,
+                            attempt,
+                            now - start,
+                            f"timed out after {config.workload_timeout:.1f}s",
+                        )
+                    else:
+                        queue.appendleft((abbrev, attempt))
+                in_flight.clear()
+                continue
+
+            broken = False
+            for fut in done:
+                abbrev, attempt, start, _d = in_flight.pop(fut)
+                wall = time.monotonic() - start
+                try:
+                    profile, sim_wall = fut.result()
+                except BrokenProcessPool:
+                    broken = True
+                    pool_breaks[abbrev] += 1
+                    if pool_breaks[abbrev] >= max_attempts:
+                        record_failure(
+                            abbrev,
+                            "worker process died (crash outside Python, e.g. "
+                            "segfault or os._exit)",
+                            pool_breaks[abbrev],
+                            spent[abbrev] + wall,
+                        )
+                    else:
+                        queue.appendleft((abbrev, attempt))
+                except Exception as exc:
+                    handle_fault(
+                        abbrev,
+                        attempt,
+                        wall,
+                        f"{type(exc).__name__}: {exc}",
+                        traceback_mod.format_exc(),
+                    )
+                else:
+                    record_success(abbrev, profile, sim_wall, attempt)
+            if broken:
+                # Every other in-flight future is also broken: requeue them
+                # (same attempt — they are presumed innocent), then narrow
+                # the window so the next break is attributable.
+                for fut, (abbrev, attempt, _s, _d) in in_flight.items():
+                    pool_breaks[abbrev] += 1
+                    if pool_breaks[abbrev] >= max_attempts:
+                        record_failure(
+                            abbrev,
+                            "worker process died (crash outside Python, e.g. "
+                            "segfault or os._exit)",
+                            pool_breaks[abbrev],
+                            spent[abbrev],
+                        )
+                    else:
+                        queue.appendleft((abbrev, attempt))
+                in_flight.clear()
+                window = 1
+                kill_pool()
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)

@@ -9,7 +9,7 @@ metrics read.
 from __future__ import annotations
 
 import json
-from typing import IO, Dict, List, Sequence, Union
+from typing import IO, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -114,6 +114,41 @@ def workload_from_dict(data: Dict) -> WorkloadProfile:
         suite=data["suite"],
         kernels=[kernel_from_dict(k) for k in data["kernels"]],
     )
+
+
+def dump_workload_profile(
+    profile: WorkloadProfile,
+    fp: Union[str, IO[str]],
+    metadata: Optional[Dict] = None,
+) -> None:
+    """Write a single workload profile (plus optional metadata) as JSON.
+
+    This is the on-disk format of one profile-cache shard: self-describing,
+    diffable, and readable without unpickling arbitrary code.
+    """
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "metadata": metadata or {},
+        "profile": workload_to_dict(profile),
+    }
+    if isinstance(fp, str):
+        with open(fp, "w") as f:
+            json.dump(payload, f)
+    else:
+        json.dump(payload, fp)
+
+
+def load_workload_profile(fp: Union[str, IO[str]]) -> Tuple[WorkloadProfile, Dict]:
+    """Read ``(profile, metadata)`` written by :func:`dump_workload_profile`."""
+    if isinstance(fp, str):
+        with open(fp) as f:
+            payload = json.load(f)
+    else:
+        payload = json.load(fp)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported profile format version {version!r}")
+    return workload_from_dict(payload["profile"]), payload.get("metadata", {})
 
 
 def dump_profiles(profiles: Sequence[WorkloadProfile], fp: Union[str, IO[str]]) -> None:

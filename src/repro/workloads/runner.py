@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List, Optional, Sequence, Type, Union
 
 from repro.simt.executor import Executor, profile_all_blocks, stride_sampler
@@ -55,8 +56,28 @@ def run_suite(
     sample_blocks: Optional[int] = DEFAULT_SAMPLE_BLOCKS,
     collector_config: Optional[CollectorConfig] = None,
     progress: Optional[callable] = None,
+    observer=None,
 ) -> List[WorkloadProfile]:
-    """Characterize a set of workloads (all registered ones by default)."""
+    """Characterize a set of workloads (all registered ones by default).
+
+    This is the low-level serial loop with no caching; most callers want
+    :func:`repro.core.runtime.run_characterization` (parallel, cached,
+    fault-isolated) or :func:`repro.core.pipeline.characterize_suites`.
+    ``observer`` receives the same typed events as the runtime; the
+    ``progress`` callback is deprecated in its favour.
+    """
+    if progress is not None:
+        import warnings
+
+        warnings.warn(
+            "run_suite(progress=...) is deprecated; pass observer=RunObserver",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if observer is None:
+            from repro.core.runtime import CallbackObserver
+
+            observer = CallbackObserver(progress)
     classes: Iterable[Type[Workload]]
     if abbrevs is None:
         classes = registry.all_workloads()
@@ -64,14 +85,27 @@ def run_suite(
         classes = [registry.get(a) for a in abbrevs]
     profiles = []
     for cls in classes:
-        if progress is not None:
-            progress(cls.abbrev)
-        profiles.append(
-            run_workload(
-                cls,
-                verify=verify,
-                sample_blocks=sample_blocks,
-                collector_config=collector_config,
-            )
+        if observer is not None:
+            from repro.core.runtime import WorkloadFinished, WorkloadStarted
+
+            observer.on_event(WorkloadStarted(workload=cls.abbrev, attempt=1))
+        t0 = time.perf_counter()
+        profile = run_workload(
+            cls,
+            verify=verify,
+            sample_blocks=sample_blocks,
+            collector_config=collector_config,
         )
+        if observer is not None:
+            observer.on_event(
+                WorkloadFinished(
+                    workload=cls.abbrev,
+                    wall_seconds=time.perf_counter() - t0,
+                    thread_instrs=int(profile.total_thread_instrs),
+                    warp_instrs=int(profile.total_warp_instrs),
+                    kernels=len(profile.kernels),
+                    attempt=1,
+                )
+            )
+        profiles.append(profile)
     return profiles

@@ -11,13 +11,14 @@ import numpy as np
 import pytest
 
 from repro.core.pipeline import characterize_suites
+from repro.core.runtime import CharacterizationConfig
 from repro.simt import Device, Executor, KernelBuilder
 from repro.trace import KernelTraceCollector
 
 
 @pytest.fixture(scope="session")
 def suite_profiles():
-    return characterize_suites()
+    return characterize_suites(CharacterizationConfig())
 
 
 @pytest.fixture()

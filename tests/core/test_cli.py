@@ -100,3 +100,23 @@ def test_disasm_full(capsys):
 
 def test_disasm_unknown(capsys):
     assert main(["disasm", "NOPE"]) == 2
+
+
+def test_characterize_with_jobs_flag(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["characterize", "VA", "--sample-blocks", "8", "--jobs", "2"]) == 0
+    assert "VA" in capsys.readouterr().out
+
+
+def test_profile_cache_inspection_and_purge(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["profile-cache"]) == 0
+    assert "empty" in capsys.readouterr().out
+    assert main(["characterize", "VA", "--sample-blocks", "8"]) == 0
+    capsys.readouterr()
+    assert main(["profile-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "VA" in out and "fresh" in out
+    assert main(["profile-cache", "--clear"]) == 0
+    assert "removed 1 shard" in capsys.readouterr().out
+    assert list(tmp_path.glob("*.profile.json")) == []

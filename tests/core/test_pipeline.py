@@ -1,35 +1,61 @@
 """Pipeline orchestration: caching, analysis integration, determinism."""
 
-import os
-
 import numpy as np
 import pytest
 
 from repro.core.pipeline import AnalysisResult, analyze, characterize_suites
+from repro.core.runtime import CharacterizationConfig
 
 
 def test_cache_roundtrip(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    first = characterize_suites(abbrevs=["VA"], sample_blocks=8)
-    files = list(tmp_path.glob("*.pkl"))
+    first = characterize_suites(CharacterizationConfig(abbrevs=["VA"], sample_blocks=8))
+    files = list(tmp_path.glob("*.profile.json"))
     assert len(files) == 1
-    second = characterize_suites(abbrevs=["VA"], sample_blocks=8)
+    second = characterize_suites(CharacterizationConfig(abbrevs=["VA"], sample_blocks=8))
     assert second[0].workload == "VA"
     assert second[0].total_warp_instrs == first[0].total_warp_instrs
 
 
-def test_cache_key_varies_with_config(tmp_path, monkeypatch):
+def test_cache_shards_are_per_workload_and_config(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    characterize_suites(abbrevs=["VA"], sample_blocks=8)
-    characterize_suites(abbrevs=["VA"], sample_blocks=4)
-    characterize_suites(abbrevs=["HG"], sample_blocks=8)
-    assert len(list(tmp_path.glob("*.pkl"))) == 3
+    characterize_suites(CharacterizationConfig(abbrevs=["VA"], sample_blocks=8))
+    characterize_suites(CharacterizationConfig(abbrevs=["VA"], sample_blocks=4))
+    characterize_suites(CharacterizationConfig(abbrevs=["HG"], sample_blocks=8))
+    # One shard per (workload, sample_blocks): VA@8, VA@4, HG@8.
+    assert len(list(tmp_path.glob("*.profile.json"))) == 3
+    # A multi-workload run reuses the single-workload shards: no new files.
+    characterize_suites(CharacterizationConfig(abbrevs=["VA", "HG"], sample_blocks=8))
+    assert len(list(tmp_path.glob("*.profile.json"))) == 3
 
 
 def test_cache_can_be_disabled(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    characterize_suites(abbrevs=["VA"], sample_blocks=8, use_cache=False)
-    assert list(tmp_path.glob("*.pkl")) == []
+    characterize_suites(
+        CharacterizationConfig(abbrevs=["VA"], sample_blocks=8, use_cache=False)
+    )
+    assert list(tmp_path.glob("*")) == []
+
+
+def test_legacy_kwargs_still_work_with_deprecation(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    with pytest.warns(DeprecationWarning):
+        profiles = characterize_suites(abbrevs=["VA"], sample_blocks=8, use_cache=False)
+    assert [p.workload for p in profiles] == ["VA"]
+    # Old positional convention: first argument was the abbrev list.
+    with pytest.warns(DeprecationWarning):
+        profiles = characterize_suites(["VA"], sample_blocks=8, use_cache=False)
+    assert [p.workload for p in profiles] == ["VA"]
+
+
+def test_legacy_progress_callback_still_fires(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    seen = []
+    with pytest.warns(DeprecationWarning):
+        characterize_suites(
+            abbrevs=["VA"], sample_blocks=8, use_cache=False, progress=seen.append
+        )
+    assert seen == ["VA"]
 
 
 def test_analyze_produces_complete_result(suite_profiles):
@@ -65,8 +91,9 @@ def test_analyze_custom_subspaces(suite_profiles):
 
 
 def test_profiles_are_deterministic_across_runs():
-    a = characterize_suites(abbrevs=["SLA"], sample_blocks=16, use_cache=False)
-    b = characterize_suites(abbrevs=["SLA"], sample_blocks=16, use_cache=False)
+    config = CharacterizationConfig(abbrevs=["SLA"], sample_blocks=16, use_cache=False)
+    a = characterize_suites(config)
+    b = characterize_suites(config)
     pa, pb = a[0], b[0]
     assert pa.total_thread_instrs == pb.total_thread_instrs
     from repro.core import metrics

@@ -1,0 +1,322 @@
+"""Parallel characterization runtime: parity, sharded cache, fault isolation."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+from repro.core import metrics
+from repro.core.pipeline import characterize_suites
+from repro.core.runtime import (
+    CharacterizationConfig,
+    CharacterizationError,
+    ProfileCache,
+    RunObserver,
+    resolve_jobs,
+    run_characterization,
+)
+from repro.workloads import registry
+from repro.workloads.base import Workload
+
+#: Small, behaviourally spread subset so the parity tests stay fast.
+PARITY_SET = ["VA", "SS", "HG", "RD"]
+
+
+class Recorder(RunObserver):
+    """Collects every event; exposes per-kind workload lists for asserts."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append(event)
+
+    def workloads(self, kind):
+        return [e.workload for e in self.events if e.kind == kind]
+
+
+class CrashingWorkload(Workload):
+    abbrev = "XCRASH"
+    name = "crash probe"
+    suite = "CUDA SDK"
+    description = "always raises inside run()"
+
+    def run(self, ctx):
+        raise RuntimeError("deliberate crash")
+
+    def check(self, ctx):
+        pass
+
+
+class DyingWorkload(Workload):
+    abbrev = "XDIE"
+    name = "hard-death probe"
+    suite = "CUDA SDK"
+    description = "kills its worker process outright"
+
+    def run(self, ctx):
+        os._exit(17)
+
+    def check(self, ctx):
+        pass
+
+
+class HangingWorkload(Workload):
+    abbrev = "XHANG"
+    name = "hang probe"
+    suite = "CUDA SDK"
+    description = "sleeps far past any reasonable budget"
+
+    def run(self, ctx):
+        import time
+
+        time.sleep(120)
+
+    def check(self, ctx):
+        pass
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+@pytest.fixture
+def register(monkeypatch):
+    def _register(cls):
+        registry._ensure_loaded()
+        monkeypatch.setitem(registry._REGISTRY, cls.abbrev, cls)
+
+    return _register
+
+
+# ---------------------------------------------------------------------------
+# Parallel == serial
+
+
+def test_parallel_results_identical_to_serial(cache_dir):
+    serial = run_characterization(
+        CharacterizationConfig(abbrevs=PARITY_SET, sample_blocks=8, use_cache=False)
+    )
+    parallel = run_characterization(
+        CharacterizationConfig(
+            abbrevs=PARITY_SET, sample_blocks=8, use_cache=False, jobs=2
+        )
+    )
+    assert [p.workload for p in serial.profiles] == PARITY_SET
+    assert [p.workload for p in parallel.profiles] == PARITY_SET
+    for ps, pp in zip(serial.profiles, parallel.profiles):
+        assert ps.total_thread_instrs == pp.total_thread_instrs
+        assert ps.total_warp_instrs == pp.total_warp_instrs
+        assert metrics.extract_vector(ps) == metrics.extract_vector(pp)
+
+
+def test_parallel_populates_same_cache_shards(cache_dir):
+    run_characterization(
+        CharacterizationConfig(abbrevs=PARITY_SET[:2], sample_blocks=8, jobs=2)
+    )
+    rec = Recorder()
+    serial = run_characterization(
+        CharacterizationConfig(abbrevs=PARITY_SET[:2], sample_blocks=8), rec
+    )
+    assert serial.cache_hits == 2
+    assert rec.workloads("workload_cache_hit") == PARITY_SET[:2]
+
+
+# ---------------------------------------------------------------------------
+# Sharded cache behaviour
+
+
+def test_cache_hit_miss_events_and_shard_files(cache_dir):
+    config = CharacterizationConfig(abbrevs=["VA"], sample_blocks=8)
+    cold = Recorder()
+    first = run_characterization(config, cold)
+    assert first.cache_misses == 1 and first.cache_hits == 0
+    assert cold.workloads("workload_started") == ["VA"]
+    assert cold.workloads("workload_finished") == ["VA"]
+    finished = next(e for e in cold.events if e.kind == "workload_finished")
+    assert finished.warp_instrs > 0 and finished.wall_seconds > 0
+
+    warm = Recorder()
+    second = run_characterization(config, warm)
+    assert second.cache_hits == 1 and second.cache_misses == 0
+    assert warm.workloads("workload_started") == []
+    assert warm.workloads("workload_cache_hit") == ["VA"]
+    assert metrics.extract_vector(first.profiles[0]) == metrics.extract_vector(
+        second.profiles[0]
+    )
+    assert len(list(cache_dir.glob("*.profile.json"))) == 1
+    # Atomic writes: no temp files survive.
+    assert not [p for p in cache_dir.iterdir() if ".tmp" in p.name]
+
+
+def _load_temp_workload(path, marker):
+    """(Re)write a trivial workload module at ``path`` and import it."""
+    path.write_text(
+        "from repro.workloads.base import Workload\n"
+        "\n"
+        "class TempWorkload(Workload):\n"
+        '    abbrev = "XTMP"\n'
+        '    name = "temp"\n'
+        '    suite = "CUDA SDK"\n'
+        '    description = "cache invalidation probe"\n'
+        "\n"
+        f"    def run(self, ctx):  # {marker}\n"
+        "        pass\n"
+        "\n"
+        "    def check(self, ctx):\n"
+        "        pass\n"
+    )
+    spec = importlib.util.spec_from_file_location("repro_test_tempwl", str(path))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_editing_workload_module_invalidates_only_its_shard(
+    cache_dir, tmp_path, register, monkeypatch
+):
+    module_path = tmp_path / "tempwl.py"
+    module = _load_temp_workload(module_path, "v1")
+    # inspect.getfile() resolves the digest source through sys.modules.
+    monkeypatch.setitem(sys.modules, "repro_test_tempwl", module)
+    register(module.TempWorkload)
+    config = CharacterizationConfig(abbrevs=["XTMP", "VA"], sample_blocks=8)
+
+    first = run_characterization(config)
+    assert first.cache_misses == 2
+    assert len(list(cache_dir.glob("*.profile.json"))) == 2
+
+    warm = Recorder()
+    run_characterization(config, warm)
+    assert sorted(warm.workloads("workload_cache_hit")) == ["VA", "XTMP"]
+
+    # Edit the workload module: only the XTMP shard may go stale.
+    module = _load_temp_workload(module_path, "v2-edited")
+    sys.modules["repro_test_tempwl"] = module  # monkeypatch removes it at teardown
+    register(module.TempWorkload)
+    edited = Recorder()
+    result = run_characterization(config, edited)
+    assert edited.workloads("workload_cache_hit") == ["VA"]
+    assert edited.workloads("workload_started") == ["XTMP"]
+    assert result.cache_hits == 1 and result.cache_misses == 1
+
+    cache = ProfileCache()
+    statuses = {(e.workload, e.status) for e in cache.entries()}
+    assert ("XTMP", "stale") in statuses  # the superseded shard
+    assert ("XTMP", "fresh") in statuses  # the rebuilt one
+    assert ("VA", "fresh") in statuses
+    # purge removes exactly the stale shard.
+    removed = cache.purge(stale_only=True)
+    assert len(removed) == 1 and "XTMP" in os.path.basename(removed[0])
+
+
+def test_editing_shared_sources_invalidates_everything(cache_dir, monkeypatch):
+    config = CharacterizationConfig(abbrevs=["VA"], sample_blocks=8)
+    run_characterization(config)
+    # Simulate a simulator/collector edit by changing the shared digest.
+    monkeypatch.setattr(
+        ProfileCache, "_shared_digest", lambda self: "simulated-source-edit"
+    )
+    rec = Recorder()
+    result = run_characterization(config, rec)
+    assert result.cache_misses == 1
+    assert rec.workloads("workload_started") == ["VA"]
+
+
+def test_corrupt_shard_is_treated_as_miss(cache_dir):
+    config = CharacterizationConfig(abbrevs=["VA"], sample_blocks=8)
+    run_characterization(config)
+    shard = next(cache_dir.glob("*.profile.json"))
+    shard.write_text("{ not json")
+    result = run_characterization(config)
+    assert result.cache_misses == 1
+    assert result.profiles[0].workload == "VA"
+
+
+# ---------------------------------------------------------------------------
+# Fault isolation
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_crashing_workload_is_structured_failure_not_abort(cache_dir, register, jobs):
+    register(CrashingWorkload)
+    rec = Recorder()
+    result = run_characterization(
+        CharacterizationConfig(
+            abbrevs=["XCRASH", "VA"], sample_blocks=8, use_cache=False, jobs=jobs
+        ),
+        rec,
+    )
+    assert [p.workload for p in result.profiles] == ["VA"]
+    assert len(result.failures) == 1
+    failure = result.failures[0]
+    assert failure.workload == "XCRASH"
+    assert failure.attempts == 2  # retried once, then failed
+    assert "deliberate crash" in failure.error
+    assert rec.workloads("workload_failed") == ["XCRASH"]
+    assert rec.workloads("workload_finished") == ["VA"]
+
+
+def test_worker_process_death_is_isolated(cache_dir, register):
+    register(DyingWorkload)
+    result = run_characterization(
+        CharacterizationConfig(
+            abbrevs=["XDIE", "VA"], sample_blocks=8, use_cache=False, jobs=2
+        )
+    )
+    assert [p.workload for p in result.profiles] == ["VA"]
+    assert len(result.failures) == 1
+    assert result.failures[0].workload == "XDIE"
+    assert "worker process died" in result.failures[0].error
+
+
+def test_hung_workload_times_out_without_killing_suite(cache_dir, register):
+    register(HangingWorkload)
+    result = run_characterization(
+        CharacterizationConfig(
+            abbrevs=["XHANG", "VA"],
+            sample_blocks=8,
+            use_cache=False,
+            jobs=2,
+            retries=0,
+            workload_timeout=1.0,
+        )
+    )
+    assert [p.workload for p in result.profiles] == ["VA"]
+    assert len(result.failures) == 1
+    assert result.failures[0].workload == "XHANG"
+    assert "timed out" in result.failures[0].error
+
+
+def test_characterize_suites_raises_structured_error(cache_dir, register):
+    register(CrashingWorkload)
+    with pytest.raises(CharacterizationError) as exc_info:
+        characterize_suites(
+            CharacterizationConfig(abbrevs=["XCRASH"], sample_blocks=8, use_cache=False)
+        )
+    assert exc_info.value.failures[0].workload == "XCRASH"
+
+
+# ---------------------------------------------------------------------------
+# Config plumbing
+
+
+def test_resolve_jobs(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(4) == 4
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs(None) == 3
+    assert resolve_jobs(2) == 2  # explicit beats the environment
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ValueError):
+        resolve_jobs(None)
+
+
+def test_unknown_workload_fails_fast(cache_dir):
+    with pytest.raises(KeyError):
+        run_characterization(CharacterizationConfig(abbrevs=["NOPE"]))
