@@ -315,6 +315,45 @@ def _cmd_profile_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.core.bench import run_bench, write_bench_json
+    from repro.report import ascii_table
+
+    result = run_bench(
+        quick=args.quick,
+        sample_blocks=args.sample_blocks,
+        progress=(lambda msg: print(msg, file=sys.stderr)) if args.verbose else None,
+    )
+    rows = [
+        [
+            e.workload,
+            " ".join(f"{k}={v}" for k, v in e.scale.items()),
+            f"{e.interpreted_s:.2f}s",
+            f"{e.compiled_s:.2f}s",
+            f"{e.speedup:.2f}x",
+        ]
+        for e in result.entries
+    ]
+    rows.append(
+        [
+            "TOTAL",
+            "",
+            f"{result.total_interpreted_s:.2f}s",
+            f"{result.total_compiled_s:.2f}s",
+            f"{result.speedup:.2f}x",
+        ]
+    )
+    title = "engine benchmark" + (" (quick)" if args.quick else "")
+    print(
+        ascii_table(
+            ["workload", "scale", "interpreted", "compiled", "speedup"], rows, title=title
+        )
+    )
+    write_bench_json(result, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -375,6 +414,17 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, workloads=False)
     p.add_argument("--subset-k", type=int, default=8)
     p.set_defaults(fn=_cmd_evaluate, workloads=[])
+
+    p = sub.add_parser("bench", help="benchmark the compiled engine against the interpreter")
+    p.add_argument("--quick", action="store_true", help="reduced basket for CI smoke runs")
+    p.add_argument(
+        "--sample-blocks", type=int, default=48, help="profiled blocks per launch"
+    )
+    p.add_argument(
+        "-o", "--output", default="BENCH_simt.json", help="result JSON path"
+    )
+    p.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("profile-cache", help="inspect the sharded profile cache")
     p.add_argument("--purge", action="store_true", help="delete stale/orphan shards")

@@ -1,0 +1,152 @@
+"""End-to-end execution-engine benchmark: compiled + batched vs interpreted.
+
+Times a basket of workloads at *characterization scale* — grids of hundreds
+to thousands of thread blocks with the default 48-block profile sample —
+under both execution engines and reports per-workload and aggregate
+speedups.  This is the regime the compiled/batched engine targets: with
+block sampling, the overwhelming majority of blocks run silent, and the
+engine stacks them into wide batched launches instead of interpreting the
+IR block by block.
+
+The interpreted engine is the reference implementation
+(:mod:`repro.simt.reference`); both engines produce bit-identical device
+memory and profiles (see ``tests/simt/test_engine_parity.py``), so the
+comparison is purely about wall clock.
+
+Results are written as JSON (``BENCH_simt.json`` at the repo root by
+default) so CI can archive them and successive PRs can be compared.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.workloads import registry
+from repro.workloads.runner import DEFAULT_SAMPLE_BLOCKS, run_workload
+
+#: The full benchmark basket: (abbrev, scale overrides).  Scales are chosen
+#: so each workload launches hundreds to thousands of blocks — the paper's
+#: characterization regime — while keeping the whole bench under a few
+#: minutes of wall clock.
+FULL_BASKET: Tuple[Tuple[str, Dict[str, Any]], ...] = (
+    ("VA", {"n": 1 << 20}),
+    ("BS", {"n": 1 << 18}),
+    ("NN", {"n": 1 << 18}),
+    ("MM", {"width": 256}),
+    ("TR", {"width": 512, "height": 512}),
+    ("STEN", {"nx": 256, "ny": 256, "nz": 16, "iters": 1}),
+)
+
+#: Reduced basket for CI smoke runs (``repro bench --quick``): the three
+#: cheapest workloads at one-quarter scale, well under a minute total.
+QUICK_BASKET: Tuple[Tuple[str, Dict[str, Any]], ...] = (
+    ("VA", {"n": 1 << 18}),
+    ("BS", {"n": 1 << 16}),
+    ("NN", {"n": 1 << 16}),
+)
+
+
+@dataclass
+class BenchEntry:
+    """Timing for one workload under both engines."""
+
+    workload: str
+    scale: Dict[str, Any]
+    interpreted_s: float
+    compiled_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.interpreted_s / self.compiled_s if self.compiled_s else float("inf")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "scale": self.scale,
+            "interpreted_s": round(self.interpreted_s, 4),
+            "compiled_s": round(self.compiled_s, 4),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+@dataclass
+class BenchResult:
+    """The complete benchmark outcome."""
+
+    quick: bool
+    sample_blocks: Optional[int]
+    entries: List[BenchEntry] = field(default_factory=list)
+
+    @property
+    def total_interpreted_s(self) -> float:
+        return sum(e.interpreted_s for e in self.entries)
+
+    @property
+    def total_compiled_s(self) -> float:
+        return sum(e.compiled_s for e in self.entries)
+
+    @property
+    def speedup(self) -> float:
+        total = self.total_compiled_s
+        return self.total_interpreted_s / total if total else float("inf")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "benchmark": "simt-engine",
+            "quick": self.quick,
+            "sample_blocks": self.sample_blocks,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "workloads": [e.to_dict() for e in self.entries],
+            "total_interpreted_s": round(self.total_interpreted_s, 4),
+            "total_compiled_s": round(self.total_compiled_s, 4),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+def _time_engine(workload, engine: str, sample_blocks: Optional[int]) -> float:
+    t0 = time.perf_counter()
+    run_workload(workload, verify=False, sample_blocks=sample_blocks, engine=engine)
+    return time.perf_counter() - t0
+
+
+def run_bench(
+    quick: bool = False,
+    sample_blocks: Optional[int] = DEFAULT_SAMPLE_BLOCKS,
+    basket: Optional[Sequence[Tuple[str, Dict[str, Any]]]] = None,
+    progress: Optional[callable] = None,
+) -> BenchResult:
+    """Run the engine benchmark and return the timings.
+
+    Each workload is simulated once per engine (the runs take seconds, so
+    single-shot timing is stable to a few percent).  ``verify`` is off:
+    the numpy reference check costs the same under both engines and would
+    only dilute the measured ratio.
+    """
+    if basket is None:
+        basket = QUICK_BASKET if quick else FULL_BASKET
+    result = BenchResult(quick=quick, sample_blocks=sample_blocks)
+    for abbrev, scale in basket:
+        cls = registry.get(abbrev)
+        if progress:
+            progress(f"{abbrev} {scale} ...")
+        interp = _time_engine(cls(**scale), "interpreted", sample_blocks)
+        comp = _time_engine(cls(**scale), "compiled", sample_blocks)
+        entry = BenchEntry(abbrev, dict(scale), interp, comp)
+        result.entries.append(entry)
+        if progress:
+            progress(
+                f"{abbrev}: interpreted {interp:.2f}s, compiled {comp:.2f}s "
+                f"({entry.speedup:.2f}x)"
+            )
+    return result
+
+
+def write_bench_json(result: BenchResult, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(result.to_dict(), fh, indent=2)
+        fh.write("\n")

@@ -103,6 +103,9 @@ class CharacterizationConfig:
     #: Cache directory override (default: ``REPRO_CACHE_DIR`` env, then a
     #: directory under the system temp dir).
     cache_dir: Optional[str] = None
+    #: Execution engine (``"compiled"`` or ``"interpreted"``).  Both produce
+    #: bit-identical profiles, so the profile cache is engine-agnostic.
+    engine: str = "compiled"
 
     def resolved_jobs(self) -> int:
         return resolve_jobs(self.jobs)
@@ -520,11 +523,11 @@ class CharacterizationError(RuntimeError):
 
 
 def _characterize_one(
-    abbrev: str, sample_blocks: Optional[int], verify: bool
+    abbrev: str, sample_blocks: Optional[int], verify: bool, engine: str = "compiled"
 ) -> Tuple[WorkloadProfile, float]:
     """Worker entry point: simulate one workload, return (profile, seconds)."""
     t0 = time.perf_counter()
-    profile = run_workload(abbrev, verify=verify, sample_blocks=sample_blocks)
+    profile = run_workload(abbrev, verify=verify, sample_blocks=sample_blocks, engine=engine)
     return profile, time.perf_counter() - t0
 
 
@@ -643,7 +646,9 @@ def _run_serial(config, todo, emit, record_success, record_failure, max_attempts
             emit(WorkloadStarted(workload=abbrev, attempt=attempt))
             t0 = time.perf_counter()
             try:
-                profile, wall = _characterize_one(abbrev, config.sample_blocks, config.verify)
+                profile, wall = _characterize_one(
+                    abbrev, config.sample_blocks, config.verify, config.engine
+                )
             except Exception as exc:
                 spent += time.perf_counter() - t0
                 if attempt == max_attempts:
@@ -704,7 +709,7 @@ def _run_parallel(config, todo, jobs, emit, record_success, record_failure, max_
                 abbrev, attempt = queue.popleft()
                 emit(WorkloadStarted(workload=abbrev, attempt=attempt))
                 fut = executor.submit(
-                    _characterize_one, abbrev, config.sample_blocks, config.verify
+                    _characterize_one, abbrev, config.sample_blocks, config.verify, config.engine
                 )
                 start = time.monotonic()
                 deadline = (

@@ -1,0 +1,1070 @@
+"""Compiled kernel dispatch and block-batched SIMT execution.
+
+Two execution regimes accelerate kernel launches beyond the statement
+interpreter in :mod:`repro.simt.executor`:
+
+* **Compile-once dispatch** — at first launch the kernel body is lowered
+  into a flat tree of specialised closures: operand accessors are resolved
+  to register slots / immediates / parameter indices, op functions and
+  dtypes are hoisted out of the per-block loop, and observation hooks are
+  simply not compiled in for unprofiled blocks.  The compiled form is
+  cached on the :class:`~repro.simt.ir.Kernel` instance, so repeated
+  launches of the same kernel pay lowering cost once.
+
+* **Block batching** — independent *unprofiled* blocks are stacked into a
+  single state of ``K * npad`` lanes (per-block ``%ctaid``/``%tid``
+  vectors, one shared-memory row per block), amortising every numpy
+  operation across K blocks.  Profiled blocks always run singly, so sink
+  events and all collected metrics are bit-for-bit identical to the
+  interpreter's.  Kernels containing atomics are never batched: atomic
+  lane serialisation is defined in launch order, which stacking would
+  reorder.
+
+Blocks are stacked in ascending linear order, so numpy's
+highest-lane-wins scatter resolution reproduces the interpreter's
+last-block-wins outcome for conflicting stores within one statement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simt.errors import ExecutionError
+from repro.simt.ir import (
+    Atomic,
+    Barrier,
+    If,
+    Imm,
+    Instr,
+    Kernel,
+    Load,
+    MemSpace,
+    Op,
+    OpCategory,
+    Reg,
+    Return,
+    Stmt,
+    Store,
+    While,
+    op_category,
+)
+from repro.simt.types import WARP_SIZE
+
+#: Lane budget per silent batch: K is chosen so ``K * npad`` stays near this.
+TARGET_BATCH_LANES = 8192
+
+#: Hard cap on blocks per batch regardless of block size.
+MAX_BATCH_BLOCKS = 256
+
+_SREG_NAMES = frozenset(
+    (
+        "%tid.x",
+        "%tid.y",
+        "%ctaid.x",
+        "%ctaid.y",
+        "%ntid.x",
+        "%ntid.y",
+        "%nctaid.x",
+        "%nctaid.y",
+    )
+)
+
+
+def _trunc_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """C-style (truncating) integer division, as CUDA defines it."""
+    q = np.abs(a) // np.abs(b)
+    return np.where((a < 0) ^ (b < 0), -q, q)
+
+
+def _trunc_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a - _trunc_div(a, b) * b
+
+
+_OP_FUNCS = {
+    Op.IADD: lambda a, b: a + b,
+    Op.ISUB: lambda a, b: a - b,
+    Op.IMUL: lambda a, b: a * b,
+    Op.IMIN: np.minimum,
+    Op.IMAX: np.maximum,
+    Op.INEG: lambda a: -a,
+    Op.IABS: np.abs,
+    Op.IAND: lambda a, b: a & b,
+    Op.IOR: lambda a, b: a | b,
+    Op.IXOR: lambda a, b: a ^ b,
+    Op.ISHL: lambda a, b: a << b,
+    Op.ISHR: lambda a, b: a >> b,
+    Op.FADD: lambda a, b: a + b,
+    Op.FSUB: lambda a, b: a - b,
+    Op.FMUL: lambda a, b: a * b,
+    Op.FDIV: lambda a, b: a / b,
+    Op.FNEG: lambda a: -a,
+    Op.FABS: np.abs,
+    Op.FMIN: np.minimum,
+    Op.FMAX: np.maximum,
+    Op.FMA: lambda a, b, c: a * b + c,
+    Op.FFLOOR: np.floor,
+    Op.FSQRT: np.sqrt,
+    Op.FEXP: np.exp,
+    Op.FLOG: np.log,
+    Op.FSIN: np.sin,
+    Op.FCOS: np.cos,
+    Op.FRCP: lambda a: 1.0 / a,
+    Op.FPOW: np.power,
+    Op.ILT: lambda a, b: a < b,
+    Op.ILE: lambda a, b: a <= b,
+    Op.IGT: lambda a, b: a > b,
+    Op.IGE: lambda a, b: a >= b,
+    Op.IEQ: lambda a, b: a == b,
+    Op.INE: lambda a, b: a != b,
+    Op.FLT: lambda a, b: a < b,
+    Op.FLE: lambda a, b: a <= b,
+    Op.FGT: lambda a, b: a > b,
+    Op.FGE: lambda a, b: a >= b,
+    Op.FEQ: lambda a, b: a == b,
+    Op.FNE: lambda a, b: a != b,
+    Op.PAND: lambda a, b: a & b,
+    Op.POR: lambda a, b: a | b,
+    Op.PNOT: lambda a: ~a,
+    Op.MOV: lambda a: a,
+    Op.SEL: lambda c, a, b: np.where(c, a, b),
+    Op.I2F: lambda a: a.astype(np.float64) if isinstance(a, np.ndarray) else float(a),
+    Op.F2I: lambda a: np.trunc(a).astype(np.int64) if isinstance(a, np.ndarray) else int(a),
+}
+
+_LOAD_CATEGORY = {
+    MemSpace.SHARED: OpCategory.LOAD_SHARED,
+    MemSpace.CONST: OpCategory.LOAD_CONST,
+    MemSpace.TEXTURE: OpCategory.LOAD_TEXTURE,
+    MemSpace.GLOBAL: OpCategory.LOAD_GLOBAL,
+}
+
+
+class _RunState:
+    """Mutable lane state for one batch of blocks (or one profiled block)."""
+
+    __slots__ = (
+        "device",
+        "params",
+        "sinks",
+        "strict_barriers",
+        "nblk",
+        "npad",
+        "nlanes",
+        "regs",
+        "returned",
+        "block_mask",
+        "lane_block",
+        "shared",
+        "note_cache",
+    )
+
+
+# ----------------------------------------------------------------------
+# Observation hooks (only reachable from the observed program, which the
+# driver runs exclusively on single-block states).
+# ----------------------------------------------------------------------
+
+
+def _note_instr(st: _RunState, stmt: Stmt, category: OpCategory, act: np.ndarray) -> None:
+    # Active masks are never mutated in place (every mask update allocates),
+    # so object identity implies value identity: a straight-line run under
+    # one mask reduces it once, not per instruction.  The cache holds a
+    # reference to the mask, so its id cannot be recycled while cached.
+    cache = st.note_cache
+    if cache is not None and cache[0] is act:
+        lanes = cache[1]
+        warp_mask = cache[2]
+    else:
+        warp_mask = act.reshape(-1, WARP_SIZE).any(axis=1)
+        lanes = int(act.sum())
+        st.note_cache = (act, lanes, warp_mask)
+    for sink in st.sinks:
+        sink.on_instr(stmt, category, lanes, warp_mask)
+
+
+def _note_mem(st, stmt, space, kind, esize, addrs, act) -> None:
+    for sink in st.sinks:
+        sink.on_mem(stmt, space, kind, esize, addrs, act)
+
+
+def _note_branch(st, stmt, kind, act, taken) -> None:
+    warp_active = act.reshape(-1, WARP_SIZE).sum(axis=1)
+    warp_taken = taken.reshape(-1, WARP_SIZE).sum(axis=1)
+    for sink in st.sinks:
+        sink.on_branch(stmt, kind, warp_active, warp_taken)
+
+
+# ----------------------------------------------------------------------
+# Operand lowering
+# ----------------------------------------------------------------------
+
+
+def _make_acc(ck: "CompiledKernel", operand) -> Callable[[_RunState], object]:
+    """Lower an operand to an accessor closure over the run state."""
+    if isinstance(operand, Reg):
+        slot = ck.slot_of[operand.name]
+        name = operand.name
+        kname = ck.kernel.name
+
+        def acc(st: _RunState):
+            v = st.regs[slot]
+            if v is None:
+                raise ExecutionError(
+                    f"kernel {kname!r}: register {name!r} read "
+                    "before any write reached it"
+                )
+            return v
+
+        return acc
+    if isinstance(operand, Imm):
+        value = operand.value
+        return lambda st: value
+    idx = ck.param_index[operand.name]
+    return lambda st: st.params[idx]
+
+
+def _make_addr(ck: "CompiledKernel", operand) -> Callable[[_RunState], np.ndarray]:
+    acc = _make_acc(ck, operand)
+    if isinstance(operand, Reg):
+        return acc  # register operands are always full-width arrays
+
+    def addr(st: _RunState) -> np.ndarray:
+        return np.full(st.nlanes, int(acc(st)), dtype=np.int64)
+
+    return addr
+
+
+def _make_vec(ck: "CompiledKernel", operand, np_dtype) -> Callable[[_RunState], np.ndarray]:
+    acc = _make_acc(ck, operand)
+    if isinstance(operand, Reg):
+        return acc
+
+    def vec(st: _RunState) -> np.ndarray:
+        return np.full(st.nlanes, acc(st), dtype=np_dtype)
+
+    return vec
+
+
+def _make_write(ck: "CompiledKernel", dest: Reg):
+    slot = ck.slot_of[dest.name]
+    np_dtype = dest.dtype.numpy_dtype
+
+    def write(st: _RunState, result, act: np.ndarray) -> None:
+        cur = st.regs[slot]
+        if cur is None:
+            cur = np.zeros(st.nlanes, dtype=np_dtype)
+            st.regs[slot] = cur
+        if isinstance(result, np.ndarray) and result.shape == cur.shape:
+            np.copyto(cur, result, where=act, casting="unsafe")
+        else:
+            cur[act] = result
+
+    return write
+
+
+# ----------------------------------------------------------------------
+# Shared memory (one row per batched block)
+# ----------------------------------------------------------------------
+
+
+def _make_shared_locate(ck: "CompiledKernel"):
+    decls = ck.shared_decls
+    offsets = ck.shared_offsets
+    kname = ck.kernel.name
+
+    def locate(a: np.ndarray, esize: int):
+        if not decls:
+            raise ExecutionError(
+                f"kernel {kname!r} accesses shared memory but declares none"
+            )
+        di = np.searchsorted(offsets, a, side="right") - 1
+        if np.any(di < 0):
+            raise ExecutionError(f"kernel {kname!r}: negative shared address")
+        if di.size:
+            u0 = int(di[0])
+            if (di == u0).all():
+                # All lanes hit one declaration (the common case even in
+                # multi-array kernels): skip the per-decl partitioning.
+                decl = decls[u0]
+                elems = (a - decl.offset) // esize
+                if np.any(elems >= decl.count) or np.any(elems < 0):
+                    raise ExecutionError(
+                        f"kernel {kname!r}: shared array {decl.name!r} "
+                        f"index out of bounds (size {decl.count})"
+                    )
+                return [(u0, slice(None), elems)]
+        out = []
+        for u in np.unique(di):
+            decl = decls[u]
+            sel = di == u
+            elems = (a[sel] - decl.offset) // esize
+            if np.any(elems >= decl.count) or np.any(elems < 0):
+                raise ExecutionError(
+                    f"kernel {kname!r}: shared array {decl.name!r} "
+                    f"index out of bounds (size {decl.count})"
+                )
+            out.append((int(u), sel, elems))
+        return out
+
+    return locate
+
+
+def _make_shared_elems(ck: "CompiledKernel"):
+    """Single-declaration fast path: address -> element index, bounds-checked.
+
+    Skips the searchsorted/unique decl resolution; the checks reproduce the
+    generic path's errors exactly (an address below the decl's offset is a
+    negative shared address, anything past ``count`` is out of bounds).
+    """
+    decl = ck.shared_decls[0]
+    offset = decl.offset
+    count = decl.count
+    name = decl.name
+    kname = ck.kernel.name
+
+    def elems_of(a: np.ndarray, esize: int) -> np.ndarray:
+        elems = (a - offset) // esize
+        if elems.size:
+            lo = int(elems.min())
+            if lo < 0:
+                if a.min() < offset:
+                    raise ExecutionError(f"kernel {kname!r}: negative shared address")
+                raise ExecutionError(
+                    f"kernel {kname!r}: shared array {name!r} "
+                    f"index out of bounds (size {count})"
+                )
+            if int(elems.max()) >= count:
+                raise ExecutionError(
+                    f"kernel {kname!r}: shared array {name!r} "
+                    f"index out of bounds (size {count})"
+                )
+        return elems
+
+    return elems_of
+
+
+def _make_shared_gather(ck: "CompiledKernel"):
+    if len(ck.shared_decls) == 1:
+        elems_of = _make_shared_elems(ck)
+
+        def gather(st: _RunState, addrs, act, esize) -> np.ndarray:
+            lanes = np.flatnonzero(act)
+            elems = elems_of(addrs[lanes], esize)
+            arr = st.shared[0]
+            vals = arr[0, elems] if st.nblk == 1 else arr[st.lane_block[lanes], elems]
+            values = np.zeros(st.nlanes, dtype=np.result_type(np.float64, vals.dtype))
+            values[lanes] = vals
+            return values
+
+        return gather
+
+    locate = _make_shared_locate(ck)
+
+    def gather(st: _RunState, addrs, act, esize) -> np.ndarray:
+        values = np.zeros(st.nlanes, dtype=np.float64)
+        lanes = np.flatnonzero(act)
+        a = addrs[lanes]
+        rows = st.lane_block[lanes]
+        for u, sel, elems in locate(a, esize):
+            vals = st.shared[u][rows[sel], elems]
+            if values.dtype != vals.dtype:
+                values = values.astype(np.result_type(values.dtype, vals.dtype))
+            values[lanes[sel]] = vals
+        return values
+
+    return gather
+
+
+def _make_shared_scatter(ck: "CompiledKernel"):
+    if len(ck.shared_decls) == 1:
+        elems_of = _make_shared_elems(ck)
+
+        def scatter(st: _RunState, addrs, values, act, esize) -> None:
+            lanes = np.flatnonzero(act)
+            elems = elems_of(addrs[lanes], esize)
+            arr = st.shared[0]
+            vals = values[lanes].astype(arr.dtype, copy=False)
+            if st.nblk == 1:
+                arr[0, elems] = vals
+            else:
+                arr[st.lane_block[lanes], elems] = vals
+
+        return scatter
+
+    locate = _make_shared_locate(ck)
+
+    def scatter(st: _RunState, addrs, values, act, esize) -> None:
+        lanes = np.flatnonzero(act)
+        a = addrs[lanes]
+        rows = st.lane_block[lanes]
+        for u, sel, elems in locate(a, esize):
+            arr = st.shared[u]
+            arr[rows[sel], elems] = values[lanes[sel]].astype(arr.dtype, copy=False)
+
+    return scatter
+
+
+# ----------------------------------------------------------------------
+# Statement lowering
+# ----------------------------------------------------------------------
+
+
+def _contains_return(stmt: Stmt) -> bool:
+    if isinstance(stmt, Return):
+        return True
+    if isinstance(stmt, If):
+        return any(map(_contains_return, stmt.then_body)) or any(
+            map(_contains_return, stmt.else_body)
+        )
+    if isinstance(stmt, While):
+        return any(map(_contains_return, stmt.cond_body)) or any(
+            map(_contains_return, stmt.body)
+        )
+    return False
+
+
+def _compile_instr(ck, stmt: Instr, observe: bool):
+    write = _make_write(ck, stmt.dest)
+    category = op_category(stmt.op)
+    accs = tuple(_make_acc(ck, s) for s in stmt.srcs)
+    if stmt.op in (Op.IDIV, Op.IMOD):
+        div = _trunc_div if stmt.op is Op.IDIV else _trunc_mod
+        a0, a1 = accs
+        kname = ck.kernel.name
+        sid = stmt.sid
+
+        def core(st, act):
+            num, den = a0(st), a1(st)
+            divisor = np.asarray(den)
+            bad = (divisor == 0) if divisor.ndim == 0 else (divisor == 0) & act
+            if np.any(bad):
+                raise ExecutionError(
+                    f"kernel {kname!r}: integer division by zero (sid={sid})"
+                )
+            safe = np.where(divisor == 0, 1, den)
+            return div(np.asarray(num), safe)
+
+    else:
+        fn = _OP_FUNCS[stmt.op]
+        if len(accs) == 1:
+            (a0,) = accs
+
+            def core(st, act):
+                return fn(a0(st))
+
+        elif len(accs) == 2:
+            a0, a1 = accs
+
+            def core(st, act):
+                return fn(a0(st), a1(st))
+
+        elif len(accs) == 3:
+            a0, a1, a2 = accs
+
+            def core(st, act):
+                return fn(a0(st), a1(st), a2(st))
+
+        else:  # pragma: no cover - no ops beyond arity 3
+
+            def core(st, act):
+                return fn(*[a(st) for a in accs])
+
+    if observe:
+
+        def run(st, act):
+            write(st, core(st, act), act)
+            _note_instr(st, stmt, category, act)
+
+    else:
+
+        def run(st, act):
+            write(st, core(st, act), act)
+
+    return run
+
+
+def _compile_load(ck, stmt: Load, observe: bool):
+    addr = _make_addr(ck, stmt.addr)
+    esize = stmt.dtype.element_size
+    stmt_dt = stmt.dtype.numpy_dtype
+    dest_dt = stmt.dest.dtype.numpy_dtype
+    category = _LOAD_CATEGORY[stmt.space]
+    if stmt.space is MemSpace.SHARED:
+        gather = _make_shared_gather(ck)
+        write = _make_write(ck, stmt.dest)
+
+        def core(st, act):
+            addrs = addr(st)
+            write(st, gather(st, addrs, act, esize), act)
+            return addrs
+
+    elif stmt_dt == dest_dt:
+        # Single masked assignment: the gather result is cast straight into
+        # the destination register (stmt and dest dtypes agree, so this is
+        # the same elementwise cast the two-step path performs).
+        slot = ck.slot_of[stmt.dest.name]
+
+        def core(st, act):
+            addrs = addr(st)
+            cur = st.regs[slot]
+            if cur is None:
+                cur = np.zeros(st.nlanes, dtype=dest_dt)
+                st.regs[slot] = cur
+            cur[act] = st.device.gather(addrs[act], esize)
+            return addrs
+
+    else:
+        write = _make_write(ck, stmt.dest)
+
+        def core(st, act):
+            addrs = addr(st)
+            values = np.zeros(st.nlanes, dtype=stmt_dt)
+            values[act] = st.device.gather(addrs[act], esize)
+            write(st, values, act)
+            return addrs
+
+    if observe:
+        space = stmt.space
+
+        def run(st, act):
+            addrs = core(st, act)
+            _note_instr(st, stmt, category, act)
+            _note_mem(st, stmt, space, "load", esize, addrs, act)
+
+        return run
+
+    def run(st, act):
+        core(st, act)
+
+    return run
+
+
+def _compile_store(ck, stmt: Store, observe: bool):
+    addr = _make_addr(ck, stmt.addr)
+    val = _make_vec(ck, stmt.value, stmt.dtype.numpy_dtype)
+    esize = stmt.dtype.element_size
+    if stmt.space is MemSpace.SHARED:
+        scatter = _make_shared_scatter(ck)
+        category = OpCategory.STORE_SHARED
+
+        def core(st, act):
+            addrs = addr(st)
+            scatter(st, addrs, val(st), act, esize)
+            return addrs
+
+    else:
+        category = OpCategory.STORE_GLOBAL
+
+        def core(st, act):
+            addrs = addr(st)
+            values = val(st)
+            st.device.scatter(addrs[act], values[act], esize)
+            return addrs
+
+    if observe:
+        space = stmt.space
+
+        def run(st, act):
+            addrs = core(st, act)
+            _note_instr(st, stmt, category, act)
+            _note_mem(st, stmt, space, "store", esize, addrs, act)
+
+        return run
+
+    def run(st, act):
+        core(st, act)
+
+    return run
+
+
+def _compile_atomic(ck, stmt: Atomic, observe: bool):
+    addr = _make_addr(ck, stmt.addr)
+    np_dt = stmt.dtype.numpy_dtype
+    val = _make_vec(ck, stmt.value, np_dt)
+    cmp = _make_vec(ck, stmt.compare, np_dt) if stmt.compare is not None else None
+    esize = stmt.dtype.element_size
+    write = _make_write(ck, stmt.dest) if stmt.dest is not None else None
+    aop = stmt.op
+
+    def core(st, act):
+        addrs = addr(st)
+        values = val(st)
+        compare = cmp(st)[act] if cmp is not None else None
+        olds_sel = st.device.atomic_update(
+            addrs[act],
+            values[act],
+            aop,
+            esize,
+            compare=compare,
+            need_old=write is not None,
+        )
+        if write is not None:
+            olds = np.zeros(st.nlanes, dtype=np_dt)
+            olds[act] = olds_sel
+            write(st, olds, act)
+        return addrs
+
+    if observe:
+
+        def run(st, act):
+            addrs = core(st, act)
+            _note_instr(st, stmt, OpCategory.ATOMIC, act)
+            _note_mem(st, stmt, MemSpace.GLOBAL, "atomic", esize, addrs, act)
+
+        return run
+
+    def run(st, act):
+        core(st, act)
+
+    return run
+
+
+def _compile_if(ck, stmt: If, observe: bool):
+    cond = _make_acc(ck, stmt.cond)
+    then_run = _compile_block(ck, stmt.then_body, observe)
+    else_run = _compile_block(ck, stmt.else_body, observe) if stmt.else_body else None
+
+    if observe:
+
+        def run(st, act):
+            c = cond(st)
+            taken = act & c
+            _note_instr(st, stmt, OpCategory.BRANCH, act)
+            _note_branch(st, stmt, "if", act, taken)
+            if taken.any():
+                then_run(st, taken)
+            if else_run is not None:
+                fallthrough = act & ~c & ~st.returned
+                if fallthrough.any():
+                    else_run(st, fallthrough)
+
+    else:
+
+        def run(st, act):
+            c = cond(st)
+            taken = act & c
+            if taken.any():
+                then_run(st, taken)
+            if else_run is not None:
+                fallthrough = act & ~c & ~st.returned
+                if fallthrough.any():
+                    else_run(st, fallthrough)
+
+    return run
+
+
+def _compile_while(ck, stmt: While, observe: bool):
+    cond = _make_acc(ck, stmt.cond)
+    cond_run = _compile_block(ck, stmt.cond_body, observe)
+    body_run = _compile_block(ck, stmt.body, observe)
+    cond_may_ret = any(map(_contains_return, stmt.cond_body))
+    body_may_ret = any(map(_contains_return, stmt.body))
+
+    if observe:
+
+        def run(st, act):
+            live = act.copy()
+            while True:
+                cond_run(st, live)
+                if cond_may_ret:
+                    live = live & ~st.returned
+                    if not live.any():
+                        return
+                c = cond(st)
+                stay = live & c
+                _note_instr(st, stmt, OpCategory.BRANCH, live)
+                _note_branch(st, stmt, "loop", live, stay)
+                live = stay
+                if not live.any():
+                    return
+                body_run(st, live)
+                if body_may_ret:
+                    live = live & ~st.returned
+                    if not live.any():
+                        return
+
+    else:
+
+        def run(st, act):
+            live = act.copy()
+            while True:
+                cond_run(st, live)
+                if cond_may_ret:
+                    live = live & ~st.returned
+                    if not live.any():
+                        return
+                stay = live & cond(st)
+                live = stay
+                if not live.any():
+                    return
+                body_run(st, live)
+                if body_may_ret:
+                    live = live & ~st.returned
+                    if not live.any():
+                        return
+
+    return run
+
+
+def _compile_barrier(ck, stmt: Barrier, observe: bool):
+    kname = ck.kernel.name
+    sid = stmt.sid
+
+    def core(st, act):
+        if st.strict_barriers:
+            expected = st.block_mask & ~st.returned
+            if st.nblk == 1:
+                if not np.array_equal(act, expected):
+                    raise ExecutionError(
+                        f"kernel {kname!r}: divergent barrier (sid={sid}); "
+                        "some non-retired lanes did not reach __syncthreads"
+                    )
+            else:
+                # A barrier synchronizes within one block.  Batched blocks
+                # reach it on different loop iterations, so a block with no
+                # active lanes here simply isn't executing this statement
+                # (it would not have run it in single-block execution); only
+                # blocks that arrive are held to the all-lanes-present rule.
+                acts = act.reshape(st.nblk, st.npad)
+                exps = expected.reshape(st.nblk, st.npad)
+                here = acts.any(axis=1)
+                if not np.array_equal(acts[here], exps[here]):
+                    raise ExecutionError(
+                        f"kernel {kname!r}: divergent barrier (sid={sid}); "
+                        "some non-retired lanes did not reach __syncthreads"
+                    )
+
+    if observe:
+
+        def run(st, act):
+            core(st, act)
+            _note_instr(st, stmt, OpCategory.BARRIER, act)
+
+        return run
+
+    return core
+
+
+def _compile_return(ck, stmt: Return, observe: bool):
+    if observe:
+
+        def run(st, act):
+            _note_instr(st, stmt, OpCategory.BRANCH, act)
+            st.returned |= act
+
+    else:
+
+        def run(st, act):
+            st.returned |= act
+
+    return run
+
+
+_COMPILERS = {
+    Instr: _compile_instr,
+    Load: _compile_load,
+    Store: _compile_store,
+    Atomic: _compile_atomic,
+    If: _compile_if,
+    While: _compile_while,
+    Barrier: _compile_barrier,
+    Return: _compile_return,
+}
+
+
+def _compile_block(ck, stmts: List[Stmt], observe: bool):
+    """Lower a statement list to a single runner ``fn(state, act)``.
+
+    ``act`` must be non-empty and exclude retired lanes on entry (all call
+    sites guarantee this).  The active mask is only recomputed after
+    statements whose subtree contains a ``Return``, which is the only way
+    lanes retire mid-body.
+    """
+    steps = []
+    for stmt in stmts:
+        try:
+            compiler = _COMPILERS[type(stmt)]
+        except KeyError:  # pragma: no cover - exhaustive over Stmt subclasses
+            raise ExecutionError(f"unknown statement {stmt!r}") from None
+        steps.append((compiler(ck, stmt, observe), _contains_return(stmt)))
+
+    if not any(may_ret for _, may_ret in steps):
+        runners = tuple(fn for fn, _ in steps)
+        if len(runners) == 1:
+            return runners[0]
+
+        def run_straight(st, act):
+            for fn in runners:
+                fn(st, act)
+
+        return run_straight
+
+    steps = tuple(steps)
+
+    def run(st, act):
+        for fn, may_ret in steps:
+            fn(st, act)
+            if may_ret:
+                act = act & ~st.returned
+                if not act.any():
+                    return
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Kernel compilation and the launch driver
+# ----------------------------------------------------------------------
+
+
+class CompiledKernel:
+    """A kernel lowered to specialised closures, cached on the ``Kernel``."""
+
+    __slots__ = (
+        "kernel",
+        "nslots",
+        "slot_of",
+        "param_index",
+        "sreg_slots",
+        "ctaid_slots",
+        "shared_decls",
+        "shared_offsets",
+        "has_atomics",
+        "run_silent",
+        "run_observed",
+    )
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.param_index: Dict[str, int] = {p.name: i for i, p in enumerate(kernel.params)}
+        self.slot_of: Dict[str, int] = {}
+        self.has_atomics = False
+        for stmt in kernel.walk():
+            for reg in _stmt_regs(stmt):
+                if reg.name not in self.slot_of:
+                    self.slot_of[reg.name] = len(self.slot_of)
+            if isinstance(stmt, Atomic):
+                self.has_atomics = True
+        self.nslots = len(self.slot_of)
+        self.sreg_slots: Tuple[Tuple[str, int], ...] = tuple(
+            (name, slot) for name, slot in self.slot_of.items() if name in _SREG_NAMES
+        )
+        self.ctaid_slots: Tuple[Tuple[str, int], ...] = tuple(
+            (name, slot)
+            for name, slot in self.sreg_slots
+            if name in ("%ctaid.x", "%ctaid.y")
+        )
+        self.shared_decls = sorted(kernel.shared, key=lambda d: d.offset)
+        self.shared_offsets = np.array([d.offset for d in self.shared_decls], dtype=np.int64)
+        self.run_silent = _compile_block(self, kernel.body, observe=False)
+        self.run_observed = _compile_block(self, kernel.body, observe=True)
+
+
+def _stmt_regs(stmt: Stmt):
+    """All registers a statement names (dest first, then sources)."""
+    if isinstance(stmt, Instr):
+        yield stmt.dest
+        for s in stmt.srcs:
+            if isinstance(s, Reg):
+                yield s
+    elif isinstance(stmt, Load):
+        yield stmt.dest
+        if isinstance(stmt.addr, Reg):
+            yield stmt.addr
+    elif isinstance(stmt, Store):
+        for s in (stmt.addr, stmt.value):
+            if isinstance(s, Reg):
+                yield s
+    elif isinstance(stmt, Atomic):
+        if stmt.dest is not None:
+            yield stmt.dest
+        for s in (stmt.addr, stmt.value, stmt.compare):
+            if isinstance(s, Reg):
+                yield s
+    elif isinstance(stmt, If):
+        yield stmt.cond
+    elif isinstance(stmt, While) and stmt.cond is not None:
+        yield stmt.cond
+
+
+def compile_kernel(kernel: Kernel) -> CompiledKernel:
+    """Return the compiled form of ``kernel``, lowering it on first use."""
+    ck = getattr(kernel, "_compiled_cache", None)
+    if ck is None:
+        ck = CompiledKernel(kernel)
+        kernel._compiled_cache = ck
+    return ck
+
+
+def _state_template(
+    ck: CompiledKernel,
+    grid: Tuple[int, int],
+    block: Tuple[int, int],
+    nblk: int,
+) -> Dict:
+    """Launch-invariant state arrays for a batch width of ``nblk`` blocks.
+
+    Everything here is read-only during execution (active masks are always
+    combined into fresh arrays, sreg slots are never assigned), so one
+    template is safely shared by every state of the same width in a launch.
+    """
+    nthreads = block[0] * block[1]
+    nwarps = -(-nthreads // WARP_SIZE)
+    npad = nwarps * WARP_SIZE
+    nlanes = nblk * npad
+    lane = np.arange(npad, dtype=np.int64)
+    mask = lane < nthreads
+    tmpl: Dict = {
+        "block_mask": np.tile(mask, nblk) if nblk > 1 else mask,
+        "lane_block": np.repeat(np.arange(nblk, dtype=np.int64), npad),
+        "sregs": [],
+    }
+    for name, slot in ck.sreg_slots:
+        if name == "%tid.x":
+            v = lane % block[0]
+            arr = np.tile(v, nblk) if nblk > 1 else v
+        elif name == "%tid.y":
+            v = np.minimum(lane // block[0], block[1] - 1)
+            arr = np.tile(v, nblk) if nblk > 1 else v
+        elif name == "%ntid.x":
+            arr = np.full(nlanes, block[0], dtype=np.int64)
+        elif name == "%ntid.y":
+            arr = np.full(nlanes, block[1], dtype=np.int64)
+        elif name == "%nctaid.x":
+            arr = np.full(nlanes, grid[0], dtype=np.int64)
+        elif name == "%nctaid.y":
+            arr = np.full(nlanes, grid[1], dtype=np.int64)
+        else:  # %ctaid.x / %ctaid.y depend on which blocks run: per-state.
+            continue
+        tmpl["sregs"].append((slot, arr))
+    return tmpl
+
+
+def _make_state(
+    ck: CompiledKernel,
+    executor,
+    grid: Tuple[int, int],
+    block: Tuple[int, int],
+    linears: Sequence[int],
+    params: List,
+    observe: bool,
+    templates: Optional[Dict[int, Dict]] = None,
+) -> _RunState:
+    """Build run state for a batch of blocks (``linears`` in ascending order)."""
+    nthreads = block[0] * block[1]
+    nwarps = -(-nthreads // WARP_SIZE)
+    npad = nwarps * WARP_SIZE
+    nblk = len(linears)
+    nlanes = nblk * npad
+
+    if templates is None:
+        tmpl = _state_template(ck, grid, block, nblk)
+    else:
+        tmpl = templates.get(nblk)
+        if tmpl is None:
+            tmpl = _state_template(ck, grid, block, nblk)
+            templates[nblk] = tmpl
+
+    st = _RunState()
+    st.device = executor.device
+    st.params = params
+    st.sinks = executor.sinks if observe else ()
+    st.strict_barriers = executor.strict_barriers
+    st.nblk = nblk
+    st.npad = npad
+    st.nlanes = nlanes
+    st.regs = [None] * ck.nslots
+    st.returned = np.zeros(nlanes, dtype=bool)
+    st.note_cache = None
+    st.block_mask = tmpl["block_mask"]
+    st.lane_block = tmpl["lane_block"]
+    st.shared = [
+        np.zeros((nblk, d.count), dtype=d.dtype.numpy_dtype) for d in ck.shared_decls
+    ]
+    for slot, arr in tmpl["sregs"]:
+        st.regs[slot] = arr
+    if ck.ctaid_slots:
+        la = np.asarray(linears, dtype=np.int64)
+        for name, slot in ck.ctaid_slots:
+            coord = la % grid[0] if name == "%ctaid.x" else la // grid[0]
+            st.regs[slot] = np.repeat(coord, npad)
+    return st
+
+
+def run_compiled_launch(
+    executor,
+    kernel: Kernel,
+    grid: Tuple[int, int],
+    block: Tuple[int, int],
+    params_by_name: Dict,
+) -> int:
+    """Drive one launch through the compiled engine.
+
+    Unprofiled blocks accumulate into silent batches of up to
+    ``batch_limit`` blocks; any pending batch is flushed before a profiled
+    block runs, preserving the interpreter's sequential device-memory
+    ordering.  Returns the number of profiled blocks and records
+    ``executor.last_launch_stats``.
+    """
+    ck = compile_kernel(kernel)
+    params = [params_by_name[p.name] for p in kernel.params]
+    nblocks = grid[0] * grid[1]
+    nthreads = block[0] * block[1]
+    nwarps = -(-nthreads // WARP_SIZE)
+    npad = nwarps * WARP_SIZE
+
+    if ck.has_atomics:
+        limit = 1
+    elif executor.batch_blocks is not None:
+        limit = max(1, int(executor.batch_blocks))
+    else:
+        limit = max(1, min(MAX_BATCH_BLOCKS, TARGET_BATCH_LANES // npad))
+
+    sinks = executor.sinks
+    pf = executor.profile_filter
+    stats = {
+        "engine": "compiled",
+        "blocks": nblocks,
+        "profiled_blocks": 0,
+        "batches": 0,
+        "batched_blocks": 0,
+        "largest_batch": 0,
+        "batch_limit": limit,
+    }
+    pending: List[int] = []
+    templates: Dict[int, Dict] = {}
+
+    def flush() -> None:
+        if not pending:
+            return
+        st = _make_state(
+            ck, executor, grid, block, pending, params, observe=False, templates=templates
+        )
+        ck.run_silent(st, st.block_mask)
+        stats["batches"] += 1
+        stats["batched_blocks"] += len(pending)
+        if len(pending) > stats["largest_batch"]:
+            stats["largest_batch"] = len(pending)
+        pending.clear()
+
+    for linear in range(nblocks):
+        if sinks and pf(linear, nblocks):
+            flush()
+            stats["profiled_blocks"] += 1
+            st = _make_state(
+                ck, executor, grid, block, (linear,), params, observe=True, templates=templates
+            )
+            for sink in sinks:
+                sink.on_block_begin(linear, nthreads, nwarps)
+            ck.run_observed(st, st.block_mask)
+            for sink in sinks:
+                sink.on_block_end()
+        else:
+            pending.append(linear)
+            if len(pending) >= limit:
+                flush()
+    flush()
+    executor.last_launch_stats = stats
+    return stats["profiled_blocks"]

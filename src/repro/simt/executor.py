@@ -42,7 +42,8 @@ from repro.simt.ir import (
     While,
     op_category,
 )
-from repro.simt.memory import Device, DeviceBuffer
+from repro.simt.compiled import _OP_FUNCS, _trunc_div, _trunc_mod, run_compiled_launch
+from repro.simt.memory import _ATOMIC_SCALAR, Device, DeviceBuffer
 from repro.simt.sink import TraceSink
 from repro.simt.types import WARP_SIZE, DType
 
@@ -85,73 +86,9 @@ def _as_dim(dim: DimLike, what: str) -> Tuple[int, int]:
     return int(x), int(y)
 
 
-def _trunc_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """C-style (truncating) integer division, as CUDA defines it."""
-    q = np.abs(a) // np.abs(b)
-    return np.where((a < 0) ^ (b < 0), -q, q)
-
-
-def _trunc_mod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    return a - _trunc_div(a, b) * b
-
-
-_OP_FUNCS = {
-    Op.IADD: lambda a, b: a + b,
-    Op.ISUB: lambda a, b: a - b,
-    Op.IMUL: lambda a, b: a * b,
-    Op.IMIN: np.minimum,
-    Op.IMAX: np.maximum,
-    Op.INEG: lambda a: -a,
-    Op.IABS: np.abs,
-    Op.IAND: lambda a, b: a & b,
-    Op.IOR: lambda a, b: a | b,
-    Op.IXOR: lambda a, b: a ^ b,
-    Op.ISHL: lambda a, b: a << b,
-    Op.ISHR: lambda a, b: a >> b,
-    Op.FADD: lambda a, b: a + b,
-    Op.FSUB: lambda a, b: a - b,
-    Op.FMUL: lambda a, b: a * b,
-    Op.FDIV: lambda a, b: a / b,
-    Op.FNEG: lambda a: -a,
-    Op.FABS: np.abs,
-    Op.FMIN: np.minimum,
-    Op.FMAX: np.maximum,
-    Op.FMA: lambda a, b, c: a * b + c,
-    Op.FFLOOR: np.floor,
-    Op.FSQRT: np.sqrt,
-    Op.FEXP: np.exp,
-    Op.FLOG: np.log,
-    Op.FSIN: np.sin,
-    Op.FCOS: np.cos,
-    Op.FRCP: lambda a: 1.0 / a,
-    Op.FPOW: np.power,
-    Op.ILT: lambda a, b: a < b,
-    Op.ILE: lambda a, b: a <= b,
-    Op.IGT: lambda a, b: a > b,
-    Op.IGE: lambda a, b: a >= b,
-    Op.IEQ: lambda a, b: a == b,
-    Op.INE: lambda a, b: a != b,
-    Op.FLT: lambda a, b: a < b,
-    Op.FLE: lambda a, b: a <= b,
-    Op.FGT: lambda a, b: a > b,
-    Op.FGE: lambda a, b: a >= b,
-    Op.FEQ: lambda a, b: a == b,
-    Op.FNE: lambda a, b: a != b,
-    Op.PAND: lambda a, b: a & b,
-    Op.POR: lambda a, b: a | b,
-    Op.PNOT: lambda a: ~a,
-    Op.MOV: lambda a: a,
-    Op.SEL: lambda c, a, b: np.where(c, a, b),
-    Op.I2F: lambda a: a.astype(np.float64) if isinstance(a, np.ndarray) else float(a),
-    Op.F2I: lambda a: np.trunc(a).astype(np.int64) if isinstance(a, np.ndarray) else int(a),
-}
-
-_ATOMIC_SCALAR = {
-    AtomicOp.ADD: lambda old, v: old + v,
-    AtomicOp.MIN: min,
-    AtomicOp.MAX: max,
-    AtomicOp.EXCH: lambda old, v: v,
-}
+#: Supported execution engines (see :mod:`repro.simt.compiled` for the
+#: compiled/batched one; "interpreted" is the reference statement walker).
+ENGINES = ("compiled", "interpreted")
 
 
 class Executor:
@@ -169,6 +106,14 @@ class Executor:
     strict_barriers:
         When true (default), a barrier reached with some non-retired lanes
         inactive raises, mirroring CUDA's divergent-``__syncthreads`` UB.
+    engine:
+        ``"compiled"`` (default) lowers each kernel once into specialised
+        closures and batches unprofiled blocks; ``"interpreted"`` walks the
+        IR per block.  Both produce bit-identical memory and profiles.
+    batch_blocks:
+        Override the number of blocks stacked per silent batch (compiled
+        engine only).  ``None`` auto-sizes from the block's lane count;
+        kernels containing atomics always run one block at a time.
     """
 
     def __init__(
@@ -177,11 +122,19 @@ class Executor:
         sinks: Sequence[TraceSink] = (),
         profile_filter: ProfileFilter = profile_all_blocks,
         strict_barriers: bool = True,
+        engine: str = "compiled",
+        batch_blocks: Optional[int] = None,
     ) -> None:
+        if engine not in ENGINES:
+            raise LaunchError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.device = device
         self.sinks = list(sinks)
         self.profile_filter = profile_filter
         self.strict_barriers = strict_barriers
+        self.engine = engine
+        self.batch_blocks = batch_blocks
+        #: Populated after every launch: engine, block/batch counters.
+        self.last_launch_stats: Dict[str, Union[int, str]] = {}
 
     def launch(
         self,
@@ -205,17 +158,40 @@ class Executor:
 
         for sink in self.sinks:
             sink.on_kernel_begin(kernel, grid, block, nblocks)
-        profiled = 0
         with np.errstate(all="ignore"):
-            for linear in range(nblocks):
-                ctaid = (linear % grid[0], linear // grid[0])
-                observe = bool(self.sinks) and self.profile_filter(linear, nblocks)
-                if observe:
-                    profiled += 1
-                run = _BlockRun(self, kernel, grid, block, ctaid, params, observe)
-                run.execute()
+            if self.engine == "compiled":
+                profiled = run_compiled_launch(self, kernel, grid, block, params)
+            else:
+                profiled = self._launch_interpreted(kernel, grid, block, params, nblocks)
         for sink in self.sinks:
             sink.on_kernel_end(profiled, nblocks)
+
+    def _launch_interpreted(
+        self,
+        kernel: Kernel,
+        grid: Tuple[int, int],
+        block: Tuple[int, int],
+        params: Dict[str, Union[int, float]],
+        nblocks: int,
+    ) -> int:
+        profiled = 0
+        for linear in range(nblocks):
+            ctaid = (linear % grid[0], linear // grid[0])
+            observe = bool(self.sinks) and self.profile_filter(linear, nblocks)
+            if observe:
+                profiled += 1
+            run = _BlockRun(self, kernel, grid, block, ctaid, params, observe)
+            run.execute()
+        self.last_launch_stats = {
+            "engine": "interpreted",
+            "blocks": nblocks,
+            "profiled_blocks": profiled,
+            "batches": 0,
+            "batched_blocks": 0,
+            "largest_batch": 0,
+            "batch_limit": 1,
+        }
+        return profiled
 
     def _bind_params(
         self, kernel: Kernel, args: Dict[str, Union[int, float, DeviceBuffer]]
@@ -419,19 +395,18 @@ class _BlockRun:
             if not isinstance(compare, np.ndarray):
                 compare = np.full(self.npad, compare, dtype=stmt.dtype.numpy_dtype)
         esize = stmt.dtype.element_size
-        lanes = np.flatnonzero(act)
-        resolved = self.device.atomic_lane_view(addrs[lanes], esize)
-        olds = np.zeros(self.npad, dtype=stmt.dtype.numpy_dtype)
-        for pos, lane in enumerate(lanes):
-            old = resolved.read_lane(pos)
-            if stmt.op is AtomicOp.CAS:
-                assert compare is not None
-                new = values[lane] if old == compare[lane] else old
-            else:
-                new = _ATOMIC_SCALAR[stmt.op](old, values[lane])
-            resolved.write_lane(pos, new)
-            olds[lane] = old
-        if stmt.dest is not None:
+        need_old = stmt.dest is not None
+        olds_sel = self.device.atomic_update(
+            addrs[act],
+            values[act],
+            stmt.op,
+            esize,
+            compare=compare[act] if compare is not None else None,
+            need_old=need_old,
+        )
+        if need_old:
+            olds = np.zeros(self.npad, dtype=stmt.dtype.numpy_dtype)
+            olds[act] = olds_sel
             self._writeback(stmt.dest, olds, act)
         self._note_instr(stmt, OpCategory.ATOMIC, act)
         self._note_mem(stmt, MemSpace.GLOBAL, "atomic", esize, addrs, act)
@@ -539,6 +514,8 @@ class _BlockRun:
         addrs: np.ndarray,
         act: np.ndarray,
     ) -> None:
+        if not self.sinks:
+            return
         for sink in self.sinks:
             sink.on_mem(stmt, space, kind, esize, addrs, act)
 

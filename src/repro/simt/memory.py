@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.simt.errors import LaunchError, MemoryFault
+from repro.simt.ir import AtomicOp
 from repro.simt.types import DType
 
 #: Base of the global address space; non-zero so that address 0 is never valid
@@ -26,6 +27,23 @@ _HEAP_BASE = 0x1000
 
 #: Allocation alignment in bytes.
 _ALIGN = 256
+
+#: Scalar semantics of the lane-serialised atomic loop.
+_ATOMIC_SCALAR = {
+    AtomicOp.ADD: lambda old, v: old + v,
+    AtomicOp.MIN: min,
+    AtomicOp.MAX: max,
+    AtomicOp.EXCH: lambda old, v: v,
+}
+
+#: Atomic ops with a grouped vectorised application (``ufunc.at`` applies
+#: updates in index order, i.e. ascending lane order, so even duplicate
+#: addresses accumulate bit-identically to the scalar loop).
+_ATOMIC_UFUNCS = {
+    AtomicOp.ADD: np.add,
+    AtomicOp.MIN: np.minimum,
+    AtomicOp.MAX: np.maximum,
+}
 
 
 @dataclass
@@ -141,6 +159,25 @@ class Device:
             raise MemoryFault(f"access below heap base: 0x{bad:x}")
         offsets = addrs - self._bases[bi]
         elems = offsets // elem_size
+        if bi.size and (bi == bi[0]).all():
+            # Single-buffer access (the overwhelmingly common case): run the
+            # same checks without the per-buffer partitioning.
+            buf = self._buffers[bi[0]]
+            if buf.elem_size != elem_size:
+                raise MemoryFault(
+                    f"access to {buf.name!r} with element size {elem_size}, "
+                    f"buffer element size is {buf.elem_size}"
+                )
+            if np.any(offsets % elem_size != 0):
+                bad = int(addrs[offsets % elem_size != 0][0])
+                raise MemoryFault(f"misaligned access to {buf.name!r} at 0x{bad:x}")
+            if np.any(elems >= buf.count):
+                bad = int(elems.max())
+                raise MemoryFault(
+                    f"out-of-bounds access to {buf.name!r}: element {bad} "
+                    f"of {buf.count}"
+                )
+            return ResolvedAccess(self, bi, elems)
         for u in np.unique(bi):
             buf = self._buffers[u]
             sel = bi == u
@@ -163,6 +200,10 @@ class Device:
     def gather(self, addrs: np.ndarray, elem_size: int) -> np.ndarray:
         """Load one element per lane from the given byte addresses."""
         res = self._resolve(addrs, elem_size)
+        bi = res.buffer_idx
+        if bi.size and (bi == bi[0]).all():
+            # Single-buffer fast path (fancy indexing already copies).
+            return self._buffers[bi[0]].data[res.elem_idx]
         out = None
         for u in np.unique(res.buffer_idx):
             buf = self._buffers[u]
@@ -182,6 +223,13 @@ class Device:
         of what real hardware leaves unspecified.
         """
         res = self._resolve(addrs, elem_size)
+        bi = res.buffer_idx
+        if bi.size and (bi == bi[0]).all():
+            buf = self._buffers[bi[0]]
+            if buf.readonly:
+                raise MemoryFault(f"store to read-only buffer {buf.name!r}")
+            buf.data[res.elem_idx] = values.astype(buf.data.dtype, copy=False)
+            return
         for u in np.unique(res.buffer_idx):
             buf = self._buffers[u]
             if buf.readonly:
@@ -196,6 +244,58 @@ class Device:
             if self._buffers[u].readonly:
                 raise MemoryFault(f"atomic on read-only buffer {self._buffers[u].name!r}")
         return res
+
+    def atomic_update(
+        self,
+        addrs: np.ndarray,
+        values: np.ndarray,
+        op: AtomicOp,
+        elem_size: int,
+        compare: Optional[np.ndarray] = None,
+        need_old: bool = True,
+    ) -> Optional[np.ndarray]:
+        """Atomic read-modify-write, one element per lane (active lanes only).
+
+        Lanes apply in ascending order, the documented serialisation of
+        :class:`~repro.simt.ir.Atomic`.  ADD/MIN/MAX over a single buffer
+        vectorise: unique addresses via one gather/scatter, duplicates via
+        ``np.ufunc.at`` (index-ordered, so floating-point accumulation is
+        bit-identical to the scalar loop).  EXCH/CAS, cross-buffer access,
+        mixed-dtype updates, and duplicate addresses that need old values
+        keep the scalar loop.  MIN/MAX only vectorise for integer data:
+        ``np.minimum`` propagates NaN while the serial ``min`` keeps the
+        accumulator, and the scalar order is the contract.
+
+        Returns per-lane old values, or ``None`` when ``need_old`` is
+        false and they were not materialised.
+        """
+        res = self.atomic_lane_view(addrs, elem_size)
+        bi = res.buffer_idx
+        ufunc = _ATOMIC_UFUNCS.get(op)
+        if ufunc is not None and bi.size and (bi == bi[0]).all():
+            buf = self._buffers[bi[0]]
+            if values.dtype == buf.data.dtype and (
+                op is AtomicOp.ADD or values.dtype.kind != "f"
+            ):
+                elems = res.elem_idx
+                if np.unique(elems).size == elems.size:
+                    olds = buf.data[elems]
+                    buf.data[elems] = ufunc(olds, values)
+                    return olds if need_old else None
+                if not need_old:
+                    ufunc.at(buf.data, elems, values)
+                    return None
+        olds = np.zeros(addrs.shape, dtype=values.dtype) if need_old else None
+        for pos in range(addrs.size):
+            old = res.read_lane(pos)
+            if op is AtomicOp.CAS:
+                new = values[pos] if old == compare[pos] else old
+            else:
+                new = _ATOMIC_SCALAR[op](old, values[pos])
+            res.write_lane(pos, new)
+            if olds is not None:
+                olds[pos] = old
+        return olds
 
 
 @dataclass

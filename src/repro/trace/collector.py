@@ -52,6 +52,13 @@ class CollectorConfig:
     track_reuse: bool = True
     ilp_windows: Tuple[int, ...] = IlpTrackerBank.DEFAULT_WINDOWS
 
+    def __post_init__(self) -> None:
+        # Shift amounts hoisted out of the per-event paths (granularities are
+        # powers of two; recomputing bit_length per access was measurable).
+        self.line_bits = self.line_bytes.bit_length() - 1
+        self.seg_small_bits = self.seg_small.bit_length() - 1
+        self.seg_large_bits = self.seg_large.bit_length() - 1
+
 
 class KernelTraceCollector(TraceSink):
     """Accumulates one :class:`KernelProfile` per observed kernel launch."""
@@ -69,6 +76,30 @@ class KernelTraceCollector(TraceSink):
         self._prev_addr: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         self._cv_sum = 0.0
         self._cv_blocks = 0
+        # Per-launch cache of _reg_deps(stmt) keyed by static statement id
+        # (one kernel at a time, so sids are unambiguous within a launch).
+        self._deps_cache: Dict[int, Tuple[Optional[str], List[str]]] = {}
+        # ILP is windowed over the per-block dependence stream, which is a
+        # pure function of the executed sid sequence.  Blocks of one launch
+        # usually replay the same sequence, so buffer sids per block and
+        # cache each distinct stream's tracker contribution.
+        self._ilp_stream: List[int] = []
+        self._ilp_contribs: Dict[Tuple[int, ...], tuple] = {}
+        # Shared-memory conflict stats are a pure function of the (mask,
+        # active addresses) pair, which is block-relative and so repeats
+        # across blocks; cache contributions keyed by those bytes.
+        self._shmem_cache: Dict[bytes, Tuple[int, float, int]] = {}
+        # Instruction-mix sums are additive per static statement: accumulate
+        # [lanes, warps, category, feeds_ilp] per sid and fold at kernel end
+        # instead of updating two category dicts on every event.
+        self._sid_acc: Dict[int, list] = {}
+        # Branch statistics are a pure function of (kind, active, taken)
+        # warp vectors, which repeat heavily across blocks and iterations.
+        self._branch_cache: Dict[tuple, Tuple[int, int, float, float]] = {}
+        # Identity memo for the warp-mask popcount (the compiled engine
+        # passes one mask object for a whole straight-line run).
+        self._wm_obj: Optional[np.ndarray] = None
+        self._wm_nwarps = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -93,14 +124,35 @@ class KernelTraceCollector(TraceSink):
         self._lines_seen = set()
         self._cv_sum = 0.0
         self._cv_blocks = 0
+        self._deps_cache = {}
+        self._ilp_contribs = {}
+        self._shmem_cache = {}
+        self._sid_acc = {}
+        self._branch_cache = {}
+        self._wm_obj = None
 
     def on_block_begin(self, block_idx: int, nthreads: int, nwarps: int) -> None:
         self._warp_counts = np.zeros(nwarps, dtype=np.int64)
         self._prev_addr = {}
+        self._ilp_stream = []
 
     def on_block_end(self) -> None:
         assert self._ilp is not None and self._warp_counts is not None
-        self._ilp.flush()
+        stream = self._ilp_stream
+        if stream:
+            key = tuple(stream)
+            contrib = self._ilp_contribs.get(key)
+            if contrib is None:
+                bank = IlpTrackerBank(self.config.ilp_windows)
+                deps = self._deps_cache
+                for sid in stream:
+                    dest, srcs = deps[sid]
+                    bank.note(dest, srcs)
+                bank.flush()
+                contrib = bank.contribution()
+                self._ilp_contribs[key] = contrib
+            self._ilp.add_contribution(contrib)
+            self._ilp_stream = []
         counts = self._warp_counts
         if counts.size > 1 and counts.sum() > 0:
             mean = counts.mean()
@@ -115,6 +167,12 @@ class KernelTraceCollector(TraceSink):
     def on_kernel_end(self, profiled_blocks: int, total_blocks: int) -> None:
         assert self._p is not None and self._ilp is not None
         p = self._p
+        for lanes_sum, warps_sum, cat, _feeds in self._sid_acc.values():
+            p.thread_instrs[cat] = p.thread_instrs.get(cat, 0) + lanes_sum
+            p.warp_instrs[cat] = p.warp_instrs.get(cat, 0) + warps_sum
+            p.simd_lane_sum += lanes_sum
+            p.simd_slot_sum += warps_sum * WARP_SIZE
+        self._sid_acc = {}
         p.profiled_blocks = profiled_blocks
         p.ilp = self._ilp.results()
         p.warp_imbalance_cv = self._cv_sum / self._cv_blocks if self._cv_blocks else 0.0
@@ -143,21 +201,32 @@ class KernelTraceCollector(TraceSink):
     def on_instr(
         self, stmt: Stmt, category: OpCategory, lanes: int, warp_mask: np.ndarray
     ) -> None:
-        p = self._p
-        assert p is not None
-        cat = category.value
-        nwarps = int(warp_mask.sum())
-        p.thread_instrs[cat] = p.thread_instrs.get(cat, 0) + lanes
-        p.warp_instrs[cat] = p.warp_instrs.get(cat, 0) + nwarps
-        p.simd_lane_sum += lanes
-        p.simd_slot_sum += nwarps * WARP_SIZE
+        if warp_mask is self._wm_obj:
+            nwarps = self._wm_nwarps
+        else:
+            nwarps = int(np.count_nonzero(warp_mask))
+            self._wm_obj = warp_mask
+            self._wm_nwarps = nwarps
         if self._warp_counts is not None:
             self._warp_counts += warp_mask
-        # Register-dependence stream for ILP (barriers/branches carry no regs).
-        assert self._ilp is not None
-        dest, srcs = _reg_deps(stmt)
-        if dest is not None or srcs:
-            self._ilp.note(dest, srcs)
+        # Mix counters accumulate per sid (folded at kernel end); the ILP
+        # register-dependence stream is buffered as sids and folded in at
+        # block end, so a repeated per-block stream costs one cache lookup,
+        # not a replay (barriers/branches carry no regs and are skipped).
+        sid = stmt.sid
+        rec = self._sid_acc.get(sid)
+        if rec is None:
+            deps = _reg_deps(stmt)
+            self._deps_cache[sid] = deps
+            feeds_ilp = deps[0] is not None or bool(deps[1])
+            self._sid_acc[sid] = [lanes, nwarps, category.value, feeds_ilp]
+            if feeds_ilp:
+                self._ilp_stream.append(sid)
+        else:
+            rec[0] += lanes
+            rec[1] += nwarps
+            if rec[3]:
+                self._ilp_stream.append(sid)
 
     # ------------------------------------------------------------------
     # Branches
@@ -168,22 +237,41 @@ class KernelTraceCollector(TraceSink):
     ) -> None:
         p = self._p
         assert p is not None
-        b = p.branch
-        active = warp_active[warp_active > 0]
-        taken = warp_taken[warp_active > 0]
-        n = active.size
+        # The statistics are a pure function of the two warp vectors, which
+        # repeat heavily across blocks and loop iterations: memoize the
+        # per-event contribution (same floats added in the same order, so
+        # the accumulated sums are bit-identical to the direct computation).
+        key = (warp_active.tobytes(), warp_taken.tobytes())
+        c = self._branch_cache.get(key)
+        if c is None:
+            has = warp_active > 0
+            active = warp_active[has]
+            taken = warp_taken[has]
+            n = active.size
+            if n == 0:
+                c = (0, 0, 0.0, 0.0)
+            else:
+                divergent = (taken > 0) & (taken < active)
+                frac = taken / active
+                c = (
+                    n,
+                    int(divergent.sum()),
+                    float(frac.sum()),
+                    float((frac * frac).sum()),
+                )
+            self._branch_cache[key] = c
+        n, div, frac_sum, frac_sqsum = c
         if n == 0:
             return
+        b = p.branch
         b.events += n
         if kind == "loop":
             b.loop_events += n
         else:
             b.if_events += n
-        divergent = (taken > 0) & (taken < active)
-        b.divergent += int(divergent.sum())
-        frac = taken / active
-        b.taken_frac_sum += float(frac.sum())
-        b.taken_frac_sqsum += float((frac * frac).sum())
+        b.divergent += div
+        b.taken_frac_sum += frac_sum
+        b.taken_frac_sqsum += frac_sqsum
 
     # ------------------------------------------------------------------
     # Memory accesses
@@ -198,6 +286,8 @@ class KernelTraceCollector(TraceSink):
         addrs: np.ndarray,
         act: np.ndarray,
     ) -> None:
+        if not act.any():
+            return
         if space is MemSpace.SHARED:
             self._on_shared(addrs, act)
         elif space is MemSpace.GLOBAL:
@@ -217,14 +307,11 @@ class KernelTraceCollector(TraceSink):
         """
         p = self._p
         assert p is not None
-        if not act.any():
-            return
         nwarps = act.size // WARP_SIZE
         warp_has = act.reshape(nwarps, WARP_SIZE).any(axis=1)
         p.texture.accesses += int(warp_has.sum())
         p.texture.lane_accesses += int(act.sum())
-        line_bits = self.config.line_bytes.bit_length() - 1
-        lines = np.unique(addrs[act] >> line_bits)
+        lines = np.unique(addrs[act] >> self.config.line_bits)
         if self._tex_reuse is not None:
             self._tex_reuse.access_many(lines)
 
@@ -252,10 +339,8 @@ class KernelTraceCollector(TraceSink):
         first = M.argmax(axis=1)
         fill = A[np.arange(n), first][:, None]
         addr_f = np.where(M, A, fill)
-        small_bits = self.config.seg_small.bit_length() - 1
-        large_bits = self.config.seg_large.bit_length() - 1
-        t32 = _distinct_per_row(addr_f >> small_bits)
-        t128 = _distinct_per_row(addr_f >> large_bits)
+        t32 = _distinct_per_row(addr_f >> self.config.seg_small_bits)
+        t128 = _distinct_per_row(addr_f >> self.config.seg_large_bits)
         g.transactions_32b += int(t32.sum())
         g.transactions_128b += int(t128.sum())
         active_cnt = M.sum(axis=1)
@@ -279,25 +364,23 @@ class KernelTraceCollector(TraceSink):
         if state is None:
             prev = np.zeros(addrs.size, dtype=np.int64)
             seen = np.zeros(addrs.size, dtype=bool)
+            self._prev_addr[stmt.sid] = (prev, seen)
         else:
             prev, seen = state
-        both = flat_act & seen
-        if both.any():
-            diffs = np.abs(addrs[both] - prev[both])
-            ls = g.local_strides
-            ls["zero"] += int((diffs == 0).sum())
-            ls["unit"] += int((diffs == elem_size).sum())
-            ls["short"] += int(((diffs > elem_size) & (diffs <= 128)).sum())
-            ls["long"] += int((diffs > 128).sum())
-        prev = prev.copy()
-        seen = seen.copy()
+            both = flat_act & seen
+            if both.any():
+                diffs = np.abs(addrs[both] - prev[both])
+                ls = g.local_strides
+                ls["zero"] += int((diffs == 0).sum())
+                ls["unit"] += int((diffs == elem_size).sum())
+                ls["short"] += int(((diffs > elem_size) & (diffs <= 128)).sum())
+                ls["long"] += int((diffs > 128).sum())
+        # The arrays are collector-owned: mutate in place, no defensive copy.
         prev[flat_act] = addrs[flat_act]
         seen |= flat_act
-        self._prev_addr[stmt.sid] = (prev, seen)
 
         # Locality: feed distinct lines per warp access to the reuse stack.
-        line_bits = self.config.line_bytes.bit_length() - 1
-        lines = np.unique(addrs[flat_act] >> line_bits)
+        lines = np.unique(addrs[flat_act] >> self.config.line_bits)
         if self._reuse is not None:
             self._reuse.access_many(lines)
 
@@ -305,29 +388,37 @@ class KernelTraceCollector(TraceSink):
         p = self._p
         assert p is not None
         s = p.shmem
-        nwarps = act.size // WARP_SIZE
-        warp_idx = np.repeat(np.arange(nwarps, dtype=np.int64), WARP_SIZE)
-        lanes = act
-        if not lanes.any():
-            return
-        word = addrs[lanes] >> 2
-        bank = word % NUM_BANKS
-        wid = warp_idx[lanes]
-        # Distinct (warp, bank, word) triples: same-word lanes broadcast for
-        # free; distinct words on the same bank serialise.
-        key = (wid << 44) | (bank << 38) | (word & ((1 << 38) - 1))
-        uniq = np.unique(key)
-        wb = uniq >> 38  # (warp, bank) pairs
-        pairs, counts = np.unique(wb, return_counts=True)
-        warp_of = pairs >> 6
-        degree = np.zeros(nwarps, dtype=np.int64)
-        np.maximum.at(degree, warp_of, counts)
-        present = np.zeros(nwarps, dtype=bool)
-        present[np.unique(wid)] = True
-        n = int(present.sum())
-        s.accesses += n
-        s.conflict_degree_sum += float(degree[present].sum())
-        s.conflicted += int((degree[present] > 1).sum())
+        active = addrs[act]
+        # Shared addresses are block-relative, so the (mask, addresses)
+        # pair — and therefore this event's additive contribution — repeats
+        # across profiled blocks; cache it.
+        ckey = act.tobytes() + active.tobytes()
+        cached = self._shmem_cache.get(ckey)
+        if cached is None:
+            nwarps = act.size // WARP_SIZE
+            word = active >> 2
+            bank = word % NUM_BANKS
+            wid = np.flatnonzero(act) // WARP_SIZE
+            # Distinct (warp, bank, word) triples: same-word lanes broadcast
+            # for free; distinct words on the same bank serialise.
+            key = (wid << 44) | (bank << 38) | (word & ((1 << 38) - 1))
+            uniq = np.unique(key)
+            wb = uniq >> 38  # (warp, bank) pairs
+            pairs, counts = np.unique(wb, return_counts=True)
+            warp_of = pairs >> 6
+            degree = np.zeros(nwarps, dtype=np.int64)
+            np.maximum.at(degree, warp_of, counts)
+            present = np.zeros(nwarps, dtype=bool)
+            present[warp_of] = True
+            cached = (
+                int(present.sum()),
+                float(degree[present].sum()),
+                int((degree[present] > 1).sum()),
+            )
+            self._shmem_cache[ckey] = cached
+        s.accesses += cached[0]
+        s.conflict_degree_sum += cached[1]
+        s.conflicted += cached[2]
 
 
 def _register_pressure_of(kernel: Kernel) -> int:

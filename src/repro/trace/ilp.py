@@ -33,13 +33,14 @@ class IlpTracker:
 
     def note(self, dest: Optional[str], srcs: Sequence[str]) -> None:
         """Record one instruction with its register reads and write."""
+        depths = self._depth
         depth = 1
         for src in srcs:
-            d = self._depth.get(src)
+            d = depths.get(src)
             if d is not None and d >= depth:
                 depth = d + 1
         if dest is not None:
-            self._depth[dest] = depth
+            depths[dest] = depth
         if depth > self._max_depth:
             self._max_depth = depth
         self._in_window += 1
@@ -74,14 +75,31 @@ class IlpTrackerBank:
 
     def __init__(self, windows: Iterable[int] = DEFAULT_WINDOWS) -> None:
         self.trackers = {w: IlpTracker(w) for w in windows}
+        self._bank = tuple(self.trackers.values())
 
     def note(self, dest: Optional[str], srcs: Sequence[str]) -> None:
-        for tracker in self.trackers.values():
+        for tracker in self._bank:
             tracker.note(dest, srcs)
 
     def flush(self) -> None:
-        for tracker in self.trackers.values():
+        for tracker in self._bank:
             tracker.flush()
 
     def results(self) -> Dict[int, float]:
         return {w: t.ilp for w, t in self.trackers.items()}
+
+    def contribution(self) -> Tuple[Tuple[float, int, int], ...]:
+        """Snapshot of per-tracker accumulators (ilp_sum, windows, instrs).
+
+        A bank fed one block's stream and flushed yields that block's
+        additive contribution; :meth:`add_contribution` folds it into
+        another bank.  This is what lets the collector cache the ILP of a
+        repeated per-block dependence stream instead of replaying it.
+        """
+        return tuple((t._ilp_sum, t._windows, t.instructions) for t in self._bank)
+
+    def add_contribution(self, contrib: Tuple[Tuple[float, int, int], ...]) -> None:
+        for t, (ilp_sum, windows, instructions) in zip(self._bank, contrib):
+            t._ilp_sum += ilp_sum
+            t._windows += windows
+            t.instructions += instructions

@@ -9,11 +9,18 @@ access, i.e. the count of marked slots after that time.
 Distances are recorded in power-of-two histogram buckets, which is all the
 locality characteristics need (they read the CDF at a handful of
 thresholds).
+
+The Fenwick walks are inlined into :meth:`ReuseDistanceTracker.access` —
+this is the hottest scalar loop in the collector, and the method-call and
+attribute-lookup overhead of a separate tree class measurably dominated the
+arithmetic.  The number of marked slots always equals the number of tracked
+lines, so the suffix sum needs a single prefix walk, and capacity growth
+rebuilds the tree from the live line set instead of replaying dead slots.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable
 
 import numpy as np
 
@@ -21,90 +28,81 @@ import numpy as np
 _NUM_BUCKETS = 64
 
 
-class _Fenwick:
-    """A Fenwick (binary indexed) tree with amortised capacity doubling."""
-
-    def __init__(self, capacity: int = 1024) -> None:
-        self._tree = [0] * (capacity + 1)
-        self._n = capacity
-        self._raw: List[int] = []
-
-    def append(self, value: int) -> None:
-        """Append a new slot at the end with the given value (0 or 1)."""
-        self._raw.append(value)
-        if len(self._raw) > self._n:
-            self._grow()
-        elif value:
-            self._add(len(self._raw), value)
-
-    def set(self, index: int, value: int) -> None:
-        """Set slot ``index`` (0-based) to ``value``."""
-        delta = value - self._raw[index]
-        if delta:
-            self._raw[index] = value
-            self._add(index + 1, delta)
-
-    def suffix_sum(self, index: int) -> int:
-        """Sum of slots strictly after 0-based ``index``."""
-        return self._total - self._prefix(index + 1)
-
-    @property
-    def _total(self) -> int:
-        return self._prefix(len(self._raw))
-
-    def _prefix(self, i: int) -> int:
-        s = 0
-        while i > 0:
-            s += self._tree[i]
-            i -= i & (-i)
-        return s
-
-    def _add(self, i: int, delta: int) -> None:
-        while i <= self._n:
-            self._tree[i] += delta
-            i += i & (-i)
-
-    def _grow(self) -> None:
-        self._n *= 2
-        self._tree = [0] * (self._n + 1)
-        for pos, value in enumerate(self._raw):
-            if value:
-                self._add(pos + 1, value)
-
-
 class ReuseDistanceTracker:
     """Streams cache-line accesses and histograms their LRU stack distances."""
 
     def __init__(self) -> None:
         self._last_time: Dict[int, int] = {}
-        self._fenwick = _Fenwick()
         self._time = 0
-        #: ``histogram[b]`` counts accesses with distance in [2**(b-1), 2**b).
-        #: Bucket 0 counts distance-0 accesses (immediate re-reference).
-        self.histogram = np.zeros(_NUM_BUCKETS, dtype=np.int64)
+        self._cap = 1024
+        self._tree = [0] * (self._cap + 1)
+        self._hist = [0] * _NUM_BUCKETS
         self.cold_misses = 0
         self.accesses = 0
+
+    @property
+    def histogram(self) -> np.ndarray:
+        """``histogram[b]`` counts accesses with distance in [2**(b-1), 2**b).
+
+        Bucket 0 counts distance-0 accesses (immediate re-reference).
+        """
+        return np.array(self._hist, dtype=np.int64)
 
     def access(self, line: int) -> int:
         """Record an access; returns the reuse distance (-1 if cold)."""
         self.accesses += 1
-        prev = self._last_time.get(line)
+        tree = self._tree
+        cap = self._cap
+        last = self._last_time
+        prev = last.get(line)
         if prev is None:
             distance = -1
             self.cold_misses += 1
-            self._fenwick.append(1)
         else:
-            distance = self._fenwick.suffix_sum(prev)
-            self._fenwick.set(prev, 0)
-            self._fenwick.append(1)
-            self.histogram[distance.bit_length()] += 1
-        self._last_time[line] = self._time
-        self._time += 1
+            # Marked slots after prev = total marked - prefix(prev + 1);
+            # total marked is exactly the number of tracked lines.
+            i = prev + 1
+            s = 0
+            while i > 0:
+                s += tree[i]
+                i -= i & (-i)
+            distance = len(last) - s
+            self._hist[distance.bit_length()] += 1
+            # Unmark the previous access time (it was marked, delta -1).
+            i = prev + 1
+            while i <= cap:
+                tree[i] -= 1
+                i += i & (-i)
+        t = self._time
+        if t >= cap:
+            self._grow()
+            tree = self._tree
+            cap = self._cap
+        i = t + 1
+        while i <= cap:
+            tree[i] += 1
+            i += i & (-i)
+        last[line] = t
+        self._time = t + 1
         return distance
 
     def access_many(self, lines: Iterable[int]) -> None:
+        access = self.access
         for line in lines:
-            self.access(int(line))
+            access(int(line))
+
+    def _grow(self) -> None:
+        """Double capacity, rebuilding from the live line set only."""
+        while self._time >= self._cap:
+            self._cap *= 2
+        cap = self._cap
+        tree = [0] * (cap + 1)
+        for t in self._last_time.values():
+            i = t + 1
+            while i <= cap:
+                tree[i] += 1
+                i += i & (-i)
+        self._tree = tree
 
     @property
     def unique_lines(self) -> int:
@@ -117,11 +115,11 @@ class ReuseDistanceTracker:
         a separate characteristic.  Returns 0 when there were no reuses.
         Threshold is rounded down to a bucket boundary (power of two).
         """
-        reuses = int(self.histogram.sum())
+        reuses = sum(self._hist)
         if reuses == 0:
             return 0.0
         bucket = max(int(threshold).bit_length() - 1, 0)
-        return float(self.histogram[: bucket + 1].sum()) / reuses
+        return float(sum(self._hist[: bucket + 1])) / reuses
 
     @property
     def cold_miss_rate(self) -> float:

@@ -23,12 +23,17 @@ def run_workload(
     sample_blocks: Optional[int] = DEFAULT_SAMPLE_BLOCKS,
     collector_config: Optional[CollectorConfig] = None,
     seed: int = 1234,
+    engine: str = "compiled",
+    batch_blocks: Optional[int] = None,
 ) -> WorkloadProfile:
     """Execute one workload under trace collection.
 
     ``verify=True`` (the default) also runs the workload's numpy reference
     check, so every characterization run doubles as a correctness test of
-    the simulator and the kernel implementations.
+    the simulator and the kernel implementations.  ``engine`` selects the
+    execution engine (``"compiled"`` batches unprofiled blocks under
+    sampling; ``"interpreted"`` is the reference per-block interpreter) and
+    produces bit-identical device memory and profiles either way.
     """
     if isinstance(workload, str):
         workload = registry.get(workload)
@@ -38,7 +43,13 @@ def run_workload(
     device = Device()
     collector = KernelTraceCollector(collector_config)
     pf = profile_all_blocks if sample_blocks is None else stride_sampler(sample_blocks)
-    executor = Executor(device, sinks=[collector], profile_filter=pf)
+    executor = Executor(
+        device,
+        sinks=[collector],
+        profile_filter=pf,
+        engine=engine,
+        batch_blocks=batch_blocks,
+    )
     ctx = RunContext(device, executor, seed=seed)
     workload.run(ctx)
     if verify:
@@ -57,6 +68,7 @@ def run_suite(
     collector_config: Optional[CollectorConfig] = None,
     progress: Optional[callable] = None,
     observer=None,
+    engine: str = "compiled",
 ) -> List[WorkloadProfile]:
     """Characterize a set of workloads (all registered ones by default).
 
@@ -95,6 +107,7 @@ def run_suite(
             verify=verify,
             sample_blocks=sample_blocks,
             collector_config=collector_config,
+            engine=engine,
         )
         if observer is not None:
             observer.on_event(

@@ -1,0 +1,195 @@
+"""Engine parity: the compiled/batched engine vs the reference interpreter.
+
+The compiled engine's contract is *bit-for-bit* equivalence: for every
+workload, both engines must leave identical bytes in every device buffer
+and emit identical serialized profiles.  Sampling is enabled so the
+compiled engine actually exercises block batching (silent blocks stack into
+wide multi-block launches) alongside observed single-block runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simt import Device, DType, ExecutionError, Executor, KernelBuilder
+from repro.simt.executor import profile_all_blocks, stride_sampler
+from repro.trace.collector import KernelTraceCollector
+from repro.trace.profile import WorkloadProfile
+from repro.trace.serialize import workload_to_dict
+from repro.workloads import registry
+from repro.workloads.base import RunContext
+
+#: Small sample cap: observed blocks stay cheap while leaving plenty of
+#: silent blocks for the compiled engine to batch.
+SAMPLE_BLOCKS = 8
+
+
+def _run_engine(cls, engine):
+    device = Device()
+    collector = KernelTraceCollector()
+    executor = Executor(
+        device,
+        sinks=[collector],
+        profile_filter=stride_sampler(SAMPLE_BLOCKS),
+        engine=engine,
+    )
+    ctx = RunContext(device, executor, seed=1234)
+    wl = cls()
+    wl.run(ctx)
+    buffers = {b.name: device.download(b) for b in device.buffers}
+    profile = WorkloadProfile(workload=wl.abbrev, suite=wl.suite, kernels=collector.profiles)
+    return buffers, workload_to_dict(profile)
+
+
+@pytest.mark.parametrize("abbrev", registry.abbrevs())
+def test_workload_parity(abbrev):
+    cls = registry.get(abbrev)
+    ibufs, iprof = _run_engine(cls, "interpreted")
+    cbufs, cprof = _run_engine(cls, "compiled")
+    assert sorted(ibufs) == sorted(cbufs)
+    for name, iarr in ibufs.items():
+        carr = cbufs[name]
+        assert iarr.dtype == carr.dtype, f"buffer {name!r} dtype differs"
+        # tobytes() is an exact bitwise comparison (NaNs included).
+        assert iarr.tobytes() == carr.tobytes(), f"buffer {name!r} differs"
+    assert iprof == cprof
+
+
+# ---------------------------------------------------------------------------
+# Batching semantics on hand-built kernels
+
+
+def _run_both(build, grid, block, nbufs, counts, dtypes=None):
+    """Run a built kernel under both engines (no sinks: everything batches).
+
+    ``build`` receives a KernelBuilder plus the buffer params it declares;
+    returns per-engine downloaded buffers.
+    """
+    outs = {}
+    for engine in ("interpreted", "compiled"):
+        b = KernelBuilder("k")
+        bufs = [
+            b.param_buf(f"o{i}", (dtypes or [DType.I32] * nbufs)[i]) for i in range(nbufs)
+        ]
+        build(b, *bufs)
+        dev = Device()
+        dbufs = {
+            f"o{i}": dev.alloc(f"o{i}", counts[i], (dtypes or [DType.I32] * nbufs)[i])
+            for i in range(nbufs)
+        }
+        Executor(dev, engine=engine).launch(b.finalize(), grid, block, dbufs)
+        outs[engine] = {n: dev.download(d) for n, d in dbufs.items()}
+    return outs
+
+
+def test_batched_barrier_with_per_block_trip_counts():
+    # The lavaMD shape: a barrier inside a loop whose trip count depends on
+    # ctaid, so batched blocks reach the barrier on different iterations.
+    # Per-block barrier semantics must allow that (each block only waits on
+    # its own lanes) while producing identical results to the interpreter.
+    def build(b, o):
+        s = b.shared("s", 32, DType.I32)
+        tid = b.tid_x
+        acc = b.let_i32(0)
+        j = b.let_i32(0)
+        trips = b.iadd(b.ctaid_x, 1)
+        loop = b.while_loop()
+        with loop.cond():
+            loop.set_cond(b.ilt(j, trips))
+        with loop.body():
+            b.sst(s, tid, b.iadd(b.imul(tid, 10), j))
+            b.barrier()
+            b.assign(acc, b.iadd(acc, b.sld(s, b.imod(b.iadd(tid, 1), 32))))
+            b.barrier()
+            b.assign(j, b.iadd(j, 1))
+        b.st(o, b.global_thread_id(), acc)
+
+    outs = _run_both(build, 6, 32, 1, [6 * 32])
+    assert np.array_equal(outs["interpreted"]["o0"], outs["compiled"]["o0"])
+
+
+def test_batched_early_return_per_block():
+    # Data-dependent early return: each block retires a different lane
+    # subset, so the batch's live mask is ragged across blocks.
+    def build(b, o):
+        i = b.global_thread_id()
+        b.st(o, i, -1)
+        b.ret_if(b.ige(b.tid_x, b.imul(b.iadd(b.ctaid_x, 1), 8)))
+        b.st(o, i, b.tid_x)
+
+    outs = _run_both(build, 4, 64, 1, [4 * 64])
+    assert np.array_equal(outs["interpreted"]["o0"], outs["compiled"]["o0"])
+    expected = np.concatenate(
+        [np.where(np.arange(64) < (c + 1) * 8, np.arange(64), -1) for c in range(4)]
+    )
+    assert np.array_equal(outs["compiled"]["o0"], expected)
+
+
+def test_divergent_barrier_still_detected_under_batching():
+    def build(b, o):
+        with b.if_(b.ilt(b.tid_x, 16)):
+            b.barrier()
+        b.st(o, b.global_thread_id(), 1)
+
+    for engine in ("interpreted", "compiled"):
+        b = KernelBuilder("k")
+        o = b.param_buf("o", DType.I32)
+        build(b, o)
+        dev = Device()
+        obuf = dev.alloc("o", 128, DType.I32)
+        with pytest.raises(ExecutionError, match="divergent barrier"):
+            Executor(dev, engine=engine).launch(b.finalize(), 4, 32, {"o": obuf})
+
+
+def test_profiled_blocks_are_never_batched():
+    b = KernelBuilder("k")
+    o = b.param_buf("o", DType.I32)
+    b.st(o, b.global_thread_id(), b.ctaid_x)
+    k = b.finalize()
+
+    dev = Device()
+    obuf = dev.alloc("o", 8 * 32, DType.I32)
+    ex = Executor(
+        dev,
+        sinks=[KernelTraceCollector()],
+        profile_filter=stride_sampler(2),
+        engine="compiled",
+    )
+    ex.launch(k, 8, 32, {"o": obuf})
+    stats = ex.last_launch_stats
+    assert stats["engine"] == "compiled"
+    assert stats["profiled_blocks"] == 2
+    assert stats["batched_blocks"] == 6
+    assert stats["profiled_blocks"] + stats["batched_blocks"] == stats["blocks"]
+    assert stats["largest_batch"] > 1
+
+    # With every block profiled, nothing is ever batched.
+    dev = Device()
+    obuf = dev.alloc("o", 8 * 32, DType.I32)
+    ex = Executor(
+        dev,
+        sinks=[KernelTraceCollector()],
+        profile_filter=profile_all_blocks,
+        engine="compiled",
+    )
+    ex.launch(k, 8, 32, {"o": obuf})
+    stats = ex.last_launch_stats
+    assert stats["profiled_blocks"] == 8
+    assert stats["batched_blocks"] == 0
+
+
+def test_atomic_kernels_pin_batches_to_one_block():
+    # Cross-block atomics would race inside a batch, so kernels containing
+    # atomics must execute one block at a time even when unprofiled.
+    b = KernelBuilder("k")
+    c = b.param_buf("c", DType.I32)
+    b.atomic_add(c, 0, 1)
+    k = b.finalize()
+
+    dev = Device()
+    cbuf = dev.alloc("c", 1, DType.I32)
+    ex = Executor(dev, engine="compiled")
+    ex.launch(k, 8, 32, {"c": cbuf})
+    stats = ex.last_launch_stats
+    assert stats["batch_limit"] == 1
+    assert stats["largest_batch"] <= 1
+    assert dev.download(cbuf)[0] == 8 * 32

@@ -136,3 +136,55 @@ def test_access_on_empty_device_faults():
     dev = Device()
     with pytest.raises(MemoryFault):
         dev.gather(np.array([0x1000]), 4)
+
+
+def test_atomic_add_duplicate_addresses_apply_in_lane_order():
+    # Three lanes hit the same f32 word; ascending-lane serialisation is the
+    # documented contract, and float rounding makes the order observable:
+    # 0 + 1e16 -> 1e16, + 1.0 -> 1e16 (absorbed), - 1e16 -> 0.0.
+    from repro.simt.ir import AtomicOp
+
+    dev = Device()
+    buf = dev.from_array("x", np.zeros(2, dtype=np.float32), DType.F32)
+    addrs = np.array([buf.base, buf.base, buf.base], dtype=np.int64)
+    vals = np.array([1e16, 1.0, -1e16], dtype=np.float32)
+    olds = dev.atomic_update(addrs, vals, AtomicOp.ADD, 4)
+    assert np.array_equal(olds, np.array([0.0, 1e16, 1e16], dtype=np.float32))
+    assert dev.download(buf)[0] == 0.0
+
+
+def test_atomic_add_duplicates_without_old_values():
+    from repro.simt.ir import AtomicOp
+
+    dev = Device()
+    buf = dev.alloc("x", 4, DType.I32)
+    addrs = np.array([buf.base, buf.base + 4, buf.base, buf.base], dtype=np.int64)
+    vals = np.array([1, 10, 2, 4], dtype=np.int64)
+    assert dev.atomic_update(addrs, vals, AtomicOp.ADD, 4, need_old=False) is None
+    assert np.array_equal(dev.download(buf), [7, 10, 0, 0])
+
+
+def test_atomic_exch_duplicate_addresses_chain_in_lane_order():
+    from repro.simt.ir import AtomicOp
+
+    dev = Device()
+    buf = dev.from_array("x", np.array([5], dtype=np.int64), DType.I32)
+    addrs = np.array([buf.base, buf.base, buf.base], dtype=np.int64)
+    vals = np.array([7, 8, 9], dtype=np.int64)
+    olds = dev.atomic_update(addrs, vals, AtomicOp.EXCH, 4)
+    # Each lane observes the previous lane's exchange.
+    assert np.array_equal(olds, [5, 7, 8])
+    assert dev.download(buf)[0] == 9
+
+
+def test_atomic_min_max_duplicates_match_serial_order():
+    from repro.simt.ir import AtomicOp
+
+    dev = Device()
+    buf = dev.from_array("x", np.array([50, -50], dtype=np.int64), DType.I32)
+    addrs = np.array([buf.base, buf.base, buf.base + 4, buf.base + 4], dtype=np.int64)
+    olds = dev.atomic_update(
+        addrs, np.array([30, 40, -10, -80], dtype=np.int64), AtomicOp.MIN, 4
+    )
+    assert np.array_equal(olds, [50, 30, -50, -50])
+    assert np.array_equal(dev.download(buf), [30, -80])

@@ -112,8 +112,11 @@ def test_divergent_branch_reconverges(split):
 
 
 @settings(max_examples=30, deadline=None)
-@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=40))
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=32))
 def test_scatter_gather_roundtrip(indices):
+    # max_size is the thread count: the kernel has 32 threads, so indices
+    # beyond the 32nd are never read and the numpy model below (which
+    # scatters all of them) would diverge from any correct execution.
     """Stores then loads through data-dependent indices behave like numpy."""
     b = KernelBuilder("scat")
     idx = b.param_buf("idx", DType.I32)
