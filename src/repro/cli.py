@@ -9,6 +9,7 @@ Surfaces the paper's workflows without writing Python::
     python -m repro stress                     # functional-block rankings
     python -m repro evaluate --subset-k 8      # design-space evaluation
     python -m repro profile-cache              # inspect the profile cache
+    python -m repro fuzz --n 500 --seed 0      # differential-fuzz the engines
 
 All commands share the sharded on-disk profile cache, so only the first
 invocation simulates the suite — and ``--jobs N`` (or ``REPRO_JOBS``) fans
@@ -354,6 +355,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import default_corpus_dir, replay_corpus, run_campaign
+
+    progress = (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None
+    if args.replay:
+        directory = args.corpus_dir or default_corpus_dir()
+        stats = replay_corpus(directory, progress)
+        if stats.cases == 0:
+            print(f"no corpus entries under {directory}", file=sys.stderr)
+            return 1
+    else:
+        stats = run_campaign(
+            seed=args.seed,
+            n=args.n,
+            time_budget_s=args.time_budget,
+            shrink=args.shrink,
+            corpus_dir=args.corpus_dir,
+            progress=progress,
+        )
+        for path in stats.saved:
+            print(f"saved failing case: {path}", file=sys.stderr)
+    print(stats.summary())
+    return 0 if stats.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -425,6 +451,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("fuzz", help="differential-fuzz the SIMT engines")
+    p.add_argument("--seed", type=int, default=0, help="campaign seed (default: 0)")
+    p.add_argument("-n", "--n", type=int, default=200, help="number of kernels (default: 200)")
+    p.add_argument(
+        "--time-budget", type=float, default=None, help="stop after this many seconds"
+    )
+    p.add_argument(
+        "--shrink", action="store_true", help="greedily minimize failing cases before saving"
+    )
+    p.add_argument(
+        "--corpus-dir",
+        default=None,
+        help="save failing cases here (and replay from here with --replay)",
+    )
+    p.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay the regression corpus instead of generating new cases",
+    )
+    p.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
+    p.set_defaults(fn=_cmd_fuzz)
 
     p = sub.add_parser("profile-cache", help="inspect the sharded profile cache")
     p.add_argument("--purge", action="store_true", help="delete stale/orphan shards")

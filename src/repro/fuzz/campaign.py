@@ -1,0 +1,123 @@
+"""Fuzzing campaign driver behind ``python -m repro fuzz``."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.fuzz.corpus import iter_corpus, save_case
+from repro.fuzz.generator import describe_case, generate_case
+from repro.fuzz.oracle import CaseReport, run_case
+from repro.fuzz.shrink import shrink_case
+
+
+def case_seed(campaign_seed: int, index: int) -> int:
+    """The per-case seed: reproducible from (campaign seed, case index)."""
+    return (campaign_seed << 20) + index
+
+
+@dataclass
+class FuzzStats:
+    """Outcome of one campaign (or corpus replay)."""
+
+    seed: Optional[int]
+    cases: int = 0
+    lane_disjoint: int = 0
+    communicating: int = 0
+    errored: int = 0  # launches where the engines *agreed* on a fault
+    failures: List[CaseReport] = field(default_factory=list)
+    saved: List[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def note(self, report: CaseReport) -> None:
+        self.cases += 1
+        if report.tag == "lane-disjoint":
+            self.lane_disjoint += 1
+        else:
+            self.communicating += 1
+        if report.baseline_status == "error":
+            self.errored += 1
+        if not report.ok:
+            self.failures.append(report)
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else f"{len(self.failures)} FAILING CASE(S)"
+        return (
+            f"{self.cases} cases in {self.elapsed_s:.1f}s: "
+            f"{self.lane_disjoint} lane-disjoint, {self.communicating} communicating, "
+            f"{self.errored} agreed-fault — {verdict}"
+        )
+
+
+def run_campaign(
+    seed: int,
+    n: int,
+    time_budget_s: Optional[float] = None,
+    shrink: bool = False,
+    corpus_dir: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzStats:
+    """Generate and check ``n`` cases (stopping early on ``time_budget_s``).
+
+    Failing cases are (optionally shrunk and) saved under ``corpus_dir``
+    with an IR dump, ready to be committed as regression entries.
+    """
+    stats = FuzzStats(seed=seed)
+    t0 = time.perf_counter()
+    for i in range(n):
+        if time_budget_s is not None and time.perf_counter() - t0 > time_budget_s:
+            if progress:
+                progress(f"time budget exhausted after {stats.cases} cases")
+            break
+        case = generate_case(case_seed(seed, i))
+        report = run_case(case)
+        stats.note(report)
+        if not report.ok:
+            if progress:
+                progress(f"FAIL {describe_case(case)}")
+                for failure in report.failures:
+                    progress(f"  {failure}")
+            final = report
+            if shrink:
+                shrunk = shrink_case(case, lambda c: not run_case(c).ok)
+                final = run_case(shrunk)
+                if progress:
+                    progress(f"  shrunk to {describe_case(shrunk)}")
+            if corpus_dir:
+                path = save_case(
+                    final.case,
+                    corpus_dir,
+                    tag=final.tag,
+                    note="; ".join(final.failures),
+                    prefix="shrunk" if shrink else "fail",
+                    with_ir=True,
+                )
+                stats.saved.append(path)
+                if progress:
+                    progress(f"  saved {path}")
+        elif progress and (i + 1) % 50 == 0:
+            progress(f"{i + 1}/{n} cases checked")
+    stats.elapsed_s = time.perf_counter() - t0
+    return stats
+
+
+def replay_corpus(directory: str, progress: Optional[Callable[[str], None]] = None) -> FuzzStats:
+    """Re-run the oracle over every committed corpus case."""
+    stats = FuzzStats(seed=None)
+    t0 = time.perf_counter()
+    for path, case, meta in iter_corpus(directory):
+        report = run_case(case)
+        stats.note(report)
+        if progress:
+            status = "ok" if report.ok else "FAIL"
+            progress(f"{status} {path} ({report.tag})")
+        if not report.ok and progress:
+            for failure in report.failures:
+                progress(f"  {failure}")
+    stats.elapsed_s = time.perf_counter() - t0
+    return stats

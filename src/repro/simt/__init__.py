@@ -7,6 +7,7 @@ over a :class:`Device`, and observed through :class:`TraceSink` objects.
 """
 
 from repro.simt.builder import BufParam, KernelBuilder, SharedArray
+from repro.simt.classify import KernelClassification, classify_kernel
 from repro.simt.disasm import StaticStats, disassemble, static_stats
 from repro.simt.errors import (
     BuildError,
@@ -14,6 +15,7 @@ from repro.simt.errors import (
     LaunchError,
     MemoryFault,
     SimtError,
+    UnsupportedKernelError,
 )
 from repro.simt.executor import Executor, profile_all_blocks, stride_sampler
 from repro.simt.reference import run_reference
@@ -33,6 +35,8 @@ __all__ = [
     "Executor",
     "Kernel",
     "KernelBuilder",
+    "KernelClassification",
+    "classify_kernel",
     "LaunchError",
     "MemoryFault",
     "MemSpace",
@@ -48,5 +52,6 @@ __all__ = [
     "static_stats",
     "stride_sampler",
     "TraceSink",
+    "UnsupportedKernelError",
     "WARP_SIZE",
 ]

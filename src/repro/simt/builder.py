@@ -533,24 +533,42 @@ class KernelBuilder:
         )
         return dest
 
-    def atomic_add(self, buf: BufParam, index: OperandLike, value: OperandLike) -> Reg:
-        """``old = buf[index]; buf[index] += value; return old``."""
-        return self._atomic(AtomicOp.ADD, buf, index, value)
+    def atomic_add(
+        self, buf: BufParam, index: OperandLike, value: OperandLike, want_old: bool = True
+    ) -> Optional[Reg]:
+        """``old = buf[index]; buf[index] += value; return old``.
 
-    def atomic_min(self, buf: BufParam, index: OperandLike, value: OperandLike) -> Reg:
-        return self._atomic(AtomicOp.MIN, buf, index, value)
+        Pass ``want_old=False`` to drop the destination register — the
+        fire-and-forget form real kernels use for counters, which also keeps
+        the kernel inside the lane-serial reference engine's domain.
+        """
+        return self._atomic(AtomicOp.ADD, buf, index, value, want_old=want_old)
 
-    def atomic_max(self, buf: BufParam, index: OperandLike, value: OperandLike) -> Reg:
-        return self._atomic(AtomicOp.MAX, buf, index, value)
+    def atomic_min(
+        self, buf: BufParam, index: OperandLike, value: OperandLike, want_old: bool = True
+    ) -> Optional[Reg]:
+        return self._atomic(AtomicOp.MIN, buf, index, value, want_old=want_old)
 
-    def atomic_exch(self, buf: BufParam, index: OperandLike, value: OperandLike) -> Reg:
-        return self._atomic(AtomicOp.EXCH, buf, index, value)
+    def atomic_max(
+        self, buf: BufParam, index: OperandLike, value: OperandLike, want_old: bool = True
+    ) -> Optional[Reg]:
+        return self._atomic(AtomicOp.MAX, buf, index, value, want_old=want_old)
+
+    def atomic_exch(
+        self, buf: BufParam, index: OperandLike, value: OperandLike, want_old: bool = True
+    ) -> Optional[Reg]:
+        return self._atomic(AtomicOp.EXCH, buf, index, value, want_old=want_old)
 
     def atomic_cas(
-        self, buf: BufParam, index: OperandLike, compare: OperandLike, value: OperandLike
-    ) -> Reg:
+        self,
+        buf: BufParam,
+        index: OperandLike,
+        compare: OperandLike,
+        value: OperandLike,
+        want_old: bool = True,
+    ) -> Optional[Reg]:
         """Compare-and-swap; returns the old value."""
-        return self._atomic(AtomicOp.CAS, buf, index, value, compare=compare)
+        return self._atomic(AtomicOp.CAS, buf, index, value, compare=compare, want_old=want_old)
 
     # ------------------------------------------------------------------
     # Control flow

@@ -21,3 +21,16 @@ class MemoryFault(SimtError):
 
 class ExecutionError(SimtError):
     """Raised for runtime faults such as division by zero in an active lane."""
+
+
+class UnsupportedKernelError(SimtError):
+    """Raised when an engine is handed a kernel outside its semantic domain.
+
+    The lane-serial reference interpreter raises this for *communicating*
+    kernels — programs whose observable result depends on inter-lane
+    ordering (cross-lane shared-memory traffic, atomics whose old value is
+    consumed, barriers) — instead of silently returning out-of-domain
+    results.  The fuzzer's semantics classifier reuses the same analysis
+    (:func:`repro.simt.classify.classify_kernel`).
+    """
+

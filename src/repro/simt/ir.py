@@ -380,3 +380,13 @@ def _walk(stmts: List[Stmt]) -> Iterator[Stmt]:
         elif isinstance(stmt, While):
             yield from _walk(stmt.cond_body)
             yield from _walk(stmt.body)
+
+
+def walk_stmts(stmts: List[Stmt]) -> Iterator[Stmt]:
+    """Yield every statement of a statement list in pre-order.
+
+    Like :meth:`Kernel.walk` but usable on a bare body fragment — analysis
+    passes (the semantics classifier, the fuzz shrinker) walk sub-regions
+    before any kernel exists.
+    """
+    yield from _walk(stmts)

@@ -7,8 +7,11 @@ both engines and the observable state (global memory) must match.
 Semantics caveat, by design: lanes execute to completion one after another,
 so programs whose results depend on inter-lane communication order (shared
 memory cross-lane reads, overlapping stores, atomic old-value returns) are
-outside the equivalence domain.  The differential property tests generate
-programs with per-lane-disjoint effects; the workloads' own numpy
+outside the equivalence domain.  :func:`run_reference` enforces the domain:
+kernels that the static classifier (:mod:`repro.simt.classify`) tags as
+*communicating* raise :class:`~repro.simt.errors.UnsupportedKernelError`
+instead of silently returning out-of-domain results.  The fuzzer and the
+differential property tests rely on this gate; the workloads' own numpy
 references cover the communicating cases.
 """
 
@@ -18,7 +21,8 @@ from typing import Dict, Union
 
 import numpy as np
 
-from repro.simt.errors import ExecutionError
+from repro.simt.classify import classify_kernel
+from repro.simt.errors import ExecutionError, UnsupportedKernelError
 from repro.simt.executor import _ATOMIC_SCALAR, _OP_FUNCS, _as_dim, _trunc_div, _trunc_mod
 from repro.simt.ir import (
     Atomic,
@@ -77,9 +81,24 @@ def run_reference(
     args: Dict[str, Union[int, float, DeviceBuffer]],
     device: Device,
 ) -> None:
-    """Execute a kernel lane by lane (slow; for differential testing)."""
+    """Execute a kernel lane by lane (slow; for differential testing).
+
+    Raises :class:`UnsupportedKernelError` for communicating kernels, whose
+    lockstep results this engine cannot reproduce.
+    """
     grid = _as_dim(grid, "grid")
     block = _as_dim(block, "block")
+    classification = classify_kernel(kernel)
+    if classification.communicating:
+        raise UnsupportedKernelError(
+            f"kernel {kernel.name!r} is communicating; the lane-serial reference "
+            f"is outside its equivalence domain: {'; '.join(classification.reasons)}"
+        )
+    if classification.requires_1d_block and block[1] > 1:
+        raise UnsupportedKernelError(
+            f"kernel {kernel.name!r}: the lane-disjoint proof assumes a 1-D "
+            f"thread block, but block={block}"
+        )
     params: Dict[str, Union[int, float]] = {}
     for p in kernel.params:
         value = args[p.name]
@@ -125,9 +144,22 @@ def _exec_stmt(stmt: Stmt, state: _LaneState) -> None:
             b = np.int64(srcs[1])
             result = _trunc_div(a, b) if stmt.op is Op.IDIV else _trunc_mod(a, b)
         else:
+            # Scalar Python semantics diverge from the vectorized engines in
+            # two spots: float division by zero raises (numpy yields inf/nan
+            # under errstate) and ``~bool`` is integer invert (-2, truthy).
+            # Promote floats and bools so numpy semantics govern both; ints
+            # stay native for the explicit _wrap64 below.
+            srcs = [
+                np.bool_(s)
+                if isinstance(s, bool)
+                else np.float64(s)
+                if isinstance(s, float)
+                else s
+                for s in srcs
+            ]
             with np.errstate(all="ignore"):
                 result = _OP_FUNCS[stmt.op](*srcs)
-        if isinstance(result, np.ndarray):  # 0-d array from numpy funcs
+        if isinstance(result, (np.ndarray, np.generic)):
             result = result.item()
         if stmt.dtype is DType.I32 and isinstance(result, int):
             result = _wrap64(result)

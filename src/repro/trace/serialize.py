@@ -116,6 +116,22 @@ def workload_from_dict(data: Dict) -> WorkloadProfile:
     )
 
 
+def kernel_profile_bytes(profile: KernelProfile) -> bytes:
+    """Canonical byte serialization of one kernel profile.
+
+    Sorted keys, no whitespace: two profiles are semantically equal exactly
+    when their canonical bytes are equal, which is what the engine-parity
+    oracle and the determinism tests compare (and what the profile-cache
+    shard digests of PR 1 implicitly rely on).
+    """
+    return json.dumps(kernel_to_dict(profile), sort_keys=True, separators=(",", ":")).encode()
+
+
+def workload_profile_bytes(profile: WorkloadProfile) -> bytes:
+    """Canonical byte serialization of a workload profile (see above)."""
+    return json.dumps(workload_to_dict(profile), sort_keys=True, separators=(",", ":")).encode()
+
+
 def dump_workload_profile(
     profile: WorkloadProfile,
     fp: Union[str, IO[str]],

@@ -117,6 +117,49 @@ def test_profile_cache_inspection_and_purge(capsys, tmp_path, monkeypatch):
     assert main(["profile-cache"]) == 0
     out = capsys.readouterr().out
     assert "VA" in out and "fresh" in out
+    # --purge only touches stale/orphan shards: the fresh one survives.
+    assert main(["profile-cache", "--purge"]) == 0
+    assert "removed 0 stale/orphan shard" in capsys.readouterr().out
+    assert len(list(tmp_path.glob("*.profile.json"))) == 1
     assert main(["profile-cache", "--clear"]) == 0
     assert "removed 1 shard" in capsys.readouterr().out
     assert list(tmp_path.glob("*.profile.json")) == []
+
+
+def test_bench_quick_writes_schema_json(capsys, tmp_path, monkeypatch):
+    import json
+
+    from repro.core import bench
+
+    # Keep the CLI path intact but shrink the quick basket to seconds.
+    monkeypatch.setattr(bench, "QUICK_BASKET", (("VA", {"n": 1 << 10}),))
+    out_path = tmp_path / "BENCH_simt.json"
+    assert main(["bench", "--quick", "--sample-blocks", "4", "-o", str(out_path)]) == 0
+    assert "engine benchmark (quick)" in capsys.readouterr().out
+
+    doc = json.loads(out_path.read_text())
+    assert doc["benchmark"] == "simt-engine"
+    assert doc["quick"] is True
+    assert doc["sample_blocks"] == 4
+    for key in ("python", "machine", "workloads", "total_interpreted_s", "total_compiled_s", "speedup"):
+        assert key in doc
+    (entry,) = doc["workloads"]
+    assert entry["workload"] == "VA"
+    assert set(entry) == {"workload", "scale", "interpreted_s", "compiled_s", "speedup"}
+
+
+def test_fuzz_smoke_and_corpus_replay(capsys, tmp_path):
+    assert main(["fuzz", "--n", "5", "--seed", "1"]) == 0
+    assert "5 cases" in capsys.readouterr().out
+
+    # A saved case replays through the CLI's --replay path.
+    from repro.fuzz import generate_case, save_case
+
+    save_case(generate_case(1 << 20), str(tmp_path), tag="t")
+    assert main(["fuzz", "--replay", "--corpus-dir", str(tmp_path)]) == 0
+    assert "1 cases" in capsys.readouterr().out
+
+
+def test_fuzz_replay_empty_corpus_fails(capsys, tmp_path):
+    assert main(["fuzz", "--replay", "--corpus-dir", str(tmp_path / "nope")]) == 1
+    assert "no corpus entries" in capsys.readouterr().err

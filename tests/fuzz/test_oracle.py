@@ -1,0 +1,86 @@
+"""Oracle behaviour: clean agreement, invariants, and the planted mutation."""
+
+import pytest
+
+from repro.fuzz import case_stmt_count, generate_case, run_case, shrink_case
+from repro.fuzz.campaign import case_seed
+from repro.fuzz.oracle import _run_engine, batch_plan, check_profile_invariants
+from repro.simt import compiled
+from repro.simt.ir import Barrier
+
+
+def test_small_campaign_window_is_clean():
+    # A slice of the committed acceptance campaign (seed 0): every case
+    # passes the full tri-engine oracle.
+    for i in range(20):
+        report = run_case(generate_case(case_seed(0, i)))
+        assert report.ok, (i, report.failures)
+        assert report.engines_run[0] == "interpreted"
+        if report.tag == "lane-disjoint" and report.case["block"][1] == 1:
+            assert "reference" in report.engines_run
+
+
+def test_batch_plan_covers_the_edges():
+    assert batch_plan(6) == [None, 1, 3, 7]
+    # Dedup when the grid collapses values together.
+    assert batch_plan(2) == [None, 1, 3]
+
+
+def test_profile_invariants_reject_corrupted_accounting():
+    case = generate_case(case_seed(0, 0))
+    outcome = _run_engine(case, "interpreted")
+    assert outcome.status == "ok"
+    assert check_profile_invariants(outcome.profile) == []
+
+    kp = outcome.profile.kernels[0]
+    kp.simd_lane_sum += 1
+    failures = check_profile_invariants(outcome.profile)
+    assert any("simd_lane_sum" in f for f in failures)
+
+
+def _barrier_compiler_without_recheck(ck, stmt, observe):
+    # The planted bug: the batched engine stops re-checking that every
+    # non-retired lane reached __syncthreads (keeps profile accounting).
+    if observe:
+
+        def run(st, act):
+            compiled._note_instr(st, stmt, compiled.OpCategory.BARRIER, act)
+
+        return run
+
+    def run(st, act):
+        pass
+
+    return run
+
+
+def test_planted_barrier_mutation_is_caught_and_shrinks_small(monkeypatch):
+    monkeypatch.setitem(compiled._COMPILERS, Barrier, _barrier_compiler_without_recheck)
+
+    failing = None
+    for i in range(60):
+        case = generate_case(case_seed(0, i))
+        if not run_case(case).ok:
+            failing = case
+            break
+    assert failing is not None, "mutation survived 60 fuzz cases"
+
+    shrunk = shrink_case(failing, lambda c: not run_case(c).ok)
+    assert case_stmt_count(shrunk) <= 10
+
+    report = run_case(shrunk)
+    assert not report.ok
+    assert any("status" in f and "ExecutionError" in f for f in report.failures)
+
+    # Undo the mutation: the shrunk case must pass on the healthy engine.
+    monkeypatch.setitem(compiled._COMPILERS, Barrier, compiled._compile_barrier)
+    assert run_case(shrunk).ok
+
+
+def test_communicating_cases_skip_the_reference_leg():
+    for i in range(80):
+        report = run_case(generate_case(case_seed(5, i)))
+        if report.tag == "communicating":
+            assert "reference" not in report.engines_run
+            return
+    pytest.fail("no communicating case in 80 seeds")

@@ -1,0 +1,61 @@
+"""Shrinker unit tests with synthetic predicates (no engines involved)."""
+
+from repro.fuzz import case_stmt_count, shrink_case
+
+
+def _case(stmts):
+    return {"seed": 0, "grid": 2, "block": [32, 1], "stmts": stmts}
+
+
+def _has_kind(stmts, kind):
+    for s in stmts:
+        if s["k"] == kind:
+            return True
+        if s["k"] == "if" and (_has_kind(s["then"], kind) or _has_kind(s["else"], kind)):
+            return True
+        if s["k"] == "while" and _has_kind(s["body"], kind):
+            return True
+    return False
+
+
+def test_shrinks_to_single_culprit_statement():
+    case = _case(
+        [
+            {"k": "iop", "op": "iadd", "d": 0, "a": 1, "b": 2},
+            {"k": "if", "c": None, "then": [{"k": "barrier"}, {"k": "ret"}], "else": []},
+            {"k": "fop", "op": "fadd", "d": 0, "a": 1, "b": 2},
+        ]
+    )
+    shrunk = shrink_case(case, lambda c: _has_kind(c["stmts"], "barrier"))
+    assert case_stmt_count(shrunk) == 1
+    assert shrunk["stmts"][0]["k"] == "barrier"
+
+
+def test_hoists_while_bodies():
+    case = _case(
+        [
+            {"k": "while", "src": 0, "m": 3, "body": [{"k": "barrier"}, {"k": "ret"}]},
+        ]
+    )
+    shrunk = shrink_case(case, lambda c: _has_kind(c["stmts"], "barrier"))
+    assert shrunk["stmts"] == [{"k": "barrier"}]
+
+
+def test_returns_input_when_nothing_smaller_fails():
+    case = _case([{"k": "barrier"}])
+    shrunk = shrink_case(case, lambda c: _has_kind(c["stmts"], "barrier"))
+    assert shrunk == case
+    assert shrunk is not case  # always a copy; the input is never mutated
+
+
+def test_shrink_never_mutates_the_input():
+    stmts = [
+        {"k": "if", "c": None, "then": [{"k": "barrier"}], "else": [{"k": "ret"}]},
+        {"k": "ret"},
+    ]
+    case = _case(stmts)
+    import copy
+
+    snapshot = copy.deepcopy(case)
+    shrink_case(case, lambda c: _has_kind(c["stmts"], "barrier"))
+    assert case == snapshot

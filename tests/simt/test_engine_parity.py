@@ -55,6 +55,46 @@ def test_workload_parity(abbrev):
 
 
 # ---------------------------------------------------------------------------
+# batch_blocks edge sweep on a small workload basket
+
+#: Tiny scales: fast enough to sweep, large enough for multi-block grids.
+SWEEP_BASKET = (
+    ("VA", {"n": 1 << 12}),
+    ("BS", {"n": 1 << 10}),
+    ("NN", {"n": 1 << 10}),
+)
+
+#: Forced batch widths: no batching at all, an odd prime (so batches
+#: misalign with every power-of-two grid), and far beyond any grid size
+#: (the whole silent tail lands in one batch).
+SWEEP_BATCH_BLOCKS = (1, 7, 1 << 20)
+
+
+def _run_scaled(abbrev, scale, engine, batch_blocks=None):
+    from repro.workloads.runner import run_workload
+
+    profile = run_workload(
+        registry.get(abbrev)(**scale),
+        verify=False,
+        sample_blocks=SAMPLE_BLOCKS,
+        engine=engine,
+        batch_blocks=batch_blocks,
+    )
+    return workload_to_dict(profile)
+
+
+@pytest.mark.parametrize("abbrev,scale", SWEEP_BASKET, ids=[a for a, _ in SWEEP_BASKET])
+def test_batch_blocks_edge_sweep(abbrev, scale):
+    # Every forced batch width must reproduce the interpreter's profile
+    # bit-for-bit (memory parity over the full registry is covered by
+    # test_workload_parity; profiles pin the observe path per batch shape).
+    baseline = _run_scaled(abbrev, scale, "interpreted")
+    for bb in SWEEP_BATCH_BLOCKS:
+        swept = _run_scaled(abbrev, scale, "compiled", batch_blocks=bb)
+        assert swept == baseline, f"profile diverged at batch_blocks={bb}"
+
+
+# ---------------------------------------------------------------------------
 # Batching semantics on hand-built kernels
 
 

@@ -1,0 +1,47 @@
+"""Profile determinism: same workload + seed + config → identical bytes.
+
+The canonical byte forms (:func:`kernel_profile_bytes`,
+:func:`workload_profile_bytes`) are the fuzzer's equality primitive and the
+cache's stability assumption, so the whole pipeline behind them — kernel
+launches, sampling, collection, serialization — must be bit-reproducible.
+"""
+
+from repro.trace.serialize import kernel_profile_bytes, workload_profile_bytes
+from repro.workloads import registry
+from repro.workloads.runner import run_workload
+
+
+def _profile(seed=1234, sample_blocks=8, engine="compiled"):
+    return run_workload(
+        registry.get("HG")(),
+        verify=False,
+        sample_blocks=sample_blocks,
+        seed=seed,
+        engine=engine,
+    )
+
+
+def test_repeated_runs_serialize_byte_identical():
+    first = workload_profile_bytes(_profile())
+    second = workload_profile_bytes(_profile())
+    assert first == second
+
+
+def test_engines_serialize_byte_identical():
+    assert workload_profile_bytes(_profile(engine="interpreted")) == workload_profile_bytes(
+        _profile(engine="compiled")
+    )
+
+
+def test_seed_changes_the_bytes():
+    # The canonical form must be sensitive to real input changes, not just
+    # stable: a different data seed reaches the data-dependent histogram.
+    assert workload_profile_bytes(_profile(seed=1)) != workload_profile_bytes(_profile(seed=2))
+
+
+def test_kernel_profile_bytes_are_canonical_json():
+    import json
+
+    blob = kernel_profile_bytes(_profile().kernels[0])
+    doc = json.loads(blob)
+    assert json.dumps(doc, sort_keys=True, separators=(",", ":")).encode() == blob
