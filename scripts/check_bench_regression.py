@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Fail CI when the engine bench regresses against the committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py FRESH.json [BASELINE.json]
+
+Compares a freshly produced bench JSON (``repro bench --quick -o FRESH.json``
+in CI) against the committed ``BENCH_simt.json``.  Raw wall-clock seconds
+are useless across machines, so the guard compares the *aggregate
+interpreted/compiled speedup ratio* — a machine-relative quantity: both
+engines run on the same host, so a genuine compiled-engine regression drags
+the ratio down no matter how fast the runner is.
+
+Speedup also varies with workload scale (small grids batch less), so the
+aggregate is computed only over ``(workload, scale)`` entries present in
+*both* files — the full basket embeds the quick basket precisely so this
+intersection is non-empty.  If nothing matches, the files' top-level
+speedups are compared as a fallback.
+
+The check fails when the fresh ratio falls more than ``--tolerance``
+(default 25%) below the baseline ratio.  The same guard is applied to the
+demand-driven pass speedup (mix+branch vs all passes) when both files
+record it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_BASELINE = "BENCH_simt.json"
+DEFAULT_TOLERANCE = 0.25
+
+
+def load(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("benchmark") != "simt-engine":
+        raise SystemExit(f"{path}: not a simt-engine bench file")
+    return doc
+
+
+def matched_speedups(fresh: dict, baseline: dict):
+    """Aggregate speedups over (workload, scale) entries both files share.
+
+    Returns ``(fresh_speedup, baseline_speedup, matched_count)`` or ``None``
+    when there is no overlap (or a matched compiled time is zero).
+    """
+
+    def key(entry: dict):
+        return (entry["workload"], json.dumps(entry["scale"], sort_keys=True))
+
+    base_map = {key(e): e for e in baseline.get("workloads", [])}
+    fresh_i = fresh_c = base_i = base_c = 0.0
+    matched = 0
+    for entry in fresh.get("workloads", []):
+        ref = base_map.get(key(entry))
+        if ref is None:
+            continue
+        matched += 1
+        fresh_i += float(entry["interpreted_s"])
+        fresh_c += float(entry["compiled_s"])
+        base_i += float(ref["interpreted_s"])
+        base_c += float(ref["compiled_s"])
+    if not matched or not fresh_c or not base_c:
+        return None
+    return fresh_i / fresh_c, base_i / base_c, matched
+
+
+def check_ratio(label: str, fresh: float, baseline: float, tolerance: float) -> bool:
+    floor = baseline / (1.0 + tolerance)
+    ok = fresh >= floor
+    verdict = "ok" if ok else "REGRESSION"
+    print(
+        f"{label}: fresh {fresh:.2f}x vs baseline {baseline:.2f}x "
+        f"(floor {floor:.2f}x) ... {verdict}"
+    )
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", help="bench JSON produced by this run")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=DEFAULT_BASELINE,
+        help=f"committed baseline (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown before failing (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+
+    matched = matched_speedups(fresh, baseline)
+    if matched is not None:
+        fresh_ratio, base_ratio, count = matched
+        ok = check_ratio(
+            f"engine speedup ({count} matched workloads)",
+            fresh_ratio,
+            base_ratio,
+            args.tolerance,
+        )
+    else:
+        print("no matching (workload, scale) entries; comparing top-level speedups")
+        ok = check_ratio(
+            "engine speedup", float(fresh["speedup"]), float(baseline["speedup"]), args.tolerance
+        )
+    fresh_demand = fresh.get("demand_speedup")
+    base_demand = baseline.get("demand_speedup")
+    if fresh_demand is not None and base_demand is not None:
+        ok &= check_ratio(
+            "demand-driven pass speedup",
+            float(fresh_demand),
+            float(base_demand),
+            args.tolerance,
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

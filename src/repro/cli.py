@@ -37,6 +37,35 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _csv_names(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [name.strip() for name in raw.split(",") if name.strip()]
+
+
+def _pass_selection(args: argparse.Namespace):
+    """Resolve ``--passes``/``--metrics`` into a canonical pass tuple.
+
+    The two flags compose: the result is the union of the explicitly named
+    passes and every pass the named metrics require.  ``None`` (neither flag
+    given) means collect everything.
+    """
+    passes = _csv_names(getattr(args, "passes", None))
+    metric_names = _csv_names(getattr(args, "metrics", None))
+    if passes is None and metric_names is None:
+        return None
+    from repro.core import metrics
+    from repro.trace.profile import canonical_passes
+
+    selected = set(passes or ())
+    if metric_names:
+        for name in metric_names:
+            if name not in metrics.metric_names():
+                raise ValueError(f"unknown metric {name!r}")
+        selected |= set(metrics.passes_for_metrics(metric_names))
+    return canonical_passes(selected)
+
+
 def _profiles(args: argparse.Namespace):
     from repro.core.runtime import (
         CharacterizationConfig,
@@ -44,17 +73,18 @@ def _profiles(args: argparse.Namespace):
         run_characterization,
     )
 
-    config = CharacterizationConfig(
-        abbrevs=args.workloads or None,
-        sample_blocks=args.sample_blocks,
-        use_cache=not args.no_cache,
-        jobs=args.jobs,
-    )
-    observer = ConsoleObserver(sys.stderr) if args.verbose else None
     try:
+        config = CharacterizationConfig(
+            abbrevs=args.workloads or None,
+            sample_blocks=args.sample_blocks,
+            use_cache=not args.no_cache,
+            jobs=args.jobs,
+            passes=_pass_selection(args),
+        )
+        observer = ConsoleObserver(sys.stderr) if args.verbose else None
         result = run_characterization(config, observer)
     except (KeyError, ValueError) as exc:
-        # Unknown workload abbrev or a bad REPRO_JOBS value.
+        # Unknown workload abbrev, pass or metric name, or a bad REPRO_JOBS.
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         raise SystemExit(2)
@@ -74,7 +104,18 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     from repro.core.featurespace import FeatureMatrix
     from repro.report import ascii_table, csv_lines
 
-    fm = FeatureMatrix.from_profiles(_profiles(args))
+    try:
+        selected = _csv_names(args.metrics)
+        if selected is not None:
+            for name in selected:
+                if name not in metrics.metric_names():
+                    raise ValueError(f"unknown metric {name!r}")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    # Without --metrics the matrix defaults to whatever the collected
+    # passes support (everything, unless --passes narrowed the run).
+    fm = FeatureMatrix.from_profiles(_profiles(args), metric_names=selected)
     if args.csv:
         text = csv_lines(
             ["workload", "suite"] + fm.metric_names,
@@ -87,7 +128,9 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     # Terminal-friendly: one table per metric group.
     column = {name: i for i, name in enumerate(fm.metric_names)}
     for group in metrics.metric_groups():
-        names = [s.name for s in metrics.all_metrics() if s.group == group]
+        names = [s.name for s in metrics.all_metrics() if s.group == group and s.name in column]
+        if not names:
+            continue
         rows = [
             [w] + [fm.values[i, column[n]] for n in names]
             for i, w in enumerate(fm.workloads)
@@ -350,6 +393,27 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ["workload", "scale", "interpreted", "compiled", "speedup"], rows, title=title
         )
     )
+    if result.pass_entries:
+        all_s = result.pass_seconds("all")
+        pass_rows = [
+            [
+                e.name,
+                ",".join(e.passes) if e.passes is not None else "(all)",
+                f"{e.seconds:.2f}s",
+                f"{all_s / e.seconds:.2f}x" if all_s and e.seconds else "-",
+            ]
+            for e in result.pass_entries
+        ]
+        print(
+            ascii_table(
+                ["pass set", "passes", "seconds", "vs all"],
+                pass_rows,
+                title="per-pass collection cost (compiled engine, all blocks profiled)",
+            )
+        )
+        demand = result.demand_speedup
+        if demand is not None:
+            print(f"demand-driven mix+branch run: {demand:.2f}x faster than all passes")
     write_bench_json(result, args.output)
     print(f"wrote {args.output}")
     return 0
@@ -392,6 +456,18 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("workloads", nargs="*", help="workload abbrevs (default: all)")
         p.add_argument("--sample-blocks", type=int, default=48, help="profiled blocks per launch")
         p.add_argument("--no-cache", action="store_true", help="ignore the profile cache")
+        p.add_argument(
+            "--passes",
+            default=None,
+            help="comma-separated analysis passes to collect "
+            "(mix,ilp,branch,coalescing,shared,reuse,texture; default: all)",
+        )
+        p.add_argument(
+            "--metrics",
+            default=None,
+            help="comma-separated metric names; collection is restricted to "
+            "the passes those metrics need",
+        )
         p.add_argument(
             "-j",
             "--jobs",

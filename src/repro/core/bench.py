@@ -28,11 +28,22 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.workloads import registry
 from repro.workloads.runner import DEFAULT_SAMPLE_BLOCKS, run_workload
 
+#: Reduced basket for CI smoke runs (``repro bench --quick``): the three
+#: cheapest workloads at one-quarter scale, well under a minute total.
+QUICK_BASKET: Tuple[Tuple[str, Dict[str, Any]], ...] = (
+    ("VA", {"n": 1 << 18}),
+    ("BS", {"n": 1 << 16}),
+    ("NN", {"n": 1 << 16}),
+)
+
 #: The full benchmark basket: (abbrev, scale overrides).  Scales are chosen
 #: so each workload launches hundreds to thousands of blocks — the paper's
 #: characterization regime — while keeping the whole bench under a few
-#: minutes of wall clock.
-FULL_BASKET: Tuple[Tuple[str, Dict[str, Any]], ...] = (
+#: minutes of wall clock.  It embeds the quick basket, so the committed
+#: full-bench JSON contains like-for-like entries for the CI regression
+#: guard (``scripts/check_bench_regression.py``) to compare a quick run
+#: against.
+FULL_BASKET: Tuple[Tuple[str, Dict[str, Any]], ...] = QUICK_BASKET + (
     ("VA", {"n": 1 << 20}),
     ("BS", {"n": 1 << 18}),
     ("NN", {"n": 1 << 18}),
@@ -41,13 +52,27 @@ FULL_BASKET: Tuple[Tuple[str, Dict[str, Any]], ...] = (
     ("STEN", {"nx": 256, "ny": 256, "nz": 16, "iters": 1}),
 )
 
-#: Reduced basket for CI smoke runs (``repro bench --quick``): the three
-#: cheapest workloads at one-quarter scale, well under a minute total.
-QUICK_BASKET: Tuple[Tuple[str, Dict[str, Any]], ...] = (
+#: Basket for the per-pass overhead stage.  These runs profile *every*
+#: block (``sample_blocks=None``) under the compiled engine, so collection
+#: cost — not silent batching — dominates and the pass-set ratios are
+#: meaningful.
+PASS_BASKET: Tuple[Tuple[str, Dict[str, Any]], ...] = (
     ("VA", {"n": 1 << 18}),
     ("BS", {"n": 1 << 16}),
-    ("NN", {"n": 1 << 16}),
 )
+
+
+def pass_sets() -> List[Tuple[str, Optional[Tuple[str, ...]]]]:
+    """The pass sets the bench times: all, the demand-driven mix+branch
+    subset, and each pass alone (its marginal cost over the base run)."""
+    from repro.trace.profile import PASS_NAMES
+
+    sets: List[Tuple[str, Optional[Tuple[str, ...]]]] = [
+        ("all", None),
+        ("mix+branch", ("mix", "branch")),
+    ]
+    sets.extend((name, (name,)) for name in PASS_NAMES)
+    return sets
 
 
 @dataclass
@@ -74,12 +99,29 @@ class BenchEntry:
 
 
 @dataclass
+class PassSetEntry:
+    """Compiled-engine timing of the pass basket under one pass set."""
+
+    name: str
+    passes: Optional[List[str]]  # None = every pass
+    seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "passes": self.passes,
+            "seconds": round(self.seconds, 4),
+        }
+
+
+@dataclass
 class BenchResult:
     """The complete benchmark outcome."""
 
     quick: bool
     sample_blocks: Optional[int]
     entries: List[BenchEntry] = field(default_factory=list)
+    pass_entries: List[PassSetEntry] = field(default_factory=list)
 
     @property
     def total_interpreted_s(self) -> float:
@@ -94,7 +136,23 @@ class BenchResult:
         total = self.total_compiled_s
         return self.total_interpreted_s / total if total else float("inf")
 
+    def pass_seconds(self, name: str) -> Optional[float]:
+        for entry in self.pass_entries:
+            if entry.name == name:
+                return entry.seconds
+        return None
+
+    @property
+    def demand_speedup(self) -> Optional[float]:
+        """How much faster the mix+branch-only run is than all passes."""
+        all_s = self.pass_seconds("all")
+        demand_s = self.pass_seconds("mix+branch")
+        if not all_s or not demand_s:
+            return None
+        return all_s / demand_s
+
     def to_dict(self) -> Dict[str, Any]:
+        demand = self.demand_speedup
         return {
             "benchmark": "simt-engine",
             "quick": self.quick,
@@ -105,12 +163,21 @@ class BenchResult:
             "total_interpreted_s": round(self.total_interpreted_s, 4),
             "total_compiled_s": round(self.total_compiled_s, 4),
             "speedup": round(self.speedup, 2),
+            "pass_sets": [e.to_dict() for e in self.pass_entries],
+            "demand_speedup": round(demand, 2) if demand is not None else None,
         }
 
 
-def _time_engine(workload, engine: str, sample_blocks: Optional[int]) -> float:
+def _time_engine(
+    workload,
+    engine: str,
+    sample_blocks: Optional[int],
+    passes: Optional[Tuple[str, ...]] = None,
+) -> float:
     t0 = time.perf_counter()
-    run_workload(workload, verify=False, sample_blocks=sample_blocks, engine=engine)
+    run_workload(
+        workload, verify=False, sample_blocks=sample_blocks, engine=engine, passes=passes
+    )
     return time.perf_counter() - t0
 
 
@@ -126,6 +193,11 @@ def run_bench(
     single-shot timing is stable to a few percent).  ``verify`` is off:
     the numpy reference check costs the same under both engines and would
     only dilute the measured ratio.
+
+    A second stage times the :data:`PASS_BASKET` under the compiled engine
+    for each pass set in :func:`pass_sets` — this is what quantifies the
+    payoff of demand-driven collection (``--passes``/``--metrics``) and the
+    marginal cost of each pass.
     """
     if basket is None:
         basket = QUICK_BASKET if quick else FULL_BASKET
@@ -143,6 +215,16 @@ def run_bench(
                 f"{abbrev}: interpreted {interp:.2f}s, compiled {comp:.2f}s "
                 f"({entry.speedup:.2f}x)"
             )
+    for name, selected in pass_sets():
+        total = 0.0
+        for abbrev, scale in PASS_BASKET:
+            cls = registry.get(abbrev)
+            total += _time_engine(cls(**scale), "compiled", None, passes=selected)
+        result.pass_entries.append(
+            PassSetEntry(name, list(selected) if selected is not None else None, total)
+        )
+        if progress:
+            progress(f"passes[{name}]: {total:.2f}s")
     return result
 
 

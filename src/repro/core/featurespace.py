@@ -35,7 +35,16 @@ class FeatureMatrix:
         profiles: Sequence[WorkloadProfile],
         metric_names: Optional[Sequence[str]] = None,
     ) -> "FeatureMatrix":
-        names = list(metric_names) if metric_names is not None else metrics_mod.metric_names()
+        if metric_names is not None:
+            names = list(metric_names)
+        else:
+            # Default to the metrics the profiles can actually support: the
+            # passes every profile carries.  All-passes profiles (the normal
+            # case) yield the full metric list.
+            available = set(metrics_mod.PASS_NAMES)
+            for profile in profiles:
+                available &= set(profile.passes)
+            names = metrics_mod.metrics_for_passes(sorted(available))
         rows = []
         for profile in profiles:
             vector = metrics_mod.extract_vector(profile, names)

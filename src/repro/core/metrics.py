@@ -25,7 +25,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.trace.profile import KernelProfile, WorkloadProfile
+from repro.trace.profile import (
+    PASS_NAMES,
+    KernelProfile,
+    WorkloadProfile,
+    canonical_passes,
+)
 
 KernelMetricFn = Callable[[KernelProfile], float]
 
@@ -38,6 +43,13 @@ class MetricSpec:
     workload with warp-instruction weights; a few are inherently
     workload-level (``workload_fn``), e.g. how many kernel launches the
     workload issues.
+
+    ``requires`` names the analysis passes whose profile sections the
+    metric reads — the demand-driven runtime collects exactly the union of
+    the requested metrics' requirements.  Every kernel-level metric
+    requires ``mix`` even when its own data lives elsewhere, because the
+    workload aggregate weights launches by warp-instruction volume (a mix
+    quantity).
     """
 
     name: str
@@ -45,6 +57,7 @@ class MetricSpec:
     description: str
     fn: KernelMetricFn
     workload_fn: Optional[Callable[[WorkloadProfile], float]] = None
+    requires: frozenset = frozenset()
 
     def workload_value(self, profile: WorkloadProfile) -> float:
         """Workload-level value (weighted kernel aggregate by default)."""
@@ -59,11 +72,17 @@ class MetricSpec:
 _REGISTRY: Dict[str, MetricSpec] = {}
 
 
-def _register(name: str, group: str, description: str) -> Callable[[KernelMetricFn], KernelMetricFn]:
+def _register(
+    name: str, group: str, description: str, requires: Sequence[str] = ()
+) -> Callable[[KernelMetricFn], KernelMetricFn]:
+    # Kernel-level metrics always also need the mix pass: the workload
+    # aggregate weights kernels by their warp-instruction share.
+    req = frozenset(canonical_passes(set(requires) | {"mix"}))
+
     def deco(fn: KernelMetricFn) -> KernelMetricFn:
         if name in _REGISTRY:
             raise ValueError(f"duplicate metric {name!r}")
-        _REGISTRY[name] = MetricSpec(name, group, description, fn)
+        _REGISTRY[name] = MetricSpec(name, group, description, fn, requires=req)
         return fn
 
     return deco
@@ -136,6 +155,7 @@ for _w in (32, 64, 128, 256):
         "parallelism",
         f"Per-warp instruction-level parallelism within a {_w}-instruction window "
         "(register dependences only, MICA-style)",
+        requires=("ilp",),
     )(_mk_ilp(_w))
 
 
@@ -203,6 +223,7 @@ def _warp_imbalance(k: KernelProfile) -> float:
     "div.rate",
     "branch divergence",
     "Fraction of warp-level branch events where lanes split both ways",
+    requires=("branch",),
 )
 def _div_rate(k: KernelProfile) -> float:
     return k.branch.divergence_rate
@@ -222,6 +243,7 @@ def _simd_eff(k: KernelProfile) -> float:
     "branch divergence",
     "Standard deviation of the per-warp taken fraction over branch events "
     "(branch outcome variability)",
+    requires=("branch",),
 )
 def _taken_std(k: KernelProfile) -> float:
     return k.branch.taken_frac_std
@@ -231,6 +253,7 @@ def _taken_std(k: KernelProfile) -> float:
     "div.loop_frac",
     "branch divergence",
     "Fraction of branch events that are loop back-edges (control-flow shape)",
+    requires=("branch",),
 )
 def _loop_frac(k: KernelProfile) -> float:
     return k.branch.loop_frac
@@ -246,6 +269,7 @@ def _loop_frac(k: KernelProfile) -> float:
     "memory coalescing",
     "32B memory transactions per warp-level global access (1..32; lower is "
     "better coalesced)",
+    requires=("coalescing",),
 )
 def _t32(k: KernelProfile) -> float:
     return k.gmem.trans_per_access_32b
@@ -255,6 +279,7 @@ def _t32(k: KernelProfile) -> float:
     "coal.t128_per_access",
     "memory coalescing",
     "128B memory transactions per warp-level global access",
+    requires=("coalescing",),
 )
 def _t128(k: KernelProfile) -> float:
     return k.gmem.trans_per_access_128b
@@ -264,6 +289,7 @@ def _t128(k: KernelProfile) -> float:
     "coal.coalesced_frac",
     "memory coalescing",
     "Fraction of warp accesses touching the minimum possible number of 32B segments",
+    requires=("coalescing",),
 )
 def _coal_frac(k: KernelProfile) -> float:
     return k.gmem.coalesced_frac
@@ -273,6 +299,7 @@ def _coal_frac(k: KernelProfile) -> float:
     "coal.unit_stride_frac",
     "memory coalescing",
     "Fraction of warp accesses with unit stride across adjacent active lanes",
+    requires=("coalescing",),
 )
 def _unit_frac(k: KernelProfile) -> float:
     return k.gmem.unit_stride_frac
@@ -282,6 +309,7 @@ def _unit_frac(k: KernelProfile) -> float:
     "coal.broadcast_frac",
     "memory coalescing",
     "Fraction of warp accesses where all active lanes read one address",
+    requires=("coalescing",),
 )
 def _bcast_frac(k: KernelProfile) -> float:
     return k.gmem.broadcast_frac
@@ -291,6 +319,7 @@ def _bcast_frac(k: KernelProfile) -> float:
     "coal.local_zero_frac",
     "memory coalescing",
     "Per-thread consecutive global accesses with zero stride (register-like reuse)",
+    requires=("coalescing",),
 )
 def _local_zero(k: KernelProfile) -> float:
     return k.gmem.local_stride_frac("zero")
@@ -300,6 +329,7 @@ def _local_zero(k: KernelProfile) -> float:
     "coal.local_unit_frac",
     "memory coalescing",
     "Per-thread consecutive global accesses with one-element stride (streaming)",
+    requires=("coalescing",),
 )
 def _local_unit(k: KernelProfile) -> float:
     return k.gmem.local_stride_frac("unit")
@@ -309,6 +339,7 @@ def _local_unit(k: KernelProfile) -> float:
     "coal.local_long_frac",
     "memory coalescing",
     "Per-thread consecutive global accesses with stride beyond 128B (scattered)",
+    requires=("coalescing",),
 )
 def _local_long(k: KernelProfile) -> float:
     return k.gmem.local_stride_frac("long")
@@ -323,6 +354,7 @@ def _local_long(k: KernelProfile) -> float:
     "shm.conflict_degree",
     "shared memory",
     "Mean max-way bank conflict per shared-memory warp access (1.0 = conflict free)",
+    requires=("shared",),
 )
 def _conflict_degree(k: KernelProfile) -> float:
     return k.shmem.conflict_degree
@@ -332,6 +364,7 @@ def _conflict_degree(k: KernelProfile) -> float:
     "shm.conflicted_frac",
     "shared memory",
     "Fraction of shared-memory warp accesses with any bank conflict",
+    requires=("shared",),
 )
 def _conflicted(k: KernelProfile) -> float:
     return k.shmem.conflicted_frac
@@ -356,6 +389,7 @@ def _shm_bytes(k: KernelProfile) -> float:
     "texture",
     "Fraction of texture-line reuses with LRU stack distance < 64 lines "
     "(texture-cache friendliness)",
+    requires=("texture",),
 )
 def _tex_rd64(k: KernelProfile) -> float:
     return k.texture.reuse_cdf_at(64)
@@ -365,6 +399,7 @@ def _tex_rd64(k: KernelProfile) -> float:
     "tex.unique_ratio",
     "texture",
     "Unique texture lines / texture line accesses (1.0 = pure streaming fetches)",
+    requires=("texture",),
 )
 def _tex_unique(k: KernelProfile) -> float:
     return k.texture.unique_line_ratio
@@ -386,6 +421,7 @@ for _t in (16, 64, 256, 1024, 8192):
         f"loc.rd{_t}",
         "data locality",
         f"Fraction of line reuses with LRU stack distance < {_t} 128B lines",
+        requires=("reuse",),
     )(_mk_rd(_t))
 
 
@@ -393,6 +429,7 @@ for _t in (16, 64, 256, 1024, 8192):
     "loc.cold_rate",
     "data locality",
     "Fraction of 128B-line accesses that touch a line for the first time",
+    requires=("reuse",),
 )
 def _cold(k: KernelProfile) -> float:
     return k.locality.cold_miss_rate
@@ -402,12 +439,18 @@ def _cold(k: KernelProfile) -> float:
     "loc.unique_ratio",
     "data locality",
     "Unique 128B lines / line accesses (1.0 = every access is a new line)",
+    requires=("reuse",),
 )
 def _uniq_ratio(k: KernelProfile) -> float:
     return k.locality.unique_line_ratio
 
 
-@_register("loc.footprint_log", "data locality", "log2 of unique 128B lines touched (working set)")
+@_register(
+    "loc.footprint_log",
+    "data locality",
+    "log2 of unique 128B lines touched (working set)",
+    requires=("reuse",),
+)
 def _footprint(k: KernelProfile) -> float:
     return _log2(k.locality.unique_lines)
 
@@ -470,6 +513,28 @@ def metric_groups() -> List[str]:
         if spec.group not in seen:
             seen.append(spec.group)
     return seen
+
+
+def passes_for_metrics(names: Sequence[str]) -> tuple:
+    """Minimal analysis-pass set needed to compute the named metrics.
+
+    The union of the metrics' ``requires`` sets, in canonical pass order —
+    this is what the demand-driven runtime collects for a ``--metrics``
+    request.
+    """
+    needed: set = set()
+    for name in names:
+        needed |= _REGISTRY[name].requires
+    return canonical_passes(needed)
+
+
+def metrics_for_passes(passes: Optional[Sequence[str]] = None) -> List[str]:
+    """Metric names computable from profiles carrying the given passes.
+
+    ``None`` means every pass is available (the full metric list).
+    """
+    available = set(PASS_NAMES if passes is None else canonical_passes(passes))
+    return [name for name, spec in _REGISTRY.items() if spec.requires <= available]
 
 
 #: Metric subsets defining the paper's workload *subspaces*.

@@ -10,19 +10,15 @@ workloads fan out over a process pool (``CharacterizationConfig.jobs`` /
 ``REPRO_JOBS``) and profiles are cached per workload in content-addressed
 shards that self-invalidate when the simulator, collector or the workload's
 own module changes — so every downstream command re-simulates only what an
-edit actually touched.
-
-The old scattered keyword API (``abbrevs=``, ``sample_blocks=``,
-``use_cache=``, ``verify=``, ``progress=``) still works through thin
-deprecation shims; new code passes a :class:`CharacterizationConfig` and,
-optionally, a :class:`RunObserver`.
+edit actually touched.  ``CharacterizationConfig.passes`` restricts
+collection to a subset of the analysis passes; :func:`analyze` then works
+on whatever metrics those passes support.
 """
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -34,7 +30,6 @@ from repro.core.analysis.pca import PcaResult, fit_pca
 from repro.core.analysis.subspace import SubspaceAnalysis, analyze_subspace
 from repro.core.featurespace import FeatureMatrix, StandardizedMatrix, standardize
 from repro.core.runtime import (
-    CallbackObserver,
     CharacterizationConfig,
     CharacterizationError,
     RunObserver,
@@ -42,77 +37,27 @@ from repro.core.runtime import (
 )
 from repro.trace.profile import WorkloadProfile
 
-_UNSET = object()
-
-
-def _coerce_config(
-    config: Union[CharacterizationConfig, Sequence[str], None],
-    observer: Optional[RunObserver],
-    legacy: Dict[str, object],
-) -> tuple:
-    """Resolve the (config, observer) pair from new- or old-style arguments."""
-    progress = legacy.pop("progress", _UNSET)
-    overrides = {k: v for k, v in legacy.items() if v is not _UNSET}
-
-    if config is not None and not isinstance(config, CharacterizationConfig):
-        # Old positional convention: first argument was the abbrev list.
-        overrides.setdefault("abbrevs", config)
-        config = None
-
-    if overrides:
-        warnings.warn(
-            "characterize_suites(abbrevs=..., sample_blocks=..., verify=..., "
-            "use_cache=...) keywords are deprecated; pass a "
-            "CharacterizationConfig instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        config = replace(config or CharacterizationConfig(), **overrides)
-    if progress is not _UNSET and progress is not None:
-        warnings.warn(
-            "the progress= callback is deprecated; pass an observer=RunObserver",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        if observer is None:
-            observer = CallbackObserver(progress)
-    return config or CharacterizationConfig(), observer
-
 
 def characterize_suites(
-    config: Union[CharacterizationConfig, Sequence[str], None] = None,
+    config: Optional[CharacterizationConfig] = None,
     observer: Optional[RunObserver] = None,
-    *,
-    abbrevs=_UNSET,
-    sample_blocks=_UNSET,
-    verify=_UNSET,
-    use_cache=_UNSET,
-    progress=_UNSET,
 ) -> List[WorkloadProfile]:
     """Profiles for the requested workloads (all registered ones by default).
 
-    New API::
+    ::
 
         characterize_suites(CharacterizationConfig(abbrevs=["VA"], jobs=4),
                             observer=ConsoleObserver())
 
-    The pre-config keywords (``abbrevs``/``sample_blocks``/``verify``/
-    ``use_cache``/``progress``) are still accepted with a
-    ``DeprecationWarning``.  Raises :class:`CharacterizationError` if any
-    workload fails after retries; use :func:`repro.core.runtime.
-    run_characterization` directly for structured partial results.
+    Raises :class:`CharacterizationError` if any workload fails after
+    retries; use :func:`repro.core.runtime.run_characterization` directly
+    for structured partial results.
     """
-    config, observer = _coerce_config(
-        config,
-        observer,
-        {
-            "abbrevs": abbrevs,
-            "sample_blocks": sample_blocks,
-            "verify": verify,
-            "use_cache": use_cache,
-            "progress": progress,
-        },
-    )
+    if config is not None and not isinstance(config, CharacterizationConfig):
+        raise TypeError(
+            "characterize_suites() takes a CharacterizationConfig; the legacy "
+            "abbrev-list / keyword API was removed"
+        )
     result = run_characterization(config, observer)
     if result.failures:
         raise CharacterizationError(result.failures)
@@ -150,9 +95,14 @@ def analyze(
     k_range: Optional[Sequence[int]] = None,
     seed: int = 7,
     subspaces: Optional[Dict[str, Sequence[str]]] = None,
+    metric_names: Optional[Sequence[str]] = None,
 ) -> AnalysisResult:
-    """Run the full methodology: normalize, PCA, cluster, select, subspace."""
-    fm = FeatureMatrix.from_profiles(profiles)
+    """Run the full methodology: normalize, PCA, cluster, select, subspace.
+
+    ``metric_names`` restricts the feature space; by default it is every
+    metric the profiles' collected passes support.
+    """
+    fm = FeatureMatrix.from_profiles(profiles, metric_names=metric_names)
     sm = standardize(fm)
     pca = fit_pca(sm, variance_target=variance_target)
     dendro = linkage(pca.scores, fm.workloads, method=linkage_method)
@@ -175,27 +125,25 @@ def analyze(
         representatives=reps,
     )
     for name, names in (subspaces or metrics_mod.SUBSPACES).items():
+        if subspaces is None and not set(names) <= set(fm.metric_names):
+            # A default subspace whose metrics the collected passes don't
+            # support (subset-pass run) is simply skipped.
+            continue
         result.subspaces[name] = analyze_subspace(
             fm, names, name, variance_target=variance_target, linkage_method=linkage_method
         )
     return result
 
 
-_ANALYSIS_KEYS = {"variance_target", "linkage_method", "k_range", "seed", "subspaces"}
-
-
 def characterize_and_analyze(
     config: Optional[CharacterizationConfig] = None,
     observer: Optional[RunObserver] = None,
-    **kwargs,
+    **analysis_kwargs,
 ) -> AnalysisResult:
     """One-call convenience: characterize all suites and run the analysis.
 
-    Analysis keywords (``variance_target``, ``linkage_method``, ``k_range``,
-    ``seed``, ``subspaces``) go to :func:`analyze`; any remaining keywords
-    follow ``characterize_suites``'s deprecated legacy convention.
+    Keyword arguments (``variance_target``, ``linkage_method``, ``k_range``,
+    ``seed``, ``subspaces``, ``metric_names``) go to :func:`analyze`.
     """
-    analysis_kwargs = {k: v for k, v in kwargs.items() if k in _ANALYSIS_KEYS}
-    char_kwargs = {k: v for k, v in kwargs.items() if k not in _ANALYSIS_KEYS}
-    profiles = characterize_suites(config, observer, **char_kwargs)
+    profiles = characterize_suites(config, observer)
     return analyze(profiles, **analysis_kwargs)

@@ -13,7 +13,11 @@ This module is the execution engine behind ``characterize_suites()``:
   cache.  Each shard is keyed by a digest of the source files whose
   behaviour it depends on (``repro/simt``, ``repro/trace``, the workload's
   own module), so editing any of them invalidates exactly the affected
-  shards; there is no manual cache-version constant to bump.
+  shards; there is no manual cache-version constant to bump.  Within a
+  shard, every analysis pass's section is additionally recorded under a
+  digest of that pass's own module, so editing one pass (or requesting a
+  pass the shard lacks) triggers a rerun of *only* that pass — the other
+  sections are carried over and merged.
 * :func:`run_characterization` — fans the per-workload simulations out over
   a ``ProcessPoolExecutor`` (``jobs`` / ``REPRO_JOBS``), isolates worker
   faults (a crashing or hanging workload is retried once, then reported as
@@ -47,7 +51,8 @@ from typing import (
     Type,
 )
 
-from repro.trace.profile import WorkloadProfile
+from repro.trace.passes import pass_source_file, resolve_passes
+from repro.trace.profile import WorkloadProfile, merge_profiles
 from repro.trace.serialize import dump_workload_profile, load_workload_profile
 from repro.workloads.runner import DEFAULT_SAMPLE_BLOCKS, run_workload
 
@@ -106,6 +111,10 @@ class CharacterizationConfig:
     #: Execution engine (``"compiled"`` or ``"interpreted"``).  Both produce
     #: bit-identical profiles, so the profile cache is engine-agnostic.
     engine: str = "compiled"
+    #: Analysis passes to collect (``None`` = every registered pass).  The
+    #: engines only emit the event hooks the selected passes subscribe to,
+    #: and the cache serves/refreshes sections per pass.
+    passes: Optional[Tuple[str, ...]] = None
 
     def resolved_jobs(self) -> int:
         return resolve_jobs(self.jobs)
@@ -140,6 +149,9 @@ class WorkloadStarted(RunEvent):
     kind: ClassVar[str] = "workload_started"
     workload: str
     attempt: int
+    #: Passes this run will collect (``None`` = all).  On a partial cache
+    #: hit this is just the missing subset.
+    passes: Optional[Tuple[str, ...]] = None
 
 
 @dataclass(frozen=True)
@@ -317,24 +329,41 @@ class ProfileCache:
     def __init__(self, cache_dir: Optional[str] = None) -> None:
         self.cache_dir = cache_dir or default_cache_dir()
         self._common_digest: Optional[str] = None
+        self._pass_digests: Dict[str, str] = {}
 
     # -- digests ------------------------------------------------------------
 
     @staticmethod
     def _shared_source_files() -> List[str]:
-        """Source files every profile depends on (simulator + collector)."""
+        """Source files every profile depends on (simulator + collector).
+
+        Individual pass modules under ``repro/trace/passes`` are excluded —
+        each one is digested separately (:meth:`pass_digest`), so editing a
+        pass invalidates only that pass's sections, not whole shards.  The
+        pass framework itself (``base.py``/``__init__.py``) stays shared.
+        """
         import repro.simt
         import repro.trace
+        import repro.trace.passes
         import repro.workloads.base
         import repro.workloads.runner
 
+        passes_root = os.path.dirname(os.path.abspath(repro.trace.passes.__file__))
+        framework = {
+            os.path.join(passes_root, "base.py"),
+            os.path.join(passes_root, "__init__.py"),
+        }
         files: List[str] = []
         for pkg in (repro.simt, repro.trace):
             root = os.path.dirname(os.path.abspath(pkg.__file__))
             for dirpath, _dirnames, filenames in os.walk(root):
-                files.extend(
-                    os.path.join(dirpath, f) for f in filenames if f.endswith(".py")
-                )
+                for f in filenames:
+                    if not f.endswith(".py"):
+                        continue
+                    path = os.path.join(dirpath, f)
+                    if dirpath == passes_root and path not in framework:
+                        continue
+                    files.append(path)
         files.append(os.path.abspath(repro.workloads.base.__file__))
         files.append(os.path.abspath(repro.workloads.runner.__file__))
         return sorted(files)
@@ -365,6 +394,16 @@ class ProfileCache:
             h.update(repr(workload_cls.__qualname__).encode())
         return h.hexdigest()[:16]
 
+    def pass_digest(self, name: str) -> str:
+        """Content digest of one analysis pass's source module."""
+        cached = self._pass_digests.get(name)
+        if cached is None:
+            h = hashlib.sha256()
+            with open(pass_source_file(name), "rb") as f:
+                h.update(f.read())
+            cached = self._pass_digests[name] = h.hexdigest()[:12]
+        return cached
+
     # -- shard IO -----------------------------------------------------------
 
     @staticmethod
@@ -379,17 +418,32 @@ class ProfileCache:
         return os.path.join(self.cache_dir, name + _SHARD_SUFFIX)
 
     def lookup(
-        self, workload_cls: Type, sample_blocks: Optional[int]
-    ) -> Optional[Tuple[WorkloadProfile, Dict]]:
-        """Return ``(profile, metadata)`` on a fresh hit, ``None`` on a miss."""
+        self,
+        workload_cls: Type,
+        sample_blocks: Optional[int],
+        passes: Optional[Sequence[str]] = None,
+    ) -> Optional[Tuple[WorkloadProfile, Dict, Tuple[str, ...]]]:
+        """Return ``(profile, metadata, missing)`` on a (possibly partial) hit.
+
+        ``missing`` lists the requested passes (``None`` = all) the shard
+        cannot serve — either absent from the stored profile or recorded
+        under a stale per-pass source digest.  An empty tuple is a full hit;
+        ``None`` is a full miss (no readable shard at all).
+        """
+        requested = resolve_passes(passes)
         path = self.shard_path(workload_cls, sample_blocks)
         if not os.path.exists(path):
             return None
         try:
-            return load_workload_profile(path)
+            profile, meta = load_workload_profile(path)
         except Exception:
-            # A torn/corrupt shard behaves as a miss and is rebuilt.
+            # A torn/corrupt/old-format shard behaves as a miss and is rebuilt.
             return None
+        stored = meta.get("pass_digests") or {}
+        missing = tuple(
+            name for name in requested if stored.get(name) != self.pass_digest(name)
+        )
+        return profile, meta, missing
 
     def store(
         self,
@@ -397,16 +451,28 @@ class ProfileCache:
         sample_blocks: Optional[int],
         profile: WorkloadProfile,
         wall_seconds: float,
+        pass_digests: Optional[Dict[str, str]] = None,
     ) -> str:
-        """Atomically write one shard (temp file + ``os.replace``)."""
+        """Atomically write one shard (temp file + ``os.replace``).
+
+        ``pass_digests`` overrides the recorded digest for individual passes
+        — used when sections carried over from an older shard must keep the
+        digest they were *built* under rather than the current one.
+        """
         digest = self.digest_for(workload_cls)
         path = self.shard_path(workload_cls, sample_blocks, digest)
         os.makedirs(self.cache_dir, exist_ok=True)
+        digests = {
+            name: (pass_digests or {}).get(name) or self.pass_digest(name)
+            for name in profile.passes
+        }
         metadata = {
             "workload": workload_cls.abbrev,
             "suite": workload_cls.suite,
             "sample_blocks": sample_blocks,
             "digest": digest,
+            "passes": list(profile.passes),
+            "pass_digests": digests,
             "created": time.time(),
             "wall_seconds": wall_seconds,
             "warp_instrs": int(profile.total_warp_instrs),
@@ -523,11 +589,17 @@ class CharacterizationError(RuntimeError):
 
 
 def _characterize_one(
-    abbrev: str, sample_blocks: Optional[int], verify: bool, engine: str = "compiled"
+    abbrev: str,
+    sample_blocks: Optional[int],
+    verify: bool,
+    engine: str = "compiled",
+    passes: Optional[Tuple[str, ...]] = None,
 ) -> Tuple[WorkloadProfile, float]:
     """Worker entry point: simulate one workload, return (profile, seconds)."""
     t0 = time.perf_counter()
-    profile = run_workload(abbrev, verify=verify, sample_blocks=sample_blocks, engine=engine)
+    profile = run_workload(
+        abbrev, verify=verify, sample_blocks=sample_blocks, engine=engine, passes=passes
+    )
     return profile, time.perf_counter() - t0
 
 
@@ -567,34 +639,65 @@ def run_characterization(
     t0 = time.perf_counter()
     emit(SuiteStarted(workloads=tuple(abbrevs), jobs=jobs, sample_blocks=config.sample_blocks))
 
+    requested = resolve_passes(config.passes)
     results: Dict[str, WorkloadProfile] = {}
     failures: Dict[str, WorkloadFailure] = {}
     cache_hits = 0
 
     todo: List[str] = []
+    # Per-workload pass set to simulate: the full request on a miss, only
+    # the missing/stale subset on a partial cache hit.
+    run_passes: Dict[str, Tuple[str, ...]] = {}
+    # abbrev -> (cached profile, metadata) for partial hits, merged on success.
+    partial: Dict[str, Tuple[WorkloadProfile, Dict]] = {}
     for abbrev in abbrevs:
-        if abbrev in results:  # duplicate request
+        if abbrev in results or abbrev in todo:  # duplicate request
             continue
-        hit = cache.lookup(classes[abbrev], config.sample_blocks) if cache else None
+        hit = cache.lookup(classes[abbrev], config.sample_blocks, requested) if cache else None
         if hit is not None:
-            profile, meta = hit
-            results[abbrev] = profile
-            cache_hits += 1
-            emit(
-                WorkloadCacheHit(
-                    workload=abbrev,
-                    path=cache.shard_path(classes[abbrev], config.sample_blocks),
-                    saved_seconds=float(meta.get("wall_seconds", 0.0)),
-                    warp_instrs=int(meta.get("warp_instrs", profile.total_warp_instrs)),
+            profile, meta, missing = hit
+            if not missing:
+                results[abbrev] = profile
+                cache_hits += 1
+                emit(
+                    WorkloadCacheHit(
+                        workload=abbrev,
+                        path=cache.shard_path(classes[abbrev], config.sample_blocks),
+                        saved_seconds=float(meta.get("wall_seconds", 0.0)),
+                        warp_instrs=int(meta.get("warp_instrs", profile.total_warp_instrs)),
+                    )
                 )
-            )
-        elif abbrev not in todo:
-            todo.append(abbrev)
+                continue
+            partial[abbrev] = (profile, meta)
+            run_passes[abbrev] = missing
+        else:
+            run_passes[abbrev] = requested
+        todo.append(abbrev)
 
     def record_success(abbrev: str, profile: WorkloadProfile, wall: float, attempt: int) -> None:
+        digest_overrides: Optional[Dict[str, str]] = None
+        if abbrev in partial:
+            cached_profile, meta = partial[abbrev]
+            fresh = set(profile.passes)
+            merged = merge_profiles(cached_profile, profile, profile.passes)
+            if merged is not None:
+                profile = merged
+                # Carried-over sections keep the digest they were built
+                # under; only the freshly rerun passes get current digests.
+                digest_overrides = {
+                    name: digest
+                    for name, digest in (meta.get("pass_digests") or {}).items()
+                    if name not in fresh
+                }
         results[abbrev] = profile
         if cache:
-            cache.store(classes[abbrev], config.sample_blocks, profile, wall)
+            cache.store(
+                classes[abbrev],
+                config.sample_blocks,
+                profile,
+                wall,
+                pass_digests=digest_overrides,
+            )
         emit(
             WorkloadFinished(
                 workload=abbrev,
@@ -615,9 +718,11 @@ def run_characterization(
     max_attempts = 1 + max(config.retries, 0)
 
     if todo and jobs <= 1:
-        _run_serial(config, todo, emit, record_success, record_failure, max_attempts)
+        _run_serial(config, todo, run_passes, emit, record_success, record_failure, max_attempts)
     elif todo:
-        _run_parallel(config, todo, jobs, emit, record_success, record_failure, max_attempts)
+        _run_parallel(
+            config, todo, run_passes, jobs, emit, record_success, record_failure, max_attempts
+        )
 
     wall = time.perf_counter() - t0
     emit(
@@ -639,15 +744,19 @@ def run_characterization(
     )
 
 
-def _run_serial(config, todo, emit, record_success, record_failure, max_attempts) -> None:
+def _run_serial(config, todo, run_passes, emit, record_success, record_failure, max_attempts) -> None:
     for abbrev in todo:
         spent = 0.0
         for attempt in range(1, max_attempts + 1):
-            emit(WorkloadStarted(workload=abbrev, attempt=attempt))
+            emit(WorkloadStarted(workload=abbrev, attempt=attempt, passes=run_passes.get(abbrev)))
             t0 = time.perf_counter()
             try:
                 profile, wall = _characterize_one(
-                    abbrev, config.sample_blocks, config.verify, config.engine
+                    abbrev,
+                    config.sample_blocks,
+                    config.verify,
+                    config.engine,
+                    run_passes.get(abbrev),
                 )
             except Exception as exc:
                 spent += time.perf_counter() - t0
@@ -664,7 +773,9 @@ def _run_serial(config, todo, emit, record_success, record_failure, max_attempts
                 break
 
 
-def _run_parallel(config, todo, jobs, emit, record_success, record_failure, max_attempts) -> None:
+def _run_parallel(
+    config, todo, run_passes, jobs, emit, record_success, record_failure, max_attempts
+) -> None:
     """Windowed process-pool execution with retry, crash and hang isolation.
 
     At most ``jobs`` futures are in flight, so a submitted task starts
@@ -707,9 +818,14 @@ def _run_parallel(config, todo, jobs, emit, record_success, record_failure, max_
         while queue or in_flight:
             while queue and len(in_flight) < window:
                 abbrev, attempt = queue.popleft()
-                emit(WorkloadStarted(workload=abbrev, attempt=attempt))
+                emit(WorkloadStarted(workload=abbrev, attempt=attempt, passes=run_passes.get(abbrev)))
                 fut = executor.submit(
-                    _characterize_one, abbrev, config.sample_blocks, config.verify, config.engine
+                    _characterize_one,
+                    abbrev,
+                    config.sample_blocks,
+                    config.verify,
+                    config.engine,
+                    run_passes.get(abbrev),
                 )
                 start = time.monotonic()
                 deadline = (

@@ -27,7 +27,7 @@ from repro.simt import Executor, SimtError, classify_kernel, stride_sampler
 from repro.simt.types import WARP_SIZE
 from repro.trace.collector import KernelTraceCollector
 from repro.trace.profile import KernelProfile, WorkloadProfile
-from repro.trace.serialize import workload_profile_bytes
+from repro.trace.serialize import workload_header_bytes, workload_section_bytes
 
 #: Profile-sample stride cap: small enough that several blocks stay silent,
 #: so the compiled engine genuinely batches.
@@ -43,7 +43,10 @@ class EngineOutcome:
     error_type: str = ""
     buffers: Optional[Dict[str, bytes]] = None
     profile: Optional[WorkloadProfile] = None
-    profile_bytes: Optional[bytes] = None
+    #: Canonical bytes of the launch headers, and of each pass's sections —
+    #: compared per pass, so a mismatch names the offending pass.
+    header_bytes: Optional[bytes] = None
+    section_bytes: Optional[Dict[str, bytes]] = None
 
 
 @dataclass
@@ -99,7 +102,10 @@ def _run_engine(case: Case, engine: str, batch_blocks: Optional[int] = None) -> 
         "ok",
         buffers={name: dev.download(b).tobytes() for name, b in bufs.items()},
         profile=profile,
-        profile_bytes=workload_profile_bytes(profile),
+        header_bytes=workload_header_bytes(profile),
+        section_bytes={
+            name: workload_section_bytes(profile, name) for name in profile.passes
+        },
     )
 
 
@@ -133,8 +139,20 @@ def _compare(base: EngineOutcome, other: EngineOutcome, check_profile: bool) -> 
     for name in sorted(base.buffers):
         if base.buffers[name] != other.buffers[name]:
             failures.append(f"{other.engine}: buffer {name!r} differs from baseline")
-    if check_profile and base.profile_bytes != other.profile_bytes:
-        failures.append(f"{other.engine}: serialized profile differs from baseline")
+    if check_profile:
+        if base.header_bytes != other.header_bytes:
+            failures.append(f"{other.engine}: profile launch headers differ from baseline")
+        if set(base.section_bytes) != set(other.section_bytes):
+            failures.append(
+                f"{other.engine}: collected pass set {sorted(other.section_bytes)} "
+                f"!= baseline {sorted(base.section_bytes)}"
+            )
+        else:
+            for pass_name in base.section_bytes:
+                if base.section_bytes[pass_name] != other.section_bytes[pass_name]:
+                    failures.append(
+                        f"{other.engine}: {pass_name!r} pass section differs from baseline"
+                    )
     return failures
 
 

@@ -425,7 +425,11 @@ def _contains_return(stmt: Stmt) -> bool:
     return False
 
 
-def _compile_instr(ck, stmt: Instr, observe: bool):
+#: Full hook set (the historical "observed" program).
+ALL_HOOKS = frozenset({"instr", "mem", "branch"})
+
+
+def _compile_instr(ck, stmt: Instr, hooks: frozenset):
     write = _make_write(ck, stmt.dest)
     category = op_category(stmt.op)
     accs = tuple(_make_acc(ck, s) for s in stmt.srcs)
@@ -471,7 +475,7 @@ def _compile_instr(ck, stmt: Instr, observe: bool):
             def core(st, act):
                 return fn(*[a(st) for a in accs])
 
-    if observe:
+    if "instr" in hooks:
 
         def run(st, act):
             write(st, core(st, act), act)
@@ -485,7 +489,7 @@ def _compile_instr(ck, stmt: Instr, observe: bool):
     return run
 
 
-def _compile_load(ck, stmt: Load, observe: bool):
+def _compile_load(ck, stmt: Load, hooks: frozenset):
     addr = _make_addr(ck, stmt.addr)
     esize = stmt.dtype.element_size
     stmt_dt = stmt.dtype.numpy_dtype
@@ -525,23 +529,10 @@ def _compile_load(ck, stmt: Load, observe: bool):
             write(st, values, act)
             return addrs
 
-    if observe:
-        space = stmt.space
-
-        def run(st, act):
-            addrs = core(st, act)
-            _note_instr(st, stmt, category, act)
-            _note_mem(st, stmt, space, "load", esize, addrs, act)
-
-        return run
-
-    def run(st, act):
-        core(st, act)
-
-    return run
+    return _wrap_mem_op(core, stmt, category, "load", esize, hooks)
 
 
-def _compile_store(ck, stmt: Store, observe: bool):
+def _compile_store(ck, stmt: Store, hooks: frozenset):
     addr = _make_addr(ck, stmt.addr)
     val = _make_vec(ck, stmt.value, stmt.dtype.numpy_dtype)
     esize = stmt.dtype.element_size
@@ -563,23 +554,10 @@ def _compile_store(ck, stmt: Store, observe: bool):
             st.device.scatter(addrs[act], values[act], esize)
             return addrs
 
-    if observe:
-        space = stmt.space
-
-        def run(st, act):
-            addrs = core(st, act)
-            _note_instr(st, stmt, category, act)
-            _note_mem(st, stmt, space, "store", esize, addrs, act)
-
-        return run
-
-    def run(st, act):
-        core(st, act)
-
-    return run
+    return _wrap_mem_op(core, stmt, category, "store", esize, hooks)
 
 
-def _compile_atomic(ck, stmt: Atomic, observe: bool):
+def _compile_atomic(ck, stmt: Atomic, hooks: frozenset):
     addr = _make_addr(ck, stmt.addr)
     np_dt = stmt.dtype.numpy_dtype
     val = _make_vec(ck, stmt.value, np_dt)
@@ -606,33 +584,63 @@ def _compile_atomic(ck, stmt: Atomic, observe: bool):
             write(st, olds, act)
         return addrs
 
-    if observe:
+    return _wrap_mem_op(core, stmt, OpCategory.ATOMIC, "atomic", esize, hooks, space=MemSpace.GLOBAL)
+
+
+def _wrap_mem_op(core, stmt, category, kind, esize, hooks: frozenset, space=None):
+    """Wrap a memory-op core with exactly the subscribed observation hooks.
+
+    Each hook combination gets its own closure, so unsubscribed hooks cost
+    nothing per event (no per-event flag checks on the hot path).
+    """
+    ni = "instr" in hooks
+    nm = "mem" in hooks
+    if not ni and not nm:
+
+        def run(st, act):
+            core(st, act)
+
+        return run
+    if space is None:
+        space = stmt.space
+    if ni and nm:
 
         def run(st, act):
             addrs = core(st, act)
-            _note_instr(st, stmt, OpCategory.ATOMIC, act)
-            _note_mem(st, stmt, MemSpace.GLOBAL, "atomic", esize, addrs, act)
+            _note_instr(st, stmt, category, act)
+            _note_mem(st, stmt, space, kind, esize, addrs, act)
 
-        return run
+    elif ni:
 
-    def run(st, act):
-        core(st, act)
+        def run(st, act):
+            core(st, act)
+            _note_instr(st, stmt, category, act)
+
+    else:
+
+        def run(st, act):
+            addrs = core(st, act)
+            _note_mem(st, stmt, space, kind, esize, addrs, act)
 
     return run
 
 
-def _compile_if(ck, stmt: If, observe: bool):
+def _compile_if(ck, stmt: If, hooks: frozenset):
     cond = _make_acc(ck, stmt.cond)
-    then_run = _compile_block(ck, stmt.then_body, observe)
-    else_run = _compile_block(ck, stmt.else_body, observe) if stmt.else_body else None
+    then_run = _compile_block(ck, stmt.then_body, hooks)
+    else_run = _compile_block(ck, stmt.else_body, hooks) if stmt.else_body else None
+    ni = "instr" in hooks
+    nb = "branch" in hooks
 
-    if observe:
+    if ni or nb:
 
         def run(st, act):
             c = cond(st)
             taken = act & c
-            _note_instr(st, stmt, OpCategory.BRANCH, act)
-            _note_branch(st, stmt, "if", act, taken)
+            if ni:
+                _note_instr(st, stmt, OpCategory.BRANCH, act)
+            if nb:
+                _note_branch(st, stmt, "if", act, taken)
             if taken.any():
                 then_run(st, taken)
             if else_run is not None:
@@ -655,14 +663,16 @@ def _compile_if(ck, stmt: If, observe: bool):
     return run
 
 
-def _compile_while(ck, stmt: While, observe: bool):
+def _compile_while(ck, stmt: While, hooks: frozenset):
     cond = _make_acc(ck, stmt.cond)
-    cond_run = _compile_block(ck, stmt.cond_body, observe)
-    body_run = _compile_block(ck, stmt.body, observe)
+    cond_run = _compile_block(ck, stmt.cond_body, hooks)
+    body_run = _compile_block(ck, stmt.body, hooks)
     cond_may_ret = any(map(_contains_return, stmt.cond_body))
     body_may_ret = any(map(_contains_return, stmt.body))
+    ni = "instr" in hooks
+    nb = "branch" in hooks
 
-    if observe:
+    if ni or nb:
 
         def run(st, act):
             live = act.copy()
@@ -674,8 +684,10 @@ def _compile_while(ck, stmt: While, observe: bool):
                         return
                 c = cond(st)
                 stay = live & c
-                _note_instr(st, stmt, OpCategory.BRANCH, live)
-                _note_branch(st, stmt, "loop", live, stay)
+                if ni:
+                    _note_instr(st, stmt, OpCategory.BRANCH, live)
+                if nb:
+                    _note_branch(st, stmt, "loop", live, stay)
                 live = stay
                 if not live.any():
                     return
@@ -708,7 +720,7 @@ def _compile_while(ck, stmt: While, observe: bool):
     return run
 
 
-def _compile_barrier(ck, stmt: Barrier, observe: bool):
+def _compile_barrier(ck, stmt: Barrier, hooks: frozenset):
     kname = ck.kernel.name
     sid = stmt.sid
 
@@ -736,7 +748,7 @@ def _compile_barrier(ck, stmt: Barrier, observe: bool):
                         "some non-retired lanes did not reach __syncthreads"
                     )
 
-    if observe:
+    if "instr" in hooks:
 
         def run(st, act):
             core(st, act)
@@ -747,8 +759,8 @@ def _compile_barrier(ck, stmt: Barrier, observe: bool):
     return core
 
 
-def _compile_return(ck, stmt: Return, observe: bool):
-    if observe:
+def _compile_return(ck, stmt: Return, hooks: frozenset):
+    if "instr" in hooks:
 
         def run(st, act):
             _note_instr(st, stmt, OpCategory.BRANCH, act)
@@ -774,8 +786,12 @@ _COMPILERS = {
 }
 
 
-def _compile_block(ck, stmts: List[Stmt], observe: bool):
+def _compile_block(ck, stmts: List[Stmt], hooks: frozenset):
     """Lower a statement list to a single runner ``fn(state, act)``.
+
+    ``hooks`` is the set of observation hooks to compile in (empty for the
+    silent program; the executor passes its sinks' subscription union for
+    profiled blocks, so unsubscribed hooks are never even generated).
 
     ``act`` must be non-empty and exclude retired lanes on entry (all call
     sites guarantee this).  The active mask is only recomputed after
@@ -788,7 +804,7 @@ def _compile_block(ck, stmts: List[Stmt], observe: bool):
             compiler = _COMPILERS[type(stmt)]
         except KeyError:  # pragma: no cover - exhaustive over Stmt subclasses
             raise ExecutionError(f"unknown statement {stmt!r}") from None
-        steps.append((compiler(ck, stmt, observe), _contains_return(stmt)))
+        steps.append((compiler(ck, stmt, hooks), _contains_return(stmt)))
 
     if not any(may_ret for _, may_ret in steps):
         runners = tuple(fn for fn, _ in steps)
@@ -833,7 +849,7 @@ class CompiledKernel:
         "shared_offsets",
         "has_atomics",
         "run_silent",
-        "run_observed",
+        "_observed",
     )
 
     def __init__(self, kernel: Kernel) -> None:
@@ -858,8 +874,26 @@ class CompiledKernel:
         )
         self.shared_decls = sorted(kernel.shared, key=lambda d: d.offset)
         self.shared_offsets = np.array([d.offset for d in self.shared_decls], dtype=np.int64)
-        self.run_silent = _compile_block(self, kernel.body, observe=False)
-        self.run_observed = _compile_block(self, kernel.body, observe=True)
+        self.run_silent = _compile_block(self, kernel.body, frozenset())
+        # Observed programs are specialized per hook-subscription set and
+        # compiled lazily on first use (a mix-only run never lowers the
+        # mem/branch hook variants at all).
+        self._observed: Dict[frozenset, Callable] = {}
+
+    def observed_runner(self, hooks: frozenset) -> Callable:
+        """The runner emitting exactly ``hooks``, lowered on first request."""
+        if not hooks:
+            return self.run_silent
+        run = self._observed.get(hooks)
+        if run is None:
+            run = _compile_block(self, self.kernel.body, hooks)
+            self._observed[hooks] = run
+        return run
+
+    @property
+    def run_observed(self) -> Callable:
+        """The fully-observed runner (every hook compiled in)."""
+        return self.observed_runner(ALL_HOOKS)
 
 
 def _stmt_regs(stmt: Stmt):
@@ -1024,6 +1058,7 @@ def run_compiled_launch(
 
     sinks = executor.sinks
     pf = executor.profile_filter
+    run_observed = ck.observed_runner(executor.hook_subscriptions()) if sinks else None
     stats = {
         "engine": "compiled",
         "blocks": nblocks,
@@ -1058,7 +1093,7 @@ def run_compiled_launch(
             )
             for sink in sinks:
                 sink.on_block_begin(linear, nthreads, nwarps)
-            ck.run_observed(st, st.block_mask)
+            run_observed(st, st.block_mask)
             for sink in sinks:
                 sink.on_block_end()
         else:

@@ -136,6 +136,18 @@ class Executor:
         #: Populated after every launch: engine, block/batch counters.
         self.last_launch_stats: Dict[str, Union[int, str]] = {}
 
+    def hook_subscriptions(self) -> frozenset:
+        """Union of the attached sinks' per-event hook subscriptions.
+
+        Both engines specialize a launch to this set: unsubscribed hooks are
+        never emitted (the compiled engine doesn't even generate them), so a
+        demand-driven sink makes the whole launch cheaper.
+        """
+        subs: set = set()
+        for sink in self.sinks:
+            subs |= sink.subscriptions()
+        return frozenset(subs)
+
     def launch(
         self,
         kernel: Kernel,
@@ -175,12 +187,13 @@ class Executor:
         nblocks: int,
     ) -> int:
         profiled = 0
+        hooks = self.hook_subscriptions() if self.sinks else frozenset()
         for linear in range(nblocks):
             ctaid = (linear % grid[0], linear // grid[0])
             observe = bool(self.sinks) and self.profile_filter(linear, nblocks)
             if observe:
                 profiled += 1
-            run = _BlockRun(self, kernel, grid, block, ctaid, params, observe)
+            run = _BlockRun(self, kernel, grid, block, ctaid, params, observe, hooks)
             run.execute()
         self.last_launch_stats = {
             "engine": "interpreted",
@@ -232,12 +245,17 @@ class _BlockRun:
         ctaid: Tuple[int, int],
         params: Dict[str, Union[int, float]],
         observe: bool,
+        hooks: frozenset = frozenset({"instr", "mem", "branch"}),
     ) -> None:
         self.executor = executor
         self.device = executor.device
         self.kernel = kernel
         self.params = params
         self.sinks = executor.sinks if observe else []
+        # Per-hook sink lists: unsubscribed event kinds cost one falsy check.
+        self._instr_sinks = self.sinks if "instr" in hooks else []
+        self._mem_sinks = self.sinks if "mem" in hooks else []
+        self._branch_sinks = self.sinks if "branch" in hooks else []
         self.nthreads = block[0] * block[1]
         self.nwarps = -(-self.nthreads // WARP_SIZE)
         self.npad = self.nwarps * WARP_SIZE
@@ -498,11 +516,11 @@ class _BlockRun:
     # ------------------------------------------------------------------
 
     def _note_instr(self, stmt: Stmt, category: OpCategory, act: np.ndarray) -> None:
-        if not self.sinks:
+        if not self._instr_sinks:
             return
         warp_mask = act.reshape(self.nwarps, WARP_SIZE).any(axis=1)
         lanes = int(act.sum())
-        for sink in self.sinks:
+        for sink in self._instr_sinks:
             sink.on_instr(stmt, category, lanes, warp_mask)
 
     def _note_mem(
@@ -514,15 +532,15 @@ class _BlockRun:
         addrs: np.ndarray,
         act: np.ndarray,
     ) -> None:
-        if not self.sinks:
+        if not self._mem_sinks:
             return
-        for sink in self.sinks:
+        for sink in self._mem_sinks:
             sink.on_mem(stmt, space, kind, esize, addrs, act)
 
     def _note_branch(self, stmt: Stmt, kind: str, act: np.ndarray, taken: np.ndarray) -> None:
-        if not self.sinks:
+        if not self._branch_sinks:
             return
         warp_active = act.reshape(self.nwarps, WARP_SIZE).sum(axis=1)
         warp_taken = taken.reshape(self.nwarps, WARP_SIZE).sum(axis=1)
-        for sink in self.sinks:
+        for sink in self._branch_sinks:
             sink.on_branch(stmt, kind, warp_active, warp_taken)

@@ -9,12 +9,15 @@ All callbacks default to no-ops so sinks override only what they need.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, FrozenSet, Optional, Tuple
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simt.ir import Kernel, MemSpace, OpCategory, Stmt
+
+#: Event kinds a sink can subscribe to (lifecycle events always fire).
+EVENT_KINDS: FrozenSet[str] = frozenset({"instr", "mem", "branch"})
 
 
 class TraceSink:
@@ -34,6 +37,16 @@ class TraceSink:
     ``warp_mask`` in :meth:`on_instr` marks warps with at least one active
     lane; instruction counts at warp granularity are ``warp_mask.sum()``.
     """
+
+    def subscriptions(self) -> FrozenSet[str]:
+        """Which per-event hooks this sink needs the engines to emit.
+
+        The executor unions the subscriptions of all attached sinks and
+        specializes the launch to exactly that set — unsubscribed hooks are
+        compiled out / skipped entirely.  The default subscribes to every
+        event kind; demand-driven sinks (the pass-based collector) narrow it.
+        """
+        return EVENT_KINDS
 
     def on_kernel_begin(
         self, kernel: "Kernel", grid: Tuple[int, int], block: Tuple[int, int], nblocks: int

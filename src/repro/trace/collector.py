@@ -1,10 +1,14 @@
-"""The main trace sink: turns executor events into :class:`KernelProfile`s.
+"""The main trace sink: dispatches executor events to analysis passes.
 
 One :class:`KernelTraceCollector` observes a sequence of kernel launches and
-accumulates, per launch: instruction mix at thread and warp granularity, SIMD
-efficiency, windowed ILP, branch divergence statistics, global-memory
-coalescing/transaction statistics, per-lane stride profiles, shared-memory
-bank conflicts, and 128B-line reuse distances.
+accumulates one :class:`KernelProfile` per launch.  The actual
+characterization logic lives in the registered passes under
+:mod:`repro.trace.passes` — instruction mix, windowed ILP, branch
+divergence, global-memory coalescing, shared-memory bank conflicts, line
+reuse/locality and texture fetch behaviour — each owning one section of the
+profile.  The collector's job is the shared hot-path plumbing: the
+warp-mask popcount memo, the per-space memory dispatch, and the
+activity guard, computed once and handed to every enabled pass.
 
 Everything here is microarchitecture *independent*: transaction segments,
 cache lines and bank counts are fixed properties of the address stream used
@@ -14,32 +18,22 @@ as measurement granularities, not simulated hardware structures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.simt.ir import Atomic, Instr, Kernel, Load, MemSpace, OpCategory, Reg, Stmt
+from repro.simt.ir import Kernel, MemSpace, OpCategory, Stmt
 from repro.simt.sink import TraceSink
-from repro.simt.types import WARP_SIZE
 from repro.trace.ilp import IlpTrackerBank
-from repro.trace.profile import (
-    BranchStats,
-    GlobalMemStats,
-    KernelProfile,
-    LocalityStats,
-    SharedMemStats,
-    TextureStats,
-    WorkloadProfile,
-)
-from repro.trace.reuse import ReuseDistanceTracker
+from repro.trace.passes import make_passes
+from repro.trace.passes.shared import NUM_BANKS  # noqa: F401  (re-export)
+from repro.trace.profile import KernelProfile, WorkloadProfile
 
 #: Cache-line granularity (bytes) for locality analysis.
 LINE_BYTES = 128
 #: Fine/coarse memory-transaction segment sizes (bytes).
 SEG_SMALL = 32
 SEG_LARGE = 128
-#: Number of shared-memory banks (4-byte interleave), as on GT200/Fermi.
-NUM_BANKS = 32
 
 
 @dataclass
@@ -53,53 +47,55 @@ class CollectorConfig:
     ilp_windows: Tuple[int, ...] = IlpTrackerBank.DEFAULT_WINDOWS
 
     def __post_init__(self) -> None:
-        # Shift amounts hoisted out of the per-event paths (granularities are
-        # powers of two; recomputing bit_length per access was measurable).
+        # Shift amounts hoisted out of the per-event paths; the shifts only
+        # bin addresses correctly for power-of-two granularities, so reject
+        # anything else instead of silently mis-binning.
+        for label in ("line_bytes", "seg_small", "seg_large"):
+            value = getattr(self, label)
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{label} must be a positive power of two, got {value!r}")
         self.line_bits = self.line_bytes.bit_length() - 1
         self.seg_small_bits = self.seg_small.bit_length() - 1
         self.seg_large_bits = self.seg_large.bit_length() - 1
 
 
 class KernelTraceCollector(TraceSink):
-    """Accumulates one :class:`KernelProfile` per observed kernel launch."""
+    """Accumulates one :class:`KernelProfile` per observed kernel launch.
 
-    def __init__(self, config: Optional[CollectorConfig] = None) -> None:
+    ``passes`` selects which analysis passes run (``None`` = all
+    registered); the engines specialize their emitted hooks to the union of
+    the enabled passes' subscriptions, so a subset collector makes the whole
+    launch cheaper, not just the collection.
+    """
+
+    def __init__(
+        self,
+        config: Optional[CollectorConfig] = None,
+        passes: Optional[Sequence[str]] = None,
+    ) -> None:
         self.config = config or CollectorConfig()
+        self._passes = make_passes(passes, self.config)
+        self.pass_names: Tuple[str, ...] = tuple(p.name for p in self._passes)
         self.profiles: List[KernelProfile] = []
         self._p: Optional[KernelProfile] = None
-        self._ilp: Optional[IlpTrackerBank] = None
-        self._reuse: Optional[ReuseDistanceTracker] = None
-        self._tex_reuse: Optional[ReuseDistanceTracker] = None
-        self._lines_seen: Set[int] = set()
-        # Per-block state.
-        self._warp_counts: Optional[np.ndarray] = None
-        self._prev_addr: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-        self._cv_sum = 0.0
-        self._cv_blocks = 0
-        # Per-launch cache of _reg_deps(stmt) keyed by static statement id
-        # (one kernel at a time, so sids are unambiguous within a launch).
-        self._deps_cache: Dict[int, Tuple[Optional[str], List[str]]] = {}
-        # ILP is windowed over the per-block dependence stream, which is a
-        # pure function of the executed sid sequence.  Blocks of one launch
-        # usually replay the same sequence, so buffer sids per block and
-        # cache each distinct stream's tracker contribution.
-        self._ilp_stream: List[int] = []
-        self._ilp_contribs: Dict[Tuple[int, ...], tuple] = {}
-        # Shared-memory conflict stats are a pure function of the (mask,
-        # active addresses) pair, which is block-relative and so repeats
-        # across blocks; cache contributions keyed by those bytes.
-        self._shmem_cache: Dict[bytes, Tuple[int, float, int]] = {}
-        # Instruction-mix sums are additive per static statement: accumulate
-        # [lanes, warps, category, feeds_ilp] per sid and fold at kernel end
-        # instead of updating two category dicts on every event.
-        self._sid_acc: Dict[int, list] = {}
-        # Branch statistics are a pure function of (kind, active, taken)
-        # warp vectors, which repeat heavily across blocks and iterations.
-        self._branch_cache: Dict[tuple, Tuple[int, int, float, float]] = {}
+        # Hot-path dispatch tables, built once.
+        self._instr_passes = [p.on_instr for p in self._passes if "instr" in p.subscribes]
+        self._branch_passes = [p.on_branch for p in self._passes if "branch" in p.subscribes]
+        self._mem_passes: Dict[MemSpace, list] = {}
+        for p in self._passes:
+            if "mem" in p.subscribes:
+                for space in p.mem_spaces:
+                    self._mem_passes.setdefault(space, []).append(p.on_mem)
         # Identity memo for the warp-mask popcount (the compiled engine
         # passes one mask object for a whole straight-line run).
         self._wm_obj: Optional[np.ndarray] = None
         self._wm_nwarps = 0
+
+    def subscriptions(self) -> FrozenSet[str]:
+        subs = set()
+        for p in self._passes:
+            subs |= p.subscribes
+        return frozenset(subs)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -117,85 +113,31 @@ class KernelTraceCollector(TraceSink):
             threads_total=nblocks * block[0] * block[1],
             shared_bytes=kernel.shared_bytes,
             register_pressure=_register_pressure_of(kernel),
+            passes=self.pass_names,
         )
-        self._ilp = IlpTrackerBank(self.config.ilp_windows)
-        self._reuse = ReuseDistanceTracker() if self.config.track_reuse else None
-        self._tex_reuse = ReuseDistanceTracker() if self.config.track_reuse else None
-        self._lines_seen = set()
-        self._cv_sum = 0.0
-        self._cv_blocks = 0
-        self._deps_cache = {}
-        self._ilp_contribs = {}
-        self._shmem_cache = {}
-        self._sid_acc = {}
-        self._branch_cache = {}
         self._wm_obj = None
+        for p in self._passes:
+            p.begin_kernel(kernel, self._p)
 
     def on_block_begin(self, block_idx: int, nthreads: int, nwarps: int) -> None:
-        self._warp_counts = np.zeros(nwarps, dtype=np.int64)
-        self._prev_addr = {}
-        self._ilp_stream = []
+        for p in self._passes:
+            p.begin_block(block_idx, nthreads, nwarps)
 
     def on_block_end(self) -> None:
-        assert self._ilp is not None and self._warp_counts is not None
-        stream = self._ilp_stream
-        if stream:
-            key = tuple(stream)
-            contrib = self._ilp_contribs.get(key)
-            if contrib is None:
-                bank = IlpTrackerBank(self.config.ilp_windows)
-                deps = self._deps_cache
-                for sid in stream:
-                    dest, srcs = deps[sid]
-                    bank.note(dest, srcs)
-                bank.flush()
-                contrib = bank.contribution()
-                self._ilp_contribs[key] = contrib
-            self._ilp.add_contribution(contrib)
-            self._ilp_stream = []
-        counts = self._warp_counts
-        if counts.size > 1 and counts.sum() > 0:
-            mean = counts.mean()
-            if mean > 0:
-                self._cv_sum += float(counts.std() / mean)
-                self._cv_blocks += 1
-        elif counts.size >= 1:
-            self._cv_blocks += 1
-        self._warp_counts = None
-        self._prev_addr = {}
+        for p in self._passes:
+            p.end_block()
 
     def on_kernel_end(self, profiled_blocks: int, total_blocks: int) -> None:
-        assert self._p is not None and self._ilp is not None
+        assert self._p is not None
         p = self._p
-        for lanes_sum, warps_sum, cat, _feeds in self._sid_acc.values():
-            p.thread_instrs[cat] = p.thread_instrs.get(cat, 0) + lanes_sum
-            p.warp_instrs[cat] = p.warp_instrs.get(cat, 0) + warps_sum
-            p.simd_lane_sum += lanes_sum
-            p.simd_slot_sum += warps_sum * WARP_SIZE
-        self._sid_acc = {}
         p.profiled_blocks = profiled_blocks
-        p.ilp = self._ilp.results()
-        p.warp_imbalance_cv = self._cv_sum / self._cv_blocks if self._cv_blocks else 0.0
-        if self._reuse is not None:
-            p.locality = LocalityStats(
-                reuse_histogram=self._reuse.histogram.copy(),
-                cold_misses=self._reuse.cold_misses,
-                line_accesses=self._reuse.accesses,
-                unique_lines=self._reuse.unique_lines,
-            )
-        if self._tex_reuse is not None:
-            p.texture.reuse_histogram = self._tex_reuse.histogram.copy()
-            p.texture.cold_misses = self._tex_reuse.cold_misses
-            p.texture.line_accesses = self._tex_reuse.accesses
-            p.texture.unique_lines = self._tex_reuse.unique_lines
+        for ap in self._passes:
+            ap.end_kernel(p)
         self.profiles.append(p)
         self._p = None
-        self._ilp = None
-        self._reuse = None
-        self._tex_reuse = None
 
     # ------------------------------------------------------------------
-    # Instruction stream
+    # Event dispatch
     # ------------------------------------------------------------------
 
     def on_instr(
@@ -207,75 +149,14 @@ class KernelTraceCollector(TraceSink):
             nwarps = int(np.count_nonzero(warp_mask))
             self._wm_obj = warp_mask
             self._wm_nwarps = nwarps
-        if self._warp_counts is not None:
-            self._warp_counts += warp_mask
-        # Mix counters accumulate per sid (folded at kernel end); the ILP
-        # register-dependence stream is buffered as sids and folded in at
-        # block end, so a repeated per-block stream costs one cache lookup,
-        # not a replay (barriers/branches carry no regs and are skipped).
-        sid = stmt.sid
-        rec = self._sid_acc.get(sid)
-        if rec is None:
-            deps = _reg_deps(stmt)
-            self._deps_cache[sid] = deps
-            feeds_ilp = deps[0] is not None or bool(deps[1])
-            self._sid_acc[sid] = [lanes, nwarps, category.value, feeds_ilp]
-            if feeds_ilp:
-                self._ilp_stream.append(sid)
-        else:
-            rec[0] += lanes
-            rec[1] += nwarps
-            if rec[3]:
-                self._ilp_stream.append(sid)
-
-    # ------------------------------------------------------------------
-    # Branches
-    # ------------------------------------------------------------------
+        for fn in self._instr_passes:
+            fn(stmt, category, lanes, nwarps, warp_mask)
 
     def on_branch(
         self, stmt: Stmt, kind: str, warp_active: np.ndarray, warp_taken: np.ndarray
     ) -> None:
-        p = self._p
-        assert p is not None
-        # The statistics are a pure function of the two warp vectors, which
-        # repeat heavily across blocks and loop iterations: memoize the
-        # per-event contribution (same floats added in the same order, so
-        # the accumulated sums are bit-identical to the direct computation).
-        key = (warp_active.tobytes(), warp_taken.tobytes())
-        c = self._branch_cache.get(key)
-        if c is None:
-            has = warp_active > 0
-            active = warp_active[has]
-            taken = warp_taken[has]
-            n = active.size
-            if n == 0:
-                c = (0, 0, 0.0, 0.0)
-            else:
-                divergent = (taken > 0) & (taken < active)
-                frac = taken / active
-                c = (
-                    n,
-                    int(divergent.sum()),
-                    float(frac.sum()),
-                    float((frac * frac).sum()),
-                )
-            self._branch_cache[key] = c
-        n, div, frac_sum, frac_sqsum = c
-        if n == 0:
-            return
-        b = p.branch
-        b.events += n
-        if kind == "loop":
-            b.loop_events += n
-        else:
-            b.if_events += n
-        b.divergent += div
-        b.taken_frac_sum += frac_sum
-        b.taken_frac_sqsum += frac_sqsum
-
-    # ------------------------------------------------------------------
-    # Memory accesses
-    # ------------------------------------------------------------------
+        for fn in self._branch_passes:
+            fn(stmt, kind, warp_active, warp_taken)
 
     def on_mem(
         self,
@@ -286,139 +167,14 @@ class KernelTraceCollector(TraceSink):
         addrs: np.ndarray,
         act: np.ndarray,
     ) -> None:
-        if not act.any():
-            return
-        if space is MemSpace.SHARED:
-            self._on_shared(addrs, act)
-        elif space is MemSpace.GLOBAL:
-            self._on_global(stmt, elem_size, addrs, act)
-        elif space is MemSpace.TEXTURE:
-            self._on_texture(addrs, act)
         # Constant-space accesses are broadcast through a dedicated cache on
         # real hardware; only their instruction count (already in the mix)
-        # characterises them.
-
-    def _on_texture(self, addrs: np.ndarray, act: np.ndarray) -> None:
-        """Texture fetches: no coalescing rules, but their own line reuse.
-
-        The texture path has a dedicated spatially-optimised cache, so the
-        relevant microarchitecture-independent signal is the locality of the
-        fetch stream, not transaction counts.
-        """
-        p = self._p
-        assert p is not None
-        nwarps = act.size // WARP_SIZE
-        warp_has = act.reshape(nwarps, WARP_SIZE).any(axis=1)
-        p.texture.accesses += int(warp_has.sum())
-        p.texture.lane_accesses += int(act.sum())
-        lines = np.unique(addrs[act] >> self.config.line_bits)
-        if self._tex_reuse is not None:
-            self._tex_reuse.access_many(lines)
-
-    def _on_global(
-        self, stmt: Stmt, elem_size: int, addrs: np.ndarray, act: np.ndarray
-    ) -> None:
-        p = self._p
-        assert p is not None
-        g = p.gmem
-        nwarps = act.size // WARP_SIZE
-        A = addrs.reshape(nwarps, WARP_SIZE)
-        M = act.reshape(nwarps, WARP_SIZE)
-        warp_has = M.any(axis=1)
-        if not warp_has.any():
+        # characterises them — no pass subscribes to them.
+        fns = self._mem_passes.get(space)
+        if fns is None or not act.any():
             return
-        A = A[warp_has]
-        M = M[warp_has]
-        n = A.shape[0]
-        g.accesses += n
-        g.lane_accesses += int(M.sum())
-
-        # Transactions: distinct segments touched per warp, at two
-        # granularities.  Inactive lanes are filled with the warp's first
-        # active address so they never add segments.
-        first = M.argmax(axis=1)
-        fill = A[np.arange(n), first][:, None]
-        addr_f = np.where(M, A, fill)
-        t32 = _distinct_per_row(addr_f >> self.config.seg_small_bits)
-        t128 = _distinct_per_row(addr_f >> self.config.seg_large_bits)
-        g.transactions_32b += int(t32.sum())
-        g.transactions_128b += int(t128.sum())
-        active_cnt = M.sum(axis=1)
-        minimal = -(-(active_cnt * elem_size) // self.config.seg_small)
-        g.coalesced += int((t32 <= minimal).sum())
-
-        # Intra-warp stride classification over adjacent active lane pairs.
-        d = A[:, 1:] - A[:, :-1]
-        valid = M[:, 1:] & M[:, :-1]
-        has_pair = valid.any(axis=1)
-        unit = np.where(has_pair, ((d == elem_size) | ~valid).all(axis=1), False)
-        bcast = np.where(has_pair, ((d == 0) | ~valid).all(axis=1), active_cnt > 0)
-        single = active_cnt == 1
-        g.unit_stride += int((unit & ~single).sum())
-        g.broadcast += int((bcast | single).sum())
-
-        # Per-lane (per-thread) consecutive stride histogram, keyed per
-        # static instruction: the classic "local stride" MICA profile.
-        state = self._prev_addr.get(stmt.sid)
-        flat_act = act
-        if state is None:
-            prev = np.zeros(addrs.size, dtype=np.int64)
-            seen = np.zeros(addrs.size, dtype=bool)
-            self._prev_addr[stmt.sid] = (prev, seen)
-        else:
-            prev, seen = state
-            both = flat_act & seen
-            if both.any():
-                diffs = np.abs(addrs[both] - prev[both])
-                ls = g.local_strides
-                ls["zero"] += int((diffs == 0).sum())
-                ls["unit"] += int((diffs == elem_size).sum())
-                ls["short"] += int(((diffs > elem_size) & (diffs <= 128)).sum())
-                ls["long"] += int((diffs > 128).sum())
-        # The arrays are collector-owned: mutate in place, no defensive copy.
-        prev[flat_act] = addrs[flat_act]
-        seen |= flat_act
-
-        # Locality: feed distinct lines per warp access to the reuse stack.
-        lines = np.unique(addrs[flat_act] >> self.config.line_bits)
-        if self._reuse is not None:
-            self._reuse.access_many(lines)
-
-    def _on_shared(self, addrs: np.ndarray, act: np.ndarray) -> None:
-        p = self._p
-        assert p is not None
-        s = p.shmem
-        active = addrs[act]
-        # Shared addresses are block-relative, so the (mask, addresses)
-        # pair — and therefore this event's additive contribution — repeats
-        # across profiled blocks; cache it.
-        ckey = act.tobytes() + active.tobytes()
-        cached = self._shmem_cache.get(ckey)
-        if cached is None:
-            nwarps = act.size // WARP_SIZE
-            word = active >> 2
-            bank = word % NUM_BANKS
-            wid = np.flatnonzero(act) // WARP_SIZE
-            # Distinct (warp, bank, word) triples: same-word lanes broadcast
-            # for free; distinct words on the same bank serialise.
-            key = (wid << 44) | (bank << 38) | (word & ((1 << 38) - 1))
-            uniq = np.unique(key)
-            wb = uniq >> 38  # (warp, bank) pairs
-            pairs, counts = np.unique(wb, return_counts=True)
-            warp_of = pairs >> 6
-            degree = np.zeros(nwarps, dtype=np.int64)
-            np.maximum.at(degree, warp_of, counts)
-            present = np.zeros(nwarps, dtype=bool)
-            present[warp_of] = True
-            cached = (
-                int(present.sum()),
-                float(degree[present].sum()),
-                int((degree[present] > 1).sum()),
-            )
-            self._shmem_cache[ckey] = cached
-        s.accesses += cached[0]
-        s.conflict_degree_sum += cached[1]
-        s.conflicted += cached[2]
+        for fn in fns:
+            fn(stmt, kind, elem_size, addrs, act)
 
 
 def _register_pressure_of(kernel: Kernel) -> int:
@@ -435,30 +191,6 @@ def _register_pressure_of(kernel: Kernel) -> int:
         cached = static_stats(kernel).register_pressure
         kernel._register_pressure_cache = cached
     return cached
-
-
-def _distinct_per_row(values: np.ndarray) -> np.ndarray:
-    """Count distinct values per row of a 2-D array."""
-    ordered = np.sort(values, axis=1)
-    return (np.diff(ordered, axis=1) != 0).sum(axis=1) + 1
-
-
-def _reg_deps(stmt: Stmt):
-    """Extract (dest register name, source register names) for ILP tracking."""
-    if isinstance(stmt, Instr):
-        return stmt.dest.name, [s.name for s in stmt.srcs if isinstance(s, Reg)]
-    if isinstance(stmt, Load):
-        srcs = [stmt.addr.name] if isinstance(stmt.addr, Reg) else []
-        return stmt.dest.name, srcs
-    if isinstance(stmt, Atomic):
-        srcs = [s.name for s in (stmt.addr, stmt.value, stmt.compare) if isinstance(s, Reg)]
-        return (stmt.dest.name if stmt.dest is not None else None), srcs
-    if hasattr(stmt, "addr"):  # Store
-        srcs = [s.name for s in (stmt.addr, stmt.value) if isinstance(s, Reg)]
-        return None, srcs
-    if hasattr(stmt, "cond") and isinstance(getattr(stmt, "cond"), Reg):
-        return None, [stmt.cond.name]
-    return None, []
 
 
 def collect_workload(workload: str, suite: str, profiles: List[KernelProfile]) -> WorkloadProfile:

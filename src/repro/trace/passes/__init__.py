@@ -1,0 +1,33 @@
+"""Pluggable analysis passes over the executor event stream.
+
+Importing this package registers every built-in pass; the registry lives in
+:mod:`repro.trace.passes.base`.  Adding a characteristic means adding one
+module here (plus its section in ``profile.PASS_FIELDS``) — no edits to the
+collector hot path, the serializer, or the cache key of other passes.
+"""
+
+from repro.trace.passes.base import (
+    EVENT_KINDS,
+    AnalysisPass,
+    get_pass,
+    make_passes,
+    pass_names,
+    pass_source_file,
+    register_pass,
+    resolve_passes,
+)
+
+# Built-in passes register themselves on import (canonical order is
+# profile.PASS_NAMES, not import order).
+from repro.trace.passes import branch, coalescing, ilp, mix, reuse, shared, texture  # noqa: F401, E402
+
+__all__ = [
+    "EVENT_KINDS",
+    "AnalysisPass",
+    "get_pass",
+    "make_passes",
+    "pass_names",
+    "pass_source_file",
+    "register_pass",
+    "resolve_passes",
+]

@@ -1,0 +1,138 @@
+"""Analysis-pass base class and registry.
+
+Each pass is a self-contained module under :mod:`repro.trace.passes` owning
+one section of the :class:`~repro.trace.profile.KernelProfile` (see
+``PASS_FIELDS`` in the profile module).  A pass declares which executor
+events it *subscribes* to — the collector unions these and the engines
+specialize their emitted hooks to exactly that set, so disabled passes cost
+nothing on the hot path.
+
+Registration is by module import: each pass module decorates its class with
+:func:`register_pass`, and the package ``__init__`` imports all built-in
+pass modules.  The canonical order (and hence section order) is
+``profile.PASS_NAMES``.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Dict, FrozenSet, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.simt.ir import Kernel, MemSpace, OpCategory, Stmt
+from repro.trace.profile import PASS_FIELDS, PASS_NAMES, KernelProfile, canonical_passes
+
+#: Executor event kinds a pass may subscribe to.
+EVENT_KINDS: FrozenSet[str] = frozenset({"instr", "mem", "branch"})
+
+
+class AnalysisPass:
+    """One independent characterization pass over the executor event stream.
+
+    Subclasses set the class attributes and override only the hooks for the
+    events they subscribe to.  Lifecycle hooks (``begin_kernel`` …
+    ``end_kernel``) always fire for enabled passes.  Hot-path event hooks
+    receive pre-digested arguments (the collector computes the per-warp
+    activity mask popcount once and shares it across passes).
+    """
+
+    #: Registry key; must appear in ``profile.PASS_NAMES``.
+    name: ClassVar[str]
+    #: Event kinds this pass needs the engines to emit (subset of EVENT_KINDS).
+    subscribes: ClassVar[FrozenSet[str]] = frozenset()
+    #: For ``mem`` subscribers: which address spaces to receive.
+    mem_spaces: ClassVar[FrozenSet[MemSpace]] = frozenset()
+    #: Profile fields owned by this pass (mirrors ``profile.PASS_FIELDS``).
+    fields: ClassVar[Tuple[str, ...]] = ()
+
+    def __init__(self, config) -> None:
+        self.config = config
+
+    # -- lifecycle ------------------------------------------------------
+
+    def begin_kernel(self, kernel: Kernel, profile: KernelProfile) -> None:
+        """Reset per-launch state; ``profile`` is this launch's profile."""
+
+    def begin_block(self, block_idx: int, nthreads: int, nwarps: int) -> None:
+        pass
+
+    def end_block(self) -> None:
+        pass
+
+    def end_kernel(self, profile: KernelProfile) -> None:
+        """Fold accumulated state into the owned profile section."""
+
+    # -- event hooks ----------------------------------------------------
+
+    def on_instr(
+        self,
+        stmt: Stmt,
+        category: OpCategory,
+        lanes: int,
+        nwarps: int,
+        warp_mask: np.ndarray,
+    ) -> None:
+        pass
+
+    def on_mem(
+        self, stmt: Stmt, kind: str, elem_size: int, addrs: np.ndarray, act: np.ndarray
+    ) -> None:
+        pass
+
+    def on_branch(
+        self, stmt: Stmt, kind: str, warp_active: np.ndarray, warp_taken: np.ndarray
+    ) -> None:
+        pass
+
+
+_REGISTRY: Dict[str, Type[AnalysisPass]] = {}
+
+
+def register_pass(cls: Type[AnalysisPass]) -> Type[AnalysisPass]:
+    """Class decorator adding a pass to the registry (validated)."""
+    name = getattr(cls, "name", None)
+    if name not in PASS_NAMES:
+        raise ValueError(f"pass name {name!r} not in profile.PASS_NAMES")
+    if not cls.subscribes <= EVENT_KINDS:
+        raise ValueError(f"pass {name!r} subscribes to unknown events: {cls.subscribes - EVENT_KINDS}")
+    if tuple(cls.fields) != PASS_FIELDS[name]:
+        raise ValueError(f"pass {name!r} fields {cls.fields!r} != profile.PASS_FIELDS[{name!r}]")
+    if "mem" in cls.subscribes and not cls.mem_spaces:
+        raise ValueError(f"mem-subscribing pass {name!r} declares no mem_spaces")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def pass_names() -> Tuple[str, ...]:
+    """All registered pass names, in canonical order."""
+    return tuple(n for n in PASS_NAMES if n in _REGISTRY)
+
+
+def get_pass(name: str) -> Type[AnalysisPass]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown analysis pass {name!r}") from None
+
+
+def resolve_passes(names: Optional[Sequence[str]] = None) -> Tuple[str, ...]:
+    """Normalize a pass selection: ``None`` means every registered pass."""
+    if names is None:
+        return pass_names()
+    resolved = canonical_passes(names)
+    missing = [n for n in resolved if n not in _REGISTRY]
+    if missing:
+        raise ValueError(f"analysis pass(es) not registered: {missing}")
+    return resolved
+
+
+def make_passes(names: Optional[Sequence[str]], config) -> List[AnalysisPass]:
+    """Instantiate the selected passes in canonical order."""
+    return [_REGISTRY[n](config) for n in resolve_passes(names)]
+
+
+def pass_source_file(name: str) -> str:
+    """Source file implementing a pass (the unit of cache invalidation)."""
+    import inspect
+
+    return inspect.getfile(get_pass(name))

@@ -1,0 +1,60 @@
+"""Branch-divergence pass.
+
+The statistics are a pure function of the (active, taken) warp vectors,
+which repeat heavily across blocks and loop iterations: the per-event
+contribution is memoized (same floats added in the same order, so the
+accumulated sums are bit-identical to the direct computation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.trace.passes.base import AnalysisPass, register_pass
+
+
+@register_pass
+class BranchPass(AnalysisPass):
+    name = "branch"
+    subscribes = frozenset({"branch"})
+    fields = ("branch",)
+
+    def begin_kernel(self, kernel, profile):
+        self._stats = profile.branch
+        self._cache: Dict[tuple, Tuple[int, int, float, float]] = {}
+
+    def on_branch(self, stmt, kind, warp_active, warp_taken):
+        key = (warp_active.tobytes(), warp_taken.tobytes())
+        c = self._cache.get(key)
+        if c is None:
+            has = warp_active > 0
+            active = warp_active[has]
+            taken = warp_taken[has]
+            n = active.size
+            if n == 0:
+                c = (0, 0, 0.0, 0.0)
+            else:
+                divergent = (taken > 0) & (taken < active)
+                frac = taken / active
+                c = (
+                    n,
+                    int(divergent.sum()),
+                    float(frac.sum()),
+                    float((frac * frac).sum()),
+                )
+            self._cache[key] = c
+        n, div, frac_sum, frac_sqsum = c
+        if n == 0:
+            return
+        b = self._stats
+        b.events += n
+        if kind == "loop":
+            b.loop_events += n
+        else:
+            b.if_events += n
+        b.divergent += div
+        b.taken_frac_sum += frac_sum
+        b.taken_frac_sqsum += frac_sqsum
+
+    def end_kernel(self, profile):
+        self._stats = None

@@ -1,0 +1,86 @@
+"""Windowed instruction-level-parallelism pass.
+
+ILP is windowed over the per-block register-dependence stream, which is a
+pure function of the executed sid sequence.  Blocks of one launch usually
+replay the same sequence, so sids are buffered per block and each distinct
+stream's tracker contribution is cached (barriers/branches carry no regs
+and are skipped from the stream).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.simt.ir import Atomic, Instr, Load, Reg, Stmt
+from repro.trace.ilp import IlpTrackerBank
+from repro.trace.passes.base import AnalysisPass, register_pass
+
+
+def _reg_deps(stmt: Stmt):
+    """Extract (dest register name, source register names) for ILP tracking."""
+    if isinstance(stmt, Instr):
+        return stmt.dest.name, [s.name for s in stmt.srcs if isinstance(s, Reg)]
+    if isinstance(stmt, Load):
+        srcs = [stmt.addr.name] if isinstance(stmt.addr, Reg) else []
+        return stmt.dest.name, srcs
+    if isinstance(stmt, Atomic):
+        srcs = [s.name for s in (stmt.addr, stmt.value, stmt.compare) if isinstance(s, Reg)]
+        return (stmt.dest.name if stmt.dest is not None else None), srcs
+    if hasattr(stmt, "addr"):  # Store
+        srcs = [s.name for s in (stmt.addr, stmt.value) if isinstance(s, Reg)]
+        return None, srcs
+    if hasattr(stmt, "cond") and isinstance(getattr(stmt, "cond"), Reg):
+        return None, [stmt.cond.name]
+    return None, []
+
+
+@register_pass
+class IlpPass(AnalysisPass):
+    name = "ilp"
+    subscribes = frozenset({"instr"})
+    fields = ("ilp",)
+
+    def begin_kernel(self, kernel, profile):
+        self._bank = IlpTrackerBank(self.config.ilp_windows)
+        # Per-launch cache of _reg_deps(stmt) keyed by static statement id
+        # (one kernel at a time, so sids are unambiguous within a launch).
+        self._deps: Dict[int, Tuple[Optional[str], List[str]]] = {}
+        self._feeds: Dict[int, bool] = {}
+        self._stream: List[int] = []
+        self._contribs: Dict[Tuple[int, ...], tuple] = {}
+
+    def begin_block(self, block_idx, nthreads, nwarps):
+        self._stream = []
+
+    def on_instr(self, stmt, category, lanes, nwarps, warp_mask):
+        sid = stmt.sid
+        feeds = self._feeds.get(sid)
+        if feeds is None:
+            deps = _reg_deps(stmt)
+            self._deps[sid] = deps
+            feeds = deps[0] is not None or bool(deps[1])
+            self._feeds[sid] = feeds
+        if feeds:
+            self._stream.append(sid)
+
+    def end_block(self):
+        stream = self._stream
+        if not stream:
+            return
+        key = tuple(stream)
+        contrib = self._contribs.get(key)
+        if contrib is None:
+            bank = IlpTrackerBank(self.config.ilp_windows)
+            deps = self._deps
+            for sid in stream:
+                dest, srcs = deps[sid]
+                bank.note(dest, srcs)
+            bank.flush()
+            contrib = bank.contribution()
+            self._contribs[key] = contrib
+        self._bank.add_contribution(contrib)
+        self._stream = []
+
+    def end_kernel(self, profile):
+        profile.ilp = self._bank.results()
+        self._bank = None

@@ -1,0 +1,70 @@
+"""Instruction-mix pass: thread/warp category counts, SIMD efficiency and
+warp-issue imbalance.
+
+Mix counters are additive per static statement: accumulate
+``[lanes, warps, category]`` per sid and fold at kernel end instead of
+updating two category dicts on every event (the fold iterates sids in
+first-occurrence order, matching the direct accumulation exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.simt.types import WARP_SIZE
+from repro.trace.passes.base import AnalysisPass, register_pass
+
+
+@register_pass
+class MixPass(AnalysisPass):
+    name = "mix"
+    subscribes = frozenset({"instr"})
+    fields = (
+        "thread_instrs",
+        "warp_instrs",
+        "simd_lane_sum",
+        "simd_slot_sum",
+        "warp_imbalance_cv",
+    )
+
+    def begin_kernel(self, kernel, profile):
+        self._sid_acc: Dict[int, list] = {}
+        self._warp_counts = None
+        self._cv_sum = 0.0
+        self._cv_blocks = 0
+
+    def begin_block(self, block_idx, nthreads, nwarps):
+        self._warp_counts = np.zeros(nwarps, dtype=np.int64)
+
+    def on_instr(self, stmt, category, lanes, nwarps, warp_mask):
+        if self._warp_counts is not None:
+            self._warp_counts += warp_mask
+        rec = self._sid_acc.get(stmt.sid)
+        if rec is None:
+            self._sid_acc[stmt.sid] = [lanes, nwarps, category.value]
+        else:
+            rec[0] += lanes
+            rec[1] += nwarps
+
+    def end_block(self):
+        counts = self._warp_counts
+        if counts.size > 1 and counts.sum() > 0:
+            mean = counts.mean()
+            if mean > 0:
+                self._cv_sum += float(counts.std() / mean)
+                self._cv_blocks += 1
+        elif counts.size >= 1:
+            self._cv_blocks += 1
+        self._warp_counts = None
+
+    def end_kernel(self, profile):
+        p = profile
+        for lanes_sum, warps_sum, cat in self._sid_acc.values():
+            p.thread_instrs[cat] = p.thread_instrs.get(cat, 0) + lanes_sum
+            p.warp_instrs[cat] = p.warp_instrs.get(cat, 0) + warps_sum
+            p.simd_lane_sum += lanes_sum
+            p.simd_slot_sum += warps_sum * WARP_SIZE
+        p.warp_imbalance_cv = self._cv_sum / self._cv_blocks if self._cv_blocks else 0.0
+        self._sid_acc = {}

@@ -1,0 +1,42 @@
+"""Global-memory line-reuse (locality) pass.
+
+Feeds distinct 128B lines per warp access into the reuse-distance stack;
+the section is the power-of-two reuse histogram plus cold-miss/unique-line
+counts in :class:`~repro.trace.profile.LocalityStats`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.ir import MemSpace
+from repro.trace.passes.base import AnalysisPass, register_pass
+from repro.trace.profile import LocalityStats
+from repro.trace.reuse import ReuseDistanceTracker
+
+
+@register_pass
+class ReusePass(AnalysisPass):
+    name = "reuse"
+    subscribes = frozenset({"mem"})
+    mem_spaces = frozenset({MemSpace.GLOBAL})
+    fields = ("locality",)
+
+    def begin_kernel(self, kernel, profile):
+        self._tracker = ReuseDistanceTracker() if self.config.track_reuse else None
+
+    def on_mem(self, stmt, kind, elem_size, addrs, act):
+        if self._tracker is None:
+            return
+        lines = np.unique(addrs[act] >> self.config.line_bits)
+        self._tracker.access_many(lines)
+
+    def end_kernel(self, profile):
+        if self._tracker is not None:
+            profile.locality = LocalityStats(
+                reuse_histogram=self._tracker.histogram.copy(),
+                cold_misses=self._tracker.cold_misses,
+                line_accesses=self._tracker.accesses,
+                unique_lines=self._tracker.unique_lines,
+            )
+        self._tracker = None

@@ -1,0 +1,65 @@
+"""Shared-memory bank-conflict pass.
+
+Shared addresses are block-relative, so the (mask, active addresses) pair —
+and therefore each event's additive contribution — repeats across profiled
+blocks; contributions are cached keyed by those bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.simt.ir import MemSpace
+from repro.simt.types import WARP_SIZE
+from repro.trace.passes.base import AnalysisPass, register_pass
+
+#: Number of shared-memory banks (4-byte interleave), as on GT200/Fermi.
+NUM_BANKS = 32
+
+
+@register_pass
+class SharedPass(AnalysisPass):
+    name = "shared"
+    subscribes = frozenset({"mem"})
+    mem_spaces = frozenset({MemSpace.SHARED})
+    fields = ("shmem",)
+
+    def begin_kernel(self, kernel, profile):
+        self._s = profile.shmem
+        self._cache: Dict[bytes, Tuple[int, float, int]] = {}
+
+    def on_mem(self, stmt, kind, elem_size, addrs, act):
+        s = self._s
+        active = addrs[act]
+        ckey = act.tobytes() + active.tobytes()
+        cached = self._cache.get(ckey)
+        if cached is None:
+            nwarps = act.size // WARP_SIZE
+            word = active >> 2
+            bank = word % NUM_BANKS
+            wid = np.flatnonzero(act) // WARP_SIZE
+            # Distinct (warp, bank, word) triples: same-word lanes broadcast
+            # for free; distinct words on the same bank serialise.
+            key = (wid << 44) | (bank << 38) | (word & ((1 << 38) - 1))
+            uniq = np.unique(key)
+            wb = uniq >> 38  # (warp, bank) pairs
+            pairs, counts = np.unique(wb, return_counts=True)
+            warp_of = pairs >> 6
+            degree = np.zeros(nwarps, dtype=np.int64)
+            np.maximum.at(degree, warp_of, counts)
+            present = np.zeros(nwarps, dtype=bool)
+            present[warp_of] = True
+            cached = (
+                int(present.sum()),
+                float(degree[present].sum()),
+                int((degree[present] > 1).sum()),
+            )
+            self._cache[ckey] = cached
+        s.accesses += cached[0]
+        s.conflict_degree_sum += cached[1]
+        s.conflicted += cached[2]
+
+    def end_kernel(self, profile):
+        self._s = None

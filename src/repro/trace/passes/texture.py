@@ -1,0 +1,47 @@
+"""Texture-fetch pass: access counts plus the fetch stream's line reuse.
+
+The texture path has a dedicated spatially-optimised cache, so the relevant
+microarchitecture-independent signal is the locality of the fetch stream,
+not transaction counts (no coalescing rules apply).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simt.ir import MemSpace
+from repro.simt.types import WARP_SIZE
+from repro.trace.passes.base import AnalysisPass, register_pass
+from repro.trace.reuse import ReuseDistanceTracker
+
+
+@register_pass
+class TexturePass(AnalysisPass):
+    name = "texture"
+    subscribes = frozenset({"mem"})
+    mem_spaces = frozenset({MemSpace.TEXTURE})
+    fields = ("texture",)
+
+    def begin_kernel(self, kernel, profile):
+        self._t = profile.texture
+        self._tracker = ReuseDistanceTracker() if self.config.track_reuse else None
+
+    def on_mem(self, stmt, kind, elem_size, addrs, act):
+        t = self._t
+        nwarps = act.size // WARP_SIZE
+        warp_has = act.reshape(nwarps, WARP_SIZE).any(axis=1)
+        t.accesses += int(warp_has.sum())
+        t.lane_accesses += int(act.sum())
+        if self._tracker is not None:
+            lines = np.unique(addrs[act] >> self.config.line_bits)
+            self._tracker.access_many(lines)
+
+    def end_kernel(self, profile):
+        if self._tracker is not None:
+            t = profile.texture
+            t.reuse_histogram = self._tracker.histogram.copy()
+            t.cold_misses = self._tracker.cold_misses
+            t.line_accesses = self._tracker.accesses
+            t.unique_lines = self._tracker.unique_lines
+        self._t = None
+        self._tracker = None

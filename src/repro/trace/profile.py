@@ -10,9 +10,64 @@ cache unit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
+
+#: Canonical analysis-pass order.  The registry in
+#: :mod:`repro.trace.passes.base` validates itself against this tuple; it
+#: lives here (not there) so the profile layer stays import-cycle free.
+PASS_NAMES: Tuple[str, ...] = (
+    "mix",
+    "ilp",
+    "branch",
+    "coalescing",
+    "shared",
+    "reuse",
+    "texture",
+)
+
+#: Which :class:`KernelProfile` fields each pass owns.  A profile is a
+#: container of per-pass sections: the dataclass stays flat (so keyword
+#: construction and ``KernelProfile(**vars(p))`` cloning keep working) and
+#: this map defines the section boundaries used by sectioned serialization,
+#: cache merging and the per-pass oracle comparison.
+PASS_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "mix": (
+        "thread_instrs",
+        "warp_instrs",
+        "simd_lane_sum",
+        "simd_slot_sum",
+        "warp_imbalance_cv",
+    ),
+    "ilp": ("ilp",),
+    "branch": ("branch",),
+    "coalescing": ("gmem",),
+    "shared": ("shmem",),
+    "reuse": ("locality",),
+    "texture": ("texture",),
+}
+
+#: Header fields not owned by any pass (always collected).
+HEADER_FIELDS: Tuple[str, ...] = (
+    "kernel_name",
+    "grid",
+    "block",
+    "total_blocks",
+    "profiled_blocks",
+    "threads_total",
+    "shared_bytes",
+    "register_pressure",
+)
+
+
+def canonical_passes(names: Iterable[str]) -> Tuple[str, ...]:
+    """Dedupe + order pass names canonically; reject unknown names."""
+    requested = set(names)
+    unknown = requested - set(PASS_NAMES)
+    if unknown:
+        raise ValueError(f"unknown analysis pass(es): {sorted(unknown)}")
+    return tuple(n for n in PASS_NAMES if n in requested)
 
 
 @dataclass
@@ -184,6 +239,9 @@ class KernelProfile:
     #: Static register-pressure estimate (live virtual registers), from
     #: :func:`repro.simt.disasm.static_stats`; drives occupancy modelling.
     register_pressure: int = 16
+    #: Which analysis-pass sections this profile carries; fields of disabled
+    #: passes keep their defaults and mean "not collected", not zero.
+    passes: Tuple[str, ...] = PASS_NAMES
 
     @property
     def sampling_scale(self) -> float:
@@ -227,6 +285,16 @@ class WorkloadProfile:
         return len(self.kernels)
 
     @property
+    def passes(self) -> Tuple[str, ...]:
+        """Passes whose sections every launch of this workload carries."""
+        if not self.kernels:
+            return PASS_NAMES
+        common = set(self.kernels[0].passes)
+        for k in self.kernels[1:]:
+            common &= set(k.passes)
+        return canonical_passes(common)
+
+    @property
     def total_warp_instrs(self) -> int:
         return sum(k.total_warp_instrs for k in self.kernels)
 
@@ -241,3 +309,45 @@ class WorkloadProfile:
         if total == 0:
             return np.full(len(self.kernels), 1.0 / max(len(self.kernels), 1))
         return weights / total
+
+
+# ---------------------------------------------------------------------------
+# Section-level profile surgery (used by the per-pass cache granularity)
+
+
+def _headers_match(a: KernelProfile, b: KernelProfile) -> bool:
+    return all(getattr(a, f) == getattr(b, f) for f in HEADER_FIELDS)
+
+
+def merge_kernel_sections(
+    base: KernelProfile, update: KernelProfile, passes: Iterable[str]
+) -> KernelProfile:
+    """A copy of ``base`` with the given passes' sections taken from ``update``."""
+    merged = KernelProfile(**vars(base))
+    names = tuple(passes)
+    for name in names:
+        for f in PASS_FIELDS[name]:
+            setattr(merged, f, getattr(update, f))
+    merged.passes = canonical_passes(set(base.passes) | set(names))
+    return merged
+
+
+def merge_profiles(
+    base: WorkloadProfile, update: WorkloadProfile, passes: Iterable[str]
+) -> Optional[WorkloadProfile]:
+    """Overlay ``update``'s sections for ``passes`` onto ``base``.
+
+    Returns ``None`` when the two profiles do not describe the same launch
+    sequence (different kernels or headers) — callers then fall back to the
+    fresh profile instead of stitching incompatible runs together.
+    """
+    if len(base.kernels) != len(update.kernels):
+        return None
+    if any(not _headers_match(b, u) for b, u in zip(base.kernels, update.kernels)):
+        return None
+    names = tuple(passes)
+    return WorkloadProfile(
+        workload=base.workload,
+        suite=base.suite,
+        kernels=[merge_kernel_sections(b, u, names) for b, u in zip(base.kernels, update.kernels)],
+    )

@@ -25,6 +25,7 @@ def run_workload(
     seed: int = 1234,
     engine: str = "compiled",
     batch_blocks: Optional[int] = None,
+    passes: Optional[Sequence[str]] = None,
 ) -> WorkloadProfile:
     """Execute one workload under trace collection.
 
@@ -34,6 +35,8 @@ def run_workload(
     execution engine (``"compiled"`` batches unprofiled blocks under
     sampling; ``"interpreted"`` is the reference per-block interpreter) and
     produces bit-identical device memory and profiles either way.
+    ``passes`` selects the analysis passes to collect (``None`` = all);
+    the engines emit only the hooks those passes subscribe to.
     """
     if isinstance(workload, str):
         workload = registry.get(workload)
@@ -41,7 +44,7 @@ def run_workload(
         workload = workload()
 
     device = Device()
-    collector = KernelTraceCollector(collector_config)
+    collector = KernelTraceCollector(collector_config, passes=passes)
     pf = profile_all_blocks if sample_blocks is None else stride_sampler(sample_blocks)
     executor = Executor(
         device,

@@ -131,11 +131,14 @@ def test_bench_quick_writes_schema_json(capsys, tmp_path, monkeypatch):
 
     from repro.core import bench
 
-    # Keep the CLI path intact but shrink the quick basket to seconds.
+    # Keep the CLI path intact but shrink both baskets to seconds.
     monkeypatch.setattr(bench, "QUICK_BASKET", (("VA", {"n": 1 << 10}),))
+    monkeypatch.setattr(bench, "PASS_BASKET", (("VA", {"n": 1 << 10}),))
     out_path = tmp_path / "BENCH_simt.json"
     assert main(["bench", "--quick", "--sample-blocks", "4", "-o", str(out_path)]) == 0
-    assert "engine benchmark (quick)" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "engine benchmark (quick)" in out
+    assert "per-pass collection cost" in out
 
     doc = json.loads(out_path.read_text())
     assert doc["benchmark"] == "simt-engine"
@@ -146,6 +149,14 @@ def test_bench_quick_writes_schema_json(capsys, tmp_path, monkeypatch):
     (entry,) = doc["workloads"]
     assert entry["workload"] == "VA"
     assert set(entry) == {"workload", "scale", "interpreted_s", "compiled_s", "speedup"}
+
+    # Per-pass-set timings: all, mix+branch, then each single pass.
+    names = [e["name"] for e in doc["pass_sets"]]
+    assert names[:2] == ["all", "mix+branch"]
+    assert set(names[2:]) == {"mix", "ilp", "branch", "coalescing", "shared", "reuse", "texture"}
+    for e in doc["pass_sets"]:
+        assert set(e) == {"name", "passes", "seconds"}
+    assert doc["demand_speedup"] is not None
 
 
 def test_fuzz_smoke_and_corpus_replay(capsys, tmp_path):

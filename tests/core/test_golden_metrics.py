@@ -1,0 +1,44 @@
+"""Golden regression: the pass-based collector reproduces the monolith.
+
+``tests/fixtures/golden_metrics.json`` was produced by the pre-refactor
+monolithic ``KernelTraceCollector`` (one class computing every analysis
+inline).  The decomposed pass architecture must yield *numerically
+identical* metric vectors — not merely close — on both execution engines,
+so any drift in a pass's arithmetic, event ordering, or aggregation shows
+up as a hard failure here.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import metrics
+from repro.workloads.runner import run_workload
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), os.pardir, "fixtures", "golden_metrics.json"
+)
+
+with open(FIXTURE) as _fh:
+    GOLDEN = json.load(_fh)
+
+
+@pytest.mark.parametrize("engine", ["interpreted", "compiled"])
+@pytest.mark.parametrize("abbrev", sorted(GOLDEN["workloads"]))
+def test_metric_vector_matches_pre_refactor_monolith(abbrev, engine):
+    profile = run_workload(
+        abbrev,
+        verify=False,
+        sample_blocks=GOLDEN["sample_blocks"],
+        engine=engine,
+    )
+    vector = metrics.extract_vector(profile)
+    expected = GOLDEN["workloads"][abbrev]
+    assert set(vector) == set(expected)
+    mismatched = {
+        name: (vector[name], expected[name])
+        for name in expected
+        if vector[name] != expected[name]
+    }
+    assert not mismatched, f"{abbrev}/{engine}: drift vs monolith: {mismatched}"

@@ -37,25 +37,11 @@ def test_cache_can_be_disabled(tmp_path, monkeypatch):
     assert list(tmp_path.glob("*")) == []
 
 
-def test_legacy_kwargs_still_work_with_deprecation(tmp_path, monkeypatch):
-    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    with pytest.warns(DeprecationWarning):
-        profiles = characterize_suites(abbrevs=["VA"], sample_blocks=8, use_cache=False)
-    assert [p.workload for p in profiles] == ["VA"]
-    # Old positional convention: first argument was the abbrev list.
-    with pytest.warns(DeprecationWarning):
-        profiles = characterize_suites(["VA"], sample_blocks=8, use_cache=False)
-    assert [p.workload for p in profiles] == ["VA"]
-
-
-def test_legacy_progress_callback_still_fires(tmp_path, monkeypatch):
-    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    seen = []
-    with pytest.warns(DeprecationWarning):
-        characterize_suites(
-            abbrevs=["VA"], sample_blocks=8, use_cache=False, progress=seen.append
-        )
-    assert seen == ["VA"]
+def test_legacy_kwargs_are_gone():
+    with pytest.raises(TypeError):
+        characterize_suites(abbrevs=["VA"], sample_blocks=8, use_cache=False)
+    with pytest.raises(TypeError):
+        characterize_suites(["VA"])  # old positional abbrev-list convention
 
 
 def test_analyze_produces_complete_result(suite_profiles):

@@ -226,6 +226,54 @@ def test_editing_shared_sources_invalidates_everything(cache_dir, monkeypatch):
     assert rec.workloads("workload_started") == ["VA"]
 
 
+def test_editing_one_pass_reruns_only_that_pass(cache_dir, monkeypatch):
+    from repro.trace.serialize import workload_section_bytes
+
+    config = CharacterizationConfig(abbrevs=["VA"], sample_blocks=8)
+    first = run_characterization(config)
+    assert first.cache_misses == 1
+    baseline = {
+        name: workload_section_bytes(first.profiles[0], name)
+        for name in first.profiles[0].passes
+    }
+
+    # Simulate editing the reuse pass module: only its digest changes.
+    original = ProfileCache.pass_digest
+
+    def edited(self, name):
+        return "simulated-edit" if name == "reuse" else original(self, name)
+
+    monkeypatch.setattr(ProfileCache, "pass_digest", edited)
+
+    # A run that doesn't need the edited pass still hits the cache outright.
+    subset = Recorder()
+    sub = run_characterization(
+        CharacterizationConfig(
+            abbrevs=["VA"], sample_blocks=8, passes=("mix", "branch")
+        ),
+        subset,
+    )
+    assert sub.cache_hits == 1 and sub.cache_misses == 0
+    assert subset.workloads("workload_started") == []
+
+    # An all-pass run reruns exactly the stale pass and merges the rest.
+    rec = Recorder()
+    result = run_characterization(config, rec)
+    started = [e for e in rec.events if e.kind == "workload_started"]
+    assert [e.workload for e in started] == ["VA"]
+    assert started[0].passes == ("reuse",)
+    profile = result.profiles[0]
+    assert profile.passes == first.profiles[0].passes
+    for name in profile.passes:
+        assert workload_section_bytes(profile, name) == baseline[name]
+
+    # The refreshed shard records the new digest, so the next run full-hits.
+    warm = Recorder()
+    again = run_characterization(config, warm)
+    assert again.cache_hits == 1 and again.cache_misses == 0
+    assert warm.workloads("workload_started") == []
+
+
 def test_corrupt_shard_is_treated_as_miss(cache_dir):
     config = CharacterizationConfig(abbrevs=["VA"], sample_blocks=8)
     run_characterization(config)

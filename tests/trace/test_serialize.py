@@ -46,8 +46,12 @@ def test_json_is_plain_data(suite_profiles):
     buf = io.StringIO()
     dump_profiles(suite_profiles[:2], buf)
     payload = json.loads(buf.getvalue())
-    assert payload["format_version"] == 1
+    assert payload["format_version"] == 2
     assert len(payload["profiles"]) == 2
+    # Sectioned layout: every kernel dict carries its pass list and one
+    # section per pass.
+    kernel = payload["profiles"][0]["kernels"][0]
+    assert set(kernel["sections"]) == set(kernel["passes"])
 
 
 def test_version_check(tmp_path):
