@@ -12,8 +12,7 @@ import os
 
 import pytest
 
-from repro.core.pipeline import analyze, characterize_suites
-from repro.core.runtime import CharacterizationConfig
+from repro.api import CharacterizationConfig, analyze, characterize
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -22,7 +21,7 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 def profiles():
     # jobs=None defers to REPRO_JOBS, so `REPRO_JOBS=8 pytest benchmarks/`
     # parallelizes the one-time suite characterization.
-    return characterize_suites(CharacterizationConfig())
+    return characterize(CharacterizationConfig()).profiles
 
 
 @pytest.fixture(scope="session")

@@ -13,7 +13,7 @@ Run:  python examples/custom_kernel_placement.py
 
 import numpy as np
 
-from repro.core import analyze, characterize_suites
+from repro.api import analyze, characterize
 from repro.core.placement import place_workload
 from repro.simt import Device, DType, Executor, KernelBuilder
 from repro.trace import KernelTraceCollector
@@ -66,7 +66,7 @@ def pointer_chaser(device, executor):
 
 def main():
     print("characterizing the reference suite (cached after first run)...")
-    analysis = analyze(characterize_suites())
+    analysis = analyze(characterize())
 
     for name, fn in [("stream-fma", streaming_kernel), ("pointer-chase", pointer_chaser)]:
         profile = characterize_custom(name, fn)

@@ -12,7 +12,7 @@ Run:  python examples/design_space_eval.py
 
 import numpy as np
 
-from repro.core import characterize_suites, analyze
+from repro.api import analyze, characterize
 from repro.core.analysis.diversity import representatives
 from repro.core.analysis.kmeans import kmeans
 from repro.core.evaluation import evaluate_subset, random_subset_errors
@@ -23,7 +23,7 @@ SUBSET_K = 8
 
 
 def main():
-    profiles = characterize_suites()
+    profiles = characterize().profiles
     result = analyze(profiles)
     configs = default_design_space()
 

@@ -9,7 +9,7 @@ functional block, the stress ranking.
 Run:  python examples/subspace_explorer.py
 """
 
-from repro.core import characterize_suites
+from repro.api import characterize
 from repro.core.analysis.subspace import analyze_subspace, kernel_heterogeneity
 from repro.core.evaluation import STRESS_PROFILES, stress_ranking
 from repro.core.featurespace import FeatureMatrix
@@ -18,7 +18,7 @@ from repro.report import ascii_table, text_scatter
 
 
 def main():
-    profiles = characterize_suites()
+    profiles = characterize().profiles
     fm = FeatureMatrix.from_profiles(profiles)
 
     for name, dims in metrics.SUBSPACES.items():

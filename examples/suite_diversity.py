@@ -8,9 +8,7 @@ representative subset an architect would simulate.
 Run:  python examples/suite_diversity.py
 """
 
-import numpy as np
-
-from repro.core import CharacterizationConfig, ConsoleObserver, characterize_and_analyze
+from repro.api import CharacterizationConfig, ConsoleObserver, analyze, characterize
 from repro.core.analysis.diversity import outlier_ranking, suite_diversity
 from repro.report import ascii_table, text_dendrogram, text_scatter
 
@@ -20,8 +18,8 @@ def main():
     # jobs=0 fans the first-run simulation out over every core; cached
     # profiles make later runs instant.  ConsoleObserver streams live
     # per-workload progress events to stderr.
-    result = characterize_and_analyze(
-        CharacterizationConfig(jobs=0), observer=ConsoleObserver()
+    result = analyze(
+        characterize(CharacterizationConfig(jobs=0), observer=ConsoleObserver())
     )
 
     pca = result.pca

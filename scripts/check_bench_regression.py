@@ -22,6 +22,19 @@ The check fails when the fresh ratio falls more than ``--tolerance``
 (default 25%) below the baseline ratio.  The same guard is applied to the
 demand-driven pass speedup (mix+branch vs all passes) when both files
 record it.
+
+``--seconds-tolerance F`` additionally compares raw compiled wall-clock
+seconds — the guard for the *disabled-telemetry* fast path, whose cost a
+ratio check cannot see (both engines pay it).  It prefers the bench's
+``telemetry.disabled_s`` record (best-of-N after warmup, the least noisy
+wall-clock figure in the file) and falls back to the matched per-workload
+entries.  Raw seconds only mean something against a same-host baseline, so
+the check is skipped (with a notice) when the two files disagree on host,
+machine or Python version.  CI runs it at 0.03: instrumentation may not
+slow the shipping configuration by more than 3%.
+
+``--max-telemetry-overhead F`` bounds the fresh file's own measured
+enabled-vs-disabled telemetry overhead (the bench's ``telemetry`` record).
 """
 
 from __future__ import annotations
@@ -69,6 +82,73 @@ def matched_speedups(fresh: dict, baseline: dict):
     return fresh_i / fresh_c, base_i / base_c, matched
 
 
+def matched_compiled_seconds(fresh: dict, baseline: dict):
+    """Summed compiled seconds over shared entries, or ``None`` if none."""
+
+    def key(entry: dict):
+        return (entry["workload"], json.dumps(entry["scale"], sort_keys=True))
+
+    base_map = {key(e): e for e in baseline.get("workloads", [])}
+    fresh_c = base_c = 0.0
+    matched = 0
+    for entry in fresh.get("workloads", []):
+        ref = base_map.get(key(entry))
+        if ref is None:
+            continue
+        matched += 1
+        fresh_c += float(entry["compiled_s"])
+        base_c += float(ref["compiled_s"])
+    if not matched:
+        return None
+    return fresh_c, base_c, matched
+
+
+def check_seconds(fresh: dict, baseline: dict, tolerance: float) -> bool:
+    """Fail when disabled-path compiled seconds regress beyond ``tolerance``."""
+    for field in ("host", "machine", "python"):
+        if not fresh.get(field) or fresh.get(field) != baseline.get(field):
+            print(
+                f"seconds check skipped: baseline recorded on a different "
+                f"{field} ({baseline.get(field)} vs {fresh.get(field)})"
+            )
+            return True
+    fresh_t, base_t = fresh.get("telemetry"), baseline.get("telemetry")
+    if fresh_t and base_t:
+        fresh_c = float(fresh_t["disabled_s"])
+        base_c = float(base_t["disabled_s"])
+        label = "disabled-telemetry compiled seconds (quick basket, best-of-N)"
+    else:
+        matched = matched_compiled_seconds(fresh, baseline)
+        if matched is None:
+            print("seconds check skipped: no matching (workload, scale) entries")
+            return True
+        fresh_c, base_c, count = matched
+        label = f"compiled seconds ({count} matched workloads)"
+    ceiling = base_c * (1.0 + tolerance)
+    ok = fresh_c <= ceiling
+    verdict = "ok" if ok else "REGRESSION"
+    print(
+        f"{label}: fresh {fresh_c:.2f}s vs baseline {base_c:.2f}s "
+        f"(ceiling {ceiling:.2f}s) ... {verdict}"
+    )
+    return ok
+
+
+def check_telemetry_overhead(fresh: dict, budget: float) -> bool:
+    record = fresh.get("telemetry")
+    if not record:
+        print("telemetry overhead check skipped: fresh file records none")
+        return True
+    overhead = float(record["overhead"])
+    ok = overhead <= budget
+    verdict = "ok" if ok else "OVER BUDGET"
+    print(
+        f"enabled-telemetry overhead: {overhead:+.1%} "
+        f"(budget {budget:.0%}) ... {verdict}"
+    )
+    return ok
+
+
 def check_ratio(label: str, fresh: float, baseline: float, tolerance: float) -> bool:
     floor = baseline / (1.0 + tolerance)
     ok = fresh >= floor
@@ -94,6 +174,20 @@ def main(argv=None) -> int:
         type=float,
         default=DEFAULT_TOLERANCE,
         help="allowed fractional slowdown before failing (default: 0.25)",
+    )
+    parser.add_argument(
+        "--seconds-tolerance",
+        type=float,
+        default=None,
+        help="also compare matched compiled wall-clock seconds against a "
+        "same-machine baseline; fail beyond this fractional slowdown",
+    )
+    parser.add_argument(
+        "--max-telemetry-overhead",
+        type=float,
+        default=None,
+        help="fail when the fresh bench's measured enabled-telemetry "
+        "overhead exceeds this fraction",
     )
     args = parser.parse_args(argv)
 
@@ -123,6 +217,10 @@ def main(argv=None) -> int:
             float(base_demand),
             args.tolerance,
         )
+    if args.seconds_tolerance is not None:
+        ok &= check_seconds(fresh, baseline, args.seconds_tolerance)
+    if args.max_telemetry_overhead is not None:
+        ok &= check_telemetry_overhead(fresh, args.max_telemetry_overhead)
     return 0 if ok else 1
 
 

@@ -14,27 +14,36 @@ Layers (bottom-up):
   clustering analysis, and design-space evaluation metrics;
 * :mod:`repro.uarch` — an analytical GPU timing model for the evaluation-
   implications experiments;
-* :mod:`repro.report` — text tables and figures.
+* :mod:`repro.telemetry` — spans, metrics and trace export for the whole
+  pipeline;
+* :mod:`repro.report` — text tables and figures;
+* :mod:`repro.api` — the stable, typed facade over all of the above.
 
 Quick start::
 
-    from repro.core import characterize_and_analyze
-    result = characterize_and_analyze()
-    print(result.representatives)
+    import repro
+
+    result = repro.characterize()           # CharacterizationResult
+    analysis = repro.analyze(result)        # AnalysisResult
+    print(analysis.representatives)
+
+    with repro.trace_session("run.json"):   # chrome://tracing-loadable
+        repro.characterize()
 """
 
 __version__ = "1.0.0"
 
-from repro.core import (
+from repro.api import (
     AnalysisResult,
     CharacterizationConfig,
     CharacterizationError,
     CharacterizationResult,
+    EvaluationResult,
     RunObserver,
     analyze,
-    characterize_and_analyze,
-    characterize_suites,
-    run_characterization,
+    characterize,
+    evaluate,
+    trace_session,
 )
 from repro.workloads import run_suite, run_workload
 
@@ -43,12 +52,13 @@ __all__ = [
     "CharacterizationConfig",
     "CharacterizationError",
     "CharacterizationResult",
+    "EvaluationResult",
     "RunObserver",
     "__version__",
     "analyze",
-    "characterize_and_analyze",
-    "characterize_suites",
-    "run_characterization",
+    "characterize",
+    "evaluate",
     "run_suite",
     "run_workload",
+    "trace_session",
 ]

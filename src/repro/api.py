@@ -1,0 +1,216 @@
+"""Stable, typed public API for the characterization toolkit.
+
+Four PRs grew entrypoints across :mod:`repro.core.runtime`,
+:mod:`repro.core.pipeline` and the CLI; this module is the one import path
+that is guaranteed to stay stable::
+
+    import repro.api as api
+
+    result = api.characterize(api.CharacterizationConfig(abbrevs=["VA", "KM"]))
+    analysis = api.analyze(result)
+    evaluation = api.evaluate(analysis, subset_k=8)
+
+    with api.trace_session("run.json"):         # telemetry sink attachment
+        api.characterize(api.CharacterizationConfig())
+
+Everything here is re-exported from :mod:`repro` itself, so
+``from repro import characterize`` works too.
+
+Migration from the legacy entrypoints (which now emit
+``DeprecationWarning``):
+
+=============================================  ===================================
+old                                            new
+=============================================  ===================================
+``core.pipeline.characterize_suites(cfg)``     ``api.characterize(cfg).profiles``
+``core.pipeline.characterize_and_analyze()``   ``api.analyze(api.characterize())``
+``core.pipeline.analyze(profiles)``            ``api.analyze(result_or_profiles)``
+=============================================  ===================================
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.core.pipeline import AnalysisResult
+from repro.core.runtime import (
+    CharacterizationConfig,
+    CharacterizationError,
+    CharacterizationResult,
+    ConsoleObserver,
+    RunObserver,
+    run_characterization,
+)
+from repro.telemetry import Telemetry, get_telemetry, write_trace
+from repro.trace.profile import WorkloadProfile
+
+__all__ = [
+    "CharacterizationConfig",
+    "CharacterizationError",
+    "CharacterizationResult",
+    "ConsoleObserver",
+    "RunObserver",
+    "AnalysisResult",
+    "EvaluationResult",
+    "characterize",
+    "analyze",
+    "evaluate",
+    "trace_session",
+]
+
+#: ``analyze``/``evaluate`` accept either the result object or bare profiles.
+ProfileSource = Union[CharacterizationResult, Sequence[WorkloadProfile]]
+
+
+def characterize(
+    config: Optional[CharacterizationConfig] = None,
+    observer: Optional[RunObserver] = None,
+    strict: bool = True,
+) -> CharacterizationResult:
+    """Characterize a workload set (all registered ones by default).
+
+    Returns the full :class:`CharacterizationResult` — profiles, structured
+    failures and cache statistics.  With ``strict=True`` (default) any
+    workload failure raises :class:`CharacterizationError`; ``strict=False``
+    returns the partial result for callers that want to inspect failures
+    themselves.
+    """
+    if config is not None and not isinstance(config, CharacterizationConfig):
+        raise TypeError(
+            f"characterize() takes a CharacterizationConfig, got {type(config).__name__}"
+        )
+    result = run_characterization(config, observer)
+    if strict and result.failures:
+        raise CharacterizationError(result.failures)
+    return result
+
+
+def _as_profiles(source: ProfileSource) -> List[WorkloadProfile]:
+    if isinstance(source, CharacterizationResult):
+        return list(source.profiles)
+    return list(source)
+
+
+def analyze(
+    source: ProfileSource,
+    variance_target: float = 0.9,
+    linkage_method: str = "average",
+    k_range: Optional[Sequence[int]] = None,
+    seed: int = 7,
+    subspaces: Optional[Dict[str, Sequence[str]]] = None,
+    metric_names: Optional[Sequence[str]] = None,
+) -> AnalysisResult:
+    """Run the paper's methodology on a characterization result.
+
+    ``source`` is a :class:`CharacterizationResult` (from
+    :func:`characterize`) or a bare profile sequence.  Produces the feature
+    matrix, PCA, dendrogram, K-means clusters, representatives and subspace
+    analyses — see :class:`AnalysisResult`.
+    """
+    from repro.core import pipeline
+
+    return pipeline.analyze(
+        _as_profiles(source),
+        variance_target=variance_target,
+        linkage_method=linkage_method,
+        k_range=k_range,
+        seed=seed,
+        subspaces=subspaces,
+        metric_names=metric_names,
+    )
+
+
+@dataclass
+class EvaluationResult:
+    """Design-space evaluation of a representative subset vs the full suite."""
+
+    #: Workload abbrevs of the chosen cluster representatives.
+    representatives: List[str]
+    #: Cluster-share weight of each representative.
+    weights: List[float]
+    #: Per-design accuracy record (errors, Kendall tau, winner agreement).
+    subset: "SubsetEvaluation"  # noqa: F821 - resolved at runtime
+
+    @property
+    def mean_error(self) -> float:
+        return self.subset.mean_error
+
+    @property
+    def kendall_tau(self) -> float:
+        return self.subset.kendall_tau
+
+    @property
+    def same_winner(self) -> bool:
+        return self.subset.same_winner
+
+
+def evaluate(
+    source: ProfileSource,
+    subset_k: int = 8,
+    analysis: Optional[AnalysisResult] = None,
+    seed: int = 0,
+) -> EvaluationResult:
+    """Evaluate how well a ``subset_k``-representative subset covers the
+    default microarchitecture design space.
+
+    Clusters the PCA scores into ``subset_k`` groups, picks one
+    representative per cluster and compares subset-estimated speedups
+    against the full suite over :func:`repro.uarch.default_design_space`.
+    Pass ``analysis`` to reuse an existing :func:`analyze` result instead of
+    recomputing it.
+    """
+    import numpy as np
+
+    from repro.core.analysis.diversity import representatives as pick_reps
+    from repro.core.analysis.kmeans import kmeans
+    from repro.core.evaluation import evaluate_subset
+    from repro.uarch import BASELINE, default_design_space, speedup_matrix
+
+    profiles = _as_profiles(source)
+    if analysis is None:
+        analysis = analyze(profiles)
+    configs = default_design_space()
+    perf = speedup_matrix(profiles, configs, BASELINE)
+    km = kmeans(analysis.pca.scores, subset_k, np.random.default_rng(seed), n_init=50)
+    reps = pick_reps(km, analysis.pca.scores, analysis.workloads)
+    subset = evaluate_subset(
+        perf,
+        [r.index for r in reps],
+        [r.weight for r in reps],
+        [c.name for c in configs],
+    )
+    return EvaluationResult(
+        representatives=[r.workload for r in reps],
+        weights=[r.weight for r in reps],
+        subset=subset,
+    )
+
+
+@contextmanager
+def trace_session(
+    trace_out: Optional[str] = None, reset: bool = True
+) -> Iterator[Telemetry]:
+    """Enable telemetry for a block of work, exporting a trace on exit.
+
+    The documented way to attach a telemetry sink to the pipeline::
+
+        with api.trace_session("run.json") as tele:
+            api.characterize(config)
+        # run.json is now a chrome://tracing-loadable trace
+
+    ``trace_out`` ending in ``.jsonl`` writes the JSONL span log; any other
+    name writes Chrome trace-event JSON; ``None`` enables collection without
+    exporting (read the returned :class:`Telemetry` directly).  The trace is
+    written even when the traced block raises.  Telemetry is disabled again
+    on exit.
+    """
+    tele = get_telemetry()
+    tele.enable(reset=reset)
+    try:
+        yield tele
+    finally:
+        tele.disable()
+        if trace_out:
+            write_trace(tele, trace_out)

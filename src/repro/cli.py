@@ -10,31 +10,68 @@ Surfaces the paper's workflows without writing Python::
     python -m repro evaluate --subset-k 8      # design-space evaluation
     python -m repro profile-cache              # inspect the profile cache
     python -m repro fuzz --n 500 --seed 0      # differential-fuzz the engines
+    python -m repro telemetry run.json         # summarize a telemetry trace
 
 All commands share the sharded on-disk profile cache, so only the first
 invocation simulates the suite — and ``--jobs N`` (or ``REPRO_JOBS``) fans
 that first simulation out over N worker processes.
+
+Telemetry: ``--trace-out PATH`` (or ``REPRO_TRACE=PATH``) records spans and
+metrics for the whole invocation and writes them on exit — Chrome
+trace-event JSON for ``*.json``, a JSONL span log for ``*.jsonl``.
+Summarize either with ``python -m repro telemetry PATH``.
+
+Exit codes are uniform across subcommands: 0 success, 1 operation failure
+(workload characterization failed, fuzz found a bug), 2 usage error
+(unknown workload/metric/pass, conflicting flags, bad ``REPRO_JOBS``).
+
+``--json`` on ``list``, ``characterize`` and ``stress`` emits
+machine-readable output on stdout; each document carries a ``schema`` key
+(``repro.workloads/v1``, ``repro.feature-matrix/v1``, ``repro.stress/v1``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
-import numpy as np
+#: Uniform exit codes (see module docstring).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+
+
+def _usage_error(message) -> "SystemExit":
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(EXIT_USAGE)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.report import ascii_table
     from repro.workloads import registry
 
-    rows = [
-        [cls.suite, cls.abbrev, cls.name, cls.description]
-        for cls in registry.all_workloads()
-    ]
+    workloads = registry.all_workloads()
+    if args.json:
+        doc = {
+            "schema": "repro.workloads/v1",
+            "workloads": [
+                {
+                    "suite": cls.suite,
+                    "abbrev": cls.abbrev,
+                    "name": cls.name,
+                    "description": cls.description,
+                }
+                for cls in workloads
+            ],
+        }
+        print(json.dumps(doc, indent=2))
+        return EXIT_OK
+    rows = [[cls.suite, cls.abbrev, cls.name, cls.description] for cls in workloads]
     print(ascii_table(["suite", "abbrev", "name", "description"], rows))
-    return 0
+    return EXIT_OK
 
 
 def _csv_names(raw: Optional[str]) -> Optional[List[str]]:
@@ -67,11 +104,7 @@ def _pass_selection(args: argparse.Namespace):
 
 
 def _profiles(args: argparse.Namespace):
-    from repro.core.runtime import (
-        CharacterizationConfig,
-        ConsoleObserver,
-        run_characterization,
-    )
+    from repro.api import CharacterizationConfig, ConsoleObserver, characterize
 
     try:
         config = CharacterizationConfig(
@@ -82,12 +115,10 @@ def _profiles(args: argparse.Namespace):
             passes=_pass_selection(args),
         )
         observer = ConsoleObserver(sys.stderr) if args.verbose else None
-        result = run_characterization(config, observer)
+        result = characterize(config, observer, strict=False)
     except (KeyError, ValueError) as exc:
         # Unknown workload abbrev, pass or metric name, or a bad REPRO_JOBS.
-        message = exc.args[0] if exc.args else exc
-        print(f"error: {message}", file=sys.stderr)
-        raise SystemExit(2)
+        raise _usage_error(exc.args[0] if exc.args else exc)
     if result.failures:
         for failure in result.failures:
             print(
@@ -95,7 +126,7 @@ def _profiles(args: argparse.Namespace):
                 f"attempt(s): {failure.error}",
                 file=sys.stderr,
             )
-        raise SystemExit(1)
+        raise SystemExit(EXIT_FAILURE)
     return result.profiles
 
 
@@ -104,6 +135,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     from repro.core.featurespace import FeatureMatrix
     from repro.report import ascii_table, csv_lines
 
+    if args.json and args.csv:
+        raise _usage_error("--json and --csv are mutually exclusive")
     try:
         selected = _csv_names(args.metrics)
         if selected is not None:
@@ -111,11 +144,25 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
                 if name not in metrics.metric_names():
                     raise ValueError(f"unknown metric {name!r}")
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        raise SystemExit(2)
+        raise _usage_error(exc)
     # Without --metrics the matrix defaults to whatever the collected
     # passes support (everything, unless --passes narrowed the run).
     fm = FeatureMatrix.from_profiles(_profiles(args), metric_names=selected)
+    if args.json:
+        doc = {
+            "schema": "repro.feature-matrix/v1",
+            "metrics": list(fm.metric_names),
+            "workloads": [
+                {
+                    "workload": w,
+                    "suite": s,
+                    "values": {n: float(v) for n, v in zip(fm.metric_names, row)},
+                }
+                for w, s, row in zip(fm.workloads, fm.suites, fm.values)
+            ],
+        }
+        print(json.dumps(doc, indent=2))
+        return EXIT_OK
     if args.csv:
         text = csv_lines(
             ["workload", "suite"] + fm.metric_names,
@@ -124,7 +171,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         with open(args.csv, "w") as f:
             f.write(text)
         print(f"wrote {fm.n_workloads}x{fm.n_metrics} feature matrix to {args.csv}")
-        return 0
+        return EXIT_OK
     # Terminal-friendly: one table per metric group.
     column = {name: i for i, name in enumerate(fm.metric_names)}
     for group in metrics.metric_groups():
@@ -136,12 +183,12 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
             for i, w in enumerate(fm.workloads)
         ]
         print(ascii_table(["workload"] + names, rows, title=group))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.api import analyze
     from repro.core.analysis.diversity import outlier_ranking
-    from repro.core.pipeline import analyze
     from repro.report import ascii_table, text_dendrogram, text_scatter
 
     result = analyze(
@@ -166,7 +213,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print("top diversity outliers:")
     for workload, dist in outlier_ranking(pca.scores, result.workloads)[:8]:
         print(f"  {workload:6s} {dist:.2f}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_subspace(args: argparse.Namespace) -> int:
@@ -180,7 +227,7 @@ def _cmd_subspace(args: argparse.Namespace) -> int:
             f"unknown subspace {args.name!r}; options: {sorted(metrics.SUBSPACES)}",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     profiles = _profiles(args)
     fm = FeatureMatrix.from_profiles(profiles)
     dims = metrics.SUBSPACES[args.name]
@@ -197,7 +244,7 @@ def _cmd_subspace(args: argparse.Namespace) -> int:
             title=f"{args.name} subspace ({len(dims)} characteristics)",
         )
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_stress(args: argparse.Namespace) -> int:
@@ -205,7 +252,6 @@ def _cmd_stress(args: argparse.Namespace) -> int:
     from repro.core.featurespace import FeatureMatrix
     from repro.report import ascii_table
 
-    fm = FeatureMatrix.from_profiles(_profiles(args))
     blocks = [args.block] if args.block else list(STRESS_PROFILES)
     for block in blocks:
         if block not in STRESS_PROFILES:
@@ -213,28 +259,33 @@ def _cmd_stress(args: argparse.Namespace) -> int:
                 f"unknown block {block!r}; options: {sorted(STRESS_PROFILES)}",
                 file=sys.stderr,
             )
-            return 2
+            return EXIT_USAGE
+    fm = FeatureMatrix.from_profiles(_profiles(args))
+    if args.json:
+        doc = {
+            "schema": "repro.stress/v1",
+            "top": args.top,
+            "blocks": {
+                block: [
+                    {"workload": w, "score": float(score)}
+                    for w, score in stress_ranking(fm, block, args.top)
+                ]
+                for block in blocks
+            },
+        }
+        print(json.dumps(doc, indent=2))
+        return EXIT_OK
+    for block in blocks:
         print(ascii_table(["workload", "stress score"], stress_ranking(fm, block, args.top), title=block))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    from repro.core.analysis.diversity import representatives
-    from repro.core.analysis.kmeans import kmeans
-    from repro.core.evaluation import evaluate_subset
-    from repro.core.pipeline import analyze
+    from repro.api import evaluate
     from repro.report import ascii_table
-    from repro.uarch import BASELINE, default_design_space, speedup_matrix
 
-    profiles = _profiles(args)
-    result = analyze(profiles)
-    configs = default_design_space()
-    perf = speedup_matrix(profiles, configs, BASELINE)
-    km = kmeans(result.pca.scores, args.subset_k, np.random.default_rng(0), n_init=50)
-    reps = representatives(km, result.pca.scores, result.workloads)
-    ev = evaluate_subset(
-        perf, [r.index for r in reps], [r.weight for r in reps], [c.name for c in configs]
-    )
+    result = evaluate(_profiles(args), subset_k=args.subset_k)
+    ev = result.subset
     rows = [
         [name, full, sub, f"{err * 100:+.1f}%"]
         for name, full, sub, err in zip(
@@ -245,14 +296,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         ascii_table(
             ["design", "full suite", "subset", "error"],
             rows,
-            title=f"representatives: {', '.join(r.workload for r in reps)}",
+            title=f"representatives: {', '.join(result.representatives)}",
         )
     )
     print(
         f"mean |error| {ev.mean_error:.1%}  max {ev.max_error:.1%}  "
         f"tau {ev.kendall_tau:.2f}  same winner: {ev.same_winner}"
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
@@ -265,7 +316,7 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
         cls = registry.get(args.workload)
     except KeyError as exc:
         print(exc, file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     # Capture the kernels the workload actually launches by intercepting
     # the executor (no trace sinks; functional execution only).
@@ -296,11 +347,11 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
         rows,
         title=f"{cls.abbrev}: {len(seen)} distinct kernels",
     ))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.core.pipeline import analyze
+    from repro.api import analyze
     from repro.report.markdown import render_analysis_report
 
     result = analyze(_profiles(args))
@@ -311,7 +362,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote report to {args.output}")
     else:
         print(text)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_profile_cache(args: argparse.Namespace) -> int:
@@ -324,15 +375,15 @@ def _cmd_profile_cache(args: argparse.Namespace) -> int:
     if args.clear:
         removed = cache.purge(stale_only=False)
         print(f"removed {len(removed)} shard(s) from {cache.cache_dir}")
-        return 0
+        return EXIT_OK
     if args.purge:
         removed = cache.purge(stale_only=True)
         print(f"removed {len(removed)} stale/orphan shard(s) from {cache.cache_dir}")
-        return 0
+        return EXIT_OK
     entries = cache.entries()
     if not entries:
         print(f"profile cache at {cache.cache_dir} is empty")
-        return 0
+        return EXIT_OK
     now = time.time()
     rows = [
         [
@@ -356,7 +407,7 @@ def _cmd_profile_cache(args: argparse.Namespace) -> int:
     stale = sum(e.status != "fresh" for e in entries)
     if stale:
         print(f"{stale} stale/orphan shard(s); `python -m repro profile-cache --purge` removes them")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -414,9 +465,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         demand = result.demand_speedup
         if demand is not None:
             print(f"demand-driven mix+branch run: {demand:.2f}x faster than all passes")
+    if result.telemetry is not None:
+        t = result.telemetry
+        print(
+            f"telemetry overhead (quick basket, compiled): disabled {t.disabled_s:.2f}s, "
+            f"enabled {t.enabled_s:.2f}s ({t.overhead:+.1%})"
+        )
     write_bench_json(result, args.output)
     print(f"wrote {args.output}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -428,7 +485,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         stats = replay_corpus(directory, progress)
         if stats.cases == 0:
             print(f"no corpus entries under {directory}", file=sys.stderr)
-            return 1
+            return EXIT_FAILURE
     else:
         stats = run_campaign(
             seed=args.seed,
@@ -441,7 +498,24 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         for path in stats.saved:
             print(f"saved failing case: {path}", file=sys.stderr)
     print(stats.summary())
-    return 0 if stats.ok else 1
+    return EXIT_OK if stats.ok else EXIT_FAILURE
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.telemetry import format_summary, load_trace, write_chrome_trace
+
+    try:
+        data = load_trace(args.trace)
+    except FileNotFoundError:
+        raise _usage_error(f"no such trace file: {args.trace}")
+    except (ValueError, json.JSONDecodeError) as exc:
+        raise _usage_error(f"could not parse {args.trace}: {exc}")
+    if args.chrome:
+        write_chrome_trace(data, args.chrome)
+        print(f"wrote Chrome trace-event JSON to {args.chrome}")
+        return EXIT_OK
+    print(format_summary(data, top=args.top))
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -476,13 +550,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="parallel worker processes (default: $REPRO_JOBS, then 1; 0 = all cores)",
         )
         p.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
+        p.add_argument(
+            "--trace-out",
+            default=None,
+            help="record telemetry for this invocation and write the trace here "
+            "(*.json: Chrome trace-event, *.jsonl: span log; default: $REPRO_TRACE)",
+        )
 
     p = sub.add_parser("list", help="list the registered workloads")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=_cmd_list)
 
     p = sub.add_parser("characterize", help="print/export the characteristic vectors")
     common(p)
     p.add_argument("--csv", help="write the feature matrix to this CSV file")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=_cmd_characterize)
 
     p = sub.add_parser("analyze", help="PCA + clustering + representatives")
@@ -499,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stress", help="functional-block stress rankings")
     p.add_argument("--block", help="one block only (default: all)")
     p.add_argument("--top", type=int, default=5)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     common(p, workloads=False)
     p.set_defaults(fn=_cmd_stress, workloads=[])
 
@@ -526,6 +609,11 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default="BENCH_simt.json", help="result JSON path"
     )
     p.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        help="record telemetry for the bench run and write the trace here",
+    )
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("fuzz", help="differential-fuzz the SIMT engines")
@@ -555,12 +643,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clear", action="store_true", help="delete every shard")
     p.set_defaults(fn=_cmd_profile_cache)
 
+    p = sub.add_parser("telemetry", help="summarize or convert a recorded telemetry trace")
+    p.add_argument("trace", help="trace file from --trace-out / REPRO_TRACE (.json or .jsonl)")
+    p.add_argument("--top", type=int, default=15, help="rows in the top-spans table")
+    p.add_argument(
+        "--chrome",
+        default=None,
+        help="convert the trace to Chrome trace-event JSON at this path instead",
+    )
+    p.set_defaults(fn=_cmd_telemetry)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    trace_out = getattr(args, "trace_out", None) or os.environ.get("REPRO_TRACE") or None
+    if trace_out is None or args.command == "telemetry":
+        return args.fn(args)
+    # Record the whole invocation; write the trace even when the command
+    # exits non-zero — a failed run is exactly the one worth inspecting.
+    from repro.telemetry import get_telemetry, write_trace
+
+    tele = get_telemetry()
+    tele.enable(reset=True)
+    try:
+        return args.fn(args)
+    finally:
+        tele.disable()
+        write_trace(tele, trace_out)
+        print(f"wrote telemetry trace to {trace_out}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

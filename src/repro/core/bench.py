@@ -115,6 +115,30 @@ class PassSetEntry:
 
 
 @dataclass
+class TelemetryOverhead:
+    """Compiled-engine timing of the quick basket with telemetry off vs on.
+
+    ``disabled_s`` is the shipping configuration (telemetry is off by
+    default); ``enabled_s`` pays for span bookkeeping, metric counters and
+    the batch-occupancy histogram.  ``overhead`` is the median of the
+    per-repetition enabled/disabled ratios: each repetition times the two
+    legs back-to-back, so a load burst inflates both sides of its own ratio
+    and the median discards repetitions where it hit only one.
+    """
+
+    disabled_s: float
+    enabled_s: float
+    overhead: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "disabled_s": round(self.disabled_s, 4),
+            "enabled_s": round(self.enabled_s, 4),
+            "overhead": round(self.overhead, 4),
+        }
+
+
+@dataclass
 class BenchResult:
     """The complete benchmark outcome."""
 
@@ -122,6 +146,7 @@ class BenchResult:
     sample_blocks: Optional[int]
     entries: List[BenchEntry] = field(default_factory=list)
     pass_entries: List[PassSetEntry] = field(default_factory=list)
+    telemetry: Optional[TelemetryOverhead] = None
 
     @property
     def total_interpreted_s(self) -> float:
@@ -159,12 +184,14 @@ class BenchResult:
             "sample_blocks": self.sample_blocks,
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "host": platform.node(),
             "workloads": [e.to_dict() for e in self.entries],
             "total_interpreted_s": round(self.total_interpreted_s, 4),
             "total_compiled_s": round(self.total_compiled_s, 4),
             "speedup": round(self.speedup, 2),
             "pass_sets": [e.to_dict() for e in self.pass_entries],
             "demand_speedup": round(demand, 2) if demand is not None else None,
+            "telemetry": self.telemetry.to_dict() if self.telemetry else None,
         }
 
 
@@ -198,34 +225,107 @@ def run_bench(
     for each pass set in :func:`pass_sets` — this is what quantifies the
     payoff of demand-driven collection (``--passes``/``--metrics``) and the
     marginal cost of each pass.
+
+    Both timed stages run with telemetry *paused*: the numbers must reflect
+    the shipping (telemetry-off) configuration even when the bench
+    invocation itself is traced (``--trace-out``), and span/metric
+    recording would otherwise skew the pass-set ratios — the per-event cost
+    weighs more on the faster mix+branch leg than on the all-passes leg.
+    The telemetry-overhead stage manages the registry itself.
     """
+    from repro.telemetry import get_telemetry
+
     if basket is None:
         basket = QUICK_BASKET if quick else FULL_BASKET
     result = BenchResult(quick=quick, sample_blocks=sample_blocks)
-    for abbrev, scale in basket:
-        cls = registry.get(abbrev)
-        if progress:
-            progress(f"{abbrev} {scale} ...")
-        interp = _time_engine(cls(**scale), "interpreted", sample_blocks)
-        comp = _time_engine(cls(**scale), "compiled", sample_blocks)
-        entry = BenchEntry(abbrev, dict(scale), interp, comp)
-        result.entries.append(entry)
-        if progress:
-            progress(
-                f"{abbrev}: interpreted {interp:.2f}s, compiled {comp:.2f}s "
-                f"({entry.speedup:.2f}x)"
-            )
-    for name, selected in pass_sets():
-        total = 0.0
-        for abbrev, scale in PASS_BASKET:
+    tele = get_telemetry()
+    was_enabled = tele.enabled
+    if was_enabled:
+        tele.disable()
+    try:
+        for abbrev, scale in basket:
             cls = registry.get(abbrev)
-            total += _time_engine(cls(**scale), "compiled", None, passes=selected)
-        result.pass_entries.append(
-            PassSetEntry(name, list(selected) if selected is not None else None, total)
-        )
-        if progress:
-            progress(f"passes[{name}]: {total:.2f}s")
+            if progress:
+                progress(f"{abbrev} {scale} ...")
+            interp = _time_engine(cls(**scale), "interpreted", sample_blocks)
+            comp = _time_engine(cls(**scale), "compiled", sample_blocks)
+            entry = BenchEntry(abbrev, dict(scale), interp, comp)
+            result.entries.append(entry)
+            if progress:
+                progress(
+                    f"{abbrev}: interpreted {interp:.2f}s, compiled {comp:.2f}s "
+                    f"({entry.speedup:.2f}x)"
+                )
+        for name, selected in pass_sets():
+            total = 0.0
+            for abbrev, scale in PASS_BASKET:
+                cls = registry.get(abbrev)
+                total += _time_engine(cls(**scale), "compiled", None, passes=selected)
+            result.pass_entries.append(
+                PassSetEntry(name, list(selected) if selected is not None else None, total)
+            )
+            if progress:
+                progress(f"passes[{name}]: {total:.2f}s")
+    finally:
+        if was_enabled:
+            tele.enable(reset=False)
+    result.telemetry = _time_telemetry_overhead(sample_blocks, progress)
     return result
+
+
+#: Paired off/on repetitions of the telemetry stage; the median of the
+#: per-pair ratios filters scheduler noise out of the sub-second timings.
+TELEMETRY_REPS = 5
+
+
+def _time_telemetry_overhead(
+    sample_blocks: Optional[int], progress: Optional[callable]
+) -> TelemetryOverhead:
+    """Time the quick basket compiled with telemetry off vs on.
+
+    Runs :data:`TELEMETRY_REPS` back-to-back (off, on) pairs after one
+    untimed warmup, and reports the *median* per-pair ratio — see
+    :class:`TelemetryOverhead` for why that is robust against load bursts.
+    When the bench itself runs traced (``--trace-out``), the invocation's
+    registry is kept: recording pauses for the disabled legs and resumes —
+    without resetting — for the enabled ones.
+    """
+    from statistics import median
+
+    from repro.telemetry import get_telemetry
+
+    tele = get_telemetry()
+    was_enabled = tele.enabled
+
+    def time_basket() -> float:
+        total = 0.0
+        for abbrev, scale in QUICK_BASKET:
+            cls = registry.get(abbrev)
+            total += _time_engine(cls(**scale), "compiled", sample_blocks)
+        return total
+
+    tele.disable()
+    time_basket()  # warmup: page cache, numpy init, import costs
+    ratios = []
+    disabled_s = enabled_s = float("inf")
+    for _ in range(TELEMETRY_REPS):
+        tele.disable()
+        off = time_basket()
+        tele.enable(reset=False)
+        on = time_basket()
+        disabled_s = min(disabled_s, off)
+        enabled_s = min(enabled_s, on)
+        ratios.append(on / off if off else 1.0)
+    if not was_enabled:
+        tele.disable()
+        tele.reset()
+    overhead = TelemetryOverhead(disabled_s, enabled_s, median(ratios) - 1.0)
+    if progress:
+        progress(
+            f"telemetry: disabled {disabled_s:.2f}s, enabled {enabled_s:.2f}s "
+            f"({overhead.overhead:+.1%} median of {TELEMETRY_REPS} pairs)"
+        )
+    return overhead
 
 
 def write_bench_json(result: BenchResult, path: str) -> None:

@@ -1,9 +1,10 @@
 """End-to-end characterization pipeline.
 
-``characterize_suites()`` runs every registered workload under trace
-collection, and ``analyze()`` turns the profiles into the paper's artifacts
-— feature matrix, PCA, dendrogram, K-means clusters, subspace analyses,
-representatives.
+``analyze()`` turns workload profiles into the paper's artifacts — feature
+matrix, PCA, dendrogram, K-means clusters, subspace analyses,
+representatives.  The characterization entrypoints
+(``characterize_suites()`` / ``characterize_and_analyze()``) are retained
+as deprecated shims over the stable :mod:`repro.api` facade.
 
 Execution, parallelism and caching live in :mod:`repro.core.runtime`:
 workloads fan out over a process pool (``CharacterizationConfig.jobs`` /
@@ -17,6 +18,7 @@ on whatever metrics those passes support.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -42,26 +44,26 @@ def characterize_suites(
     config: Optional[CharacterizationConfig] = None,
     observer: Optional[RunObserver] = None,
 ) -> List[WorkloadProfile]:
-    """Profiles for the requested workloads (all registered ones by default).
+    """Deprecated shim — use :func:`repro.api.characterize`.
 
-    ::
-
-        characterize_suites(CharacterizationConfig(abbrevs=["VA"], jobs=4),
-                            observer=ConsoleObserver())
-
-    Raises :class:`CharacterizationError` if any workload fails after
-    retries; use :func:`repro.core.runtime.run_characterization` directly
-    for structured partial results.
+    Behaves exactly as before (raises :class:`CharacterizationError` if any
+    workload fails after retries, returns the profile list), but the stable
+    entrypoint is now ``repro.api.characterize(config).profiles``.
     """
+    warnings.warn(
+        "repro.core.pipeline.characterize_suites() is deprecated; use "
+        "repro.api.characterize(config).profiles",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if config is not None and not isinstance(config, CharacterizationConfig):
         raise TypeError(
             "characterize_suites() takes a CharacterizationConfig; the legacy "
             "abbrev-list / keyword API was removed"
         )
-    result = run_characterization(config, observer)
-    if result.failures:
-        raise CharacterizationError(result.failures)
-    return result.profiles
+    from repro import api
+
+    return list(api.characterize(config, observer).profiles)
 
 
 @dataclass
@@ -140,10 +142,18 @@ def characterize_and_analyze(
     observer: Optional[RunObserver] = None,
     **analysis_kwargs,
 ) -> AnalysisResult:
-    """One-call convenience: characterize all suites and run the analysis.
+    """Deprecated shim — use :func:`repro.api.analyze` on a
+    :func:`repro.api.characterize` result.
 
     Keyword arguments (``variance_target``, ``linkage_method``, ``k_range``,
     ``seed``, ``subspaces``, ``metric_names``) go to :func:`analyze`.
     """
-    profiles = characterize_suites(config, observer)
-    return analyze(profiles, **analysis_kwargs)
+    warnings.warn(
+        "repro.core.pipeline.characterize_and_analyze() is deprecated; use "
+        "repro.api.analyze(repro.api.characterize(config))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro import api
+
+    return api.analyze(api.characterize(config, observer), **analysis_kwargs)

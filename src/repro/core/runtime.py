@@ -51,6 +51,7 @@ from typing import (
     Type,
 )
 
+from repro.telemetry import TelemetrySnapshot, get_telemetry
 from repro.trace.passes import pass_source_file, resolve_passes
 from repro.trace.profile import WorkloadProfile, merge_profiles
 from repro.trace.serialize import dump_workload_profile, load_workload_profile
@@ -64,7 +65,10 @@ from repro.workloads.runner import DEFAULT_SAMPLE_BLOCKS, run_workload
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Worker count: explicit value, else ``REPRO_JOBS``, else 1 (serial).
 
-    A value <= 0 (explicit or via the environment) means "all cores".
+    An *explicit* value <= 0 means "all cores".  ``REPRO_JOBS`` must be a
+    positive integer — a zero or negative environment value is almost always
+    a broken shell expansion, so it raises instead of silently fanning out
+    to every core.
     """
     if jobs is None:
         env = os.environ.get("REPRO_JOBS", "").strip()
@@ -74,6 +78,12 @@ def resolve_jobs(jobs: Optional[int]) -> int:
             jobs = int(env)
         except ValueError:
             raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}") from None
+        if jobs < 1:
+            raise ValueError(
+                f"REPRO_JOBS must be a positive integer, got {jobs}; "
+                "unset it, or pass jobs=0 explicitly (e.g. `-j 0`) for all cores"
+            )
+        return jobs
     if jobs <= 0:
         return os.cpu_count() or 1
     return jobs
@@ -594,13 +604,39 @@ def _characterize_one(
     verify: bool,
     engine: str = "compiled",
     passes: Optional[Tuple[str, ...]] = None,
-) -> Tuple[WorkloadProfile, float]:
-    """Worker entry point: simulate one workload, return (profile, seconds)."""
+    traced: bool = False,
+) -> Tuple[WorkloadProfile, float, Optional[TelemetrySnapshot]]:
+    """Worker entry point: simulate one workload.
+
+    Returns ``(profile, seconds, snapshot)``.  ``traced`` is set by the
+    parallel runner when the parent has telemetry enabled: the worker then
+    re-arms its (fork-inherited) registry, records its own spans/metrics
+    and ships them back as a picklable snapshot for the parent to merge;
+    otherwise the snapshot slot is ``None``.  The serial path passes
+    ``traced=False`` and records directly into the in-process registry.
+    """
+    tele = get_telemetry() if traced else None
+    if tele is not None:
+        tele.begin_worker()
     t0 = time.perf_counter()
-    profile = run_workload(
-        abbrev, verify=verify, sample_blocks=sample_blocks, engine=engine, passes=passes
-    )
-    return profile, time.perf_counter() - t0
+    try:
+        if tele is not None:
+            with tele.span(f"workload:{abbrev}", engine=engine):
+                profile = run_workload(
+                    abbrev, verify=verify, sample_blocks=sample_blocks,
+                    engine=engine, passes=passes,
+                )
+        else:
+            profile = run_workload(
+                abbrev, verify=verify, sample_blocks=sample_blocks,
+                engine=engine, passes=passes,
+            )
+    finally:
+        snap = None
+        if tele is not None:
+            snap = tele.snapshot()
+            tele.disable()
+    return profile, time.perf_counter() - t0, snap
 
 
 def _pool_context():
@@ -635,9 +671,13 @@ def run_characterization(
     classes = {abbrev: registry.get(abbrev) for abbrev in abbrevs}
     jobs = config.resolved_jobs()
     cache = ProfileCache(config.cache_dir) if config.use_cache else None
+    tele = get_telemetry()
 
     t0 = time.perf_counter()
     emit(SuiteStarted(workloads=tuple(abbrevs), jobs=jobs, sample_blocks=config.sample_blocks))
+    suite_span = tele.start_span(
+        "suite", workloads=len(abbrevs), jobs=jobs, engine=config.engine
+    )
 
     requested = resolve_passes(config.passes)
     results: Dict[str, WorkloadProfile] = {}
@@ -659,6 +699,7 @@ def run_characterization(
             if not missing:
                 results[abbrev] = profile
                 cache_hits += 1
+                tele.count("cache.hits")
                 emit(
                     WorkloadCacheHit(
                         workload=abbrev,
@@ -672,6 +713,7 @@ def run_characterization(
             run_passes[abbrev] = missing
         else:
             run_passes[abbrev] = requested
+        tele.count("cache.misses")
         todo.append(abbrev)
 
     def record_success(abbrev: str, profile: WorkloadProfile, wall: float, attempt: int) -> None:
@@ -725,6 +767,9 @@ def run_characterization(
         )
 
     wall = time.perf_counter() - t0
+    if suite_span is not None:
+        suite_span.attrs.update(completed=len(results), failed=len(failures))
+        tele.finish_span(suite_span)
     emit(
         SuiteFinished(
             completed=len(results),
@@ -745,32 +790,37 @@ def run_characterization(
 
 
 def _run_serial(config, todo, run_passes, emit, record_success, record_failure, max_attempts) -> None:
+    tele = get_telemetry()
     for abbrev in todo:
         spent = 0.0
-        for attempt in range(1, max_attempts + 1):
-            emit(WorkloadStarted(workload=abbrev, attempt=attempt, passes=run_passes.get(abbrev)))
-            t0 = time.perf_counter()
-            try:
-                profile, wall = _characterize_one(
-                    abbrev,
-                    config.sample_blocks,
-                    config.verify,
-                    config.engine,
-                    run_passes.get(abbrev),
-                )
-            except Exception as exc:
-                spent += time.perf_counter() - t0
-                if attempt == max_attempts:
-                    record_failure(
-                        abbrev,
-                        f"{type(exc).__name__}: {exc}",
-                        attempt,
-                        spent,
-                        traceback_mod.format_exc(),
-                    )
-            else:
-                record_success(abbrev, profile, wall, attempt)
-                break
+        with tele.span(f"workload:{abbrev}", engine=config.engine):
+            for attempt in range(1, max_attempts + 1):
+                emit(WorkloadStarted(workload=abbrev, attempt=attempt, passes=run_passes.get(abbrev)))
+                if attempt > 1:
+                    tele.count("pool.retries")
+                t0 = time.perf_counter()
+                try:
+                    with tele.span("attempt", workload=abbrev, attempt=attempt):
+                        profile, wall, _snap = _characterize_one(
+                            abbrev,
+                            config.sample_blocks,
+                            config.verify,
+                            config.engine,
+                            run_passes.get(abbrev),
+                        )
+                except Exception as exc:
+                    spent += time.perf_counter() - t0
+                    if attempt == max_attempts:
+                        record_failure(
+                            abbrev,
+                            f"{type(exc).__name__}: {exc}",
+                            attempt,
+                            spent,
+                            traceback_mod.format_exc(),
+                        )
+                else:
+                    record_success(abbrev, profile, wall, attempt)
+                    break
 
 
 def _run_parallel(
@@ -787,12 +837,14 @@ def _run_parallel(
     ``max_attempts`` breaks is declared the crasher.
     """
     mp_context = _pool_context()
+    tele = get_telemetry()
+    suite_id = tele.current_span_id()
     queue = deque((abbrev, 1) for abbrev in todo)
     spent: Dict[str, float] = {abbrev: 0.0 for abbrev in todo}
     pool_breaks: Dict[str, int] = {abbrev: 0 for abbrev in todo}
     window = jobs
     executor = ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
-    in_flight: Dict = {}  # future -> (abbrev, attempt, start, deadline)
+    in_flight: Dict = {}  # future -> (abbrev, attempt, start, deadline, span)
 
     def kill_pool() -> None:
         nonlocal executor
@@ -814,11 +866,18 @@ def _run_parallel(
         else:
             queue.append((abbrev, attempt + 1))
 
+    def close_span(span, **attrs) -> None:
+        if span is not None:
+            span.attrs.update(attrs)
+            tele.finish_span(span)
+
     try:
         while queue or in_flight:
             while queue and len(in_flight) < window:
                 abbrev, attempt = queue.popleft()
                 emit(WorkloadStarted(workload=abbrev, attempt=attempt, passes=run_passes.get(abbrev)))
+                if attempt > 1:
+                    tele.count("pool.retries")
                 fut = executor.submit(
                     _characterize_one,
                     abbrev,
@@ -826,15 +885,19 @@ def _run_parallel(
                     config.verify,
                     config.engine,
                     run_passes.get(abbrev),
+                    tele.enabled,
+                )
+                span = tele.open_span(
+                    "attempt", parent_id=suite_id, workload=abbrev, attempt=attempt
                 )
                 start = time.monotonic()
                 deadline = (
                     start + config.workload_timeout if config.workload_timeout else None
                 )
-                in_flight[fut] = (abbrev, attempt, start, deadline)
+                in_flight[fut] = (abbrev, attempt, start, deadline, span)
 
             wait_for = None
-            deadlines = [d for (_a, _t, _s, d) in in_flight.values() if d is not None]
+            deadlines = [d for (_a, _t, _s, d, _sp) in in_flight.values() if d is not None]
             if deadlines:
                 wait_for = max(0.05, min(deadlines) - time.monotonic())
             done, _pending = wait(set(in_flight), timeout=wait_for, return_when=FIRST_COMPLETED)
@@ -843,7 +906,7 @@ def _run_parallel(
                 now = time.monotonic()
                 expired = {
                     fut
-                    for fut, (_a, _t, _s, d) in in_flight.items()
+                    for fut, (_a, _t, _s, d, _sp) in in_flight.items()
                     if d is not None and now >= d
                 }
                 if not expired:
@@ -851,8 +914,10 @@ def _run_parallel(
                 # A hung worker can only be reclaimed by killing the pool;
                 # innocent in-flight tasks are re-queued at the same attempt.
                 kill_pool()
-                for fut, (abbrev, attempt, start, _d) in in_flight.items():
+                for fut, (abbrev, attempt, start, _d, span) in in_flight.items():
                     if fut in expired:
+                        tele.count("pool.timeouts")
+                        close_span(span, error="timeout")
                         handle_fault(
                             abbrev,
                             attempt,
@@ -860,18 +925,21 @@ def _run_parallel(
                             f"timed out after {config.workload_timeout:.1f}s",
                         )
                     else:
+                        close_span(span, requeued=True)
                         queue.appendleft((abbrev, attempt))
                 in_flight.clear()
                 continue
 
             broken = False
             for fut in done:
-                abbrev, attempt, start, _d = in_flight.pop(fut)
+                abbrev, attempt, start, _d, span = in_flight.pop(fut)
                 wall = time.monotonic() - start
                 try:
-                    profile, sim_wall = fut.result()
+                    profile, sim_wall, snap = fut.result()
                 except BrokenProcessPool:
                     broken = True
+                    tele.count("pool.crashes")
+                    close_span(span, error="worker_died")
                     pool_breaks[abbrev] += 1
                     if pool_breaks[abbrev] >= max_attempts:
                         record_failure(
@@ -884,6 +952,7 @@ def _run_parallel(
                     else:
                         queue.appendleft((abbrev, attempt))
                 except Exception as exc:
+                    close_span(span, error=type(exc).__name__)
                     handle_fault(
                         abbrev,
                         attempt,
@@ -892,12 +961,16 @@ def _run_parallel(
                         traceback_mod.format_exc(),
                     )
                 else:
+                    close_span(span)
+                    if snap is not None and span is not None:
+                        tele.merge_snapshot(snap, parent_id=span.span_id)
                     record_success(abbrev, profile, sim_wall, attempt)
             if broken:
                 # Every other in-flight future is also broken: requeue them
                 # (same attempt — they are presumed innocent), then narrow
                 # the window so the next break is attributable.
-                for fut, (abbrev, attempt, _s, _d) in in_flight.items():
+                for fut, (abbrev, attempt, _s, _d, span) in in_flight.items():
+                    close_span(span, requeued=True)
                     pool_breaks[abbrev] += 1
                     if pool_breaks[abbrev] >= max_attempts:
                         record_failure(

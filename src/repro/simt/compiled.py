@@ -51,6 +51,7 @@ from repro.simt.ir import (
     op_category,
 )
 from repro.simt.types import WARP_SIZE
+from repro.telemetry import get_telemetry
 
 #: Lane budget per silent batch: K is chosen so ``K * npad`` stays near this.
 TARGET_BATCH_LANES = 8192
@@ -1070,6 +1071,10 @@ def run_compiled_launch(
     }
     pending: List[int] = []
     templates: Dict[int, Dict] = {}
+    # Bound once per launch: None keeps the silent path telemetry-free, the
+    # same way observation hooks are compiled out of unprofiled blocks.
+    tele = get_telemetry()
+    observe_batch = tele.observe if tele.enabled else None
 
     def flush() -> None:
         if not pending:
@@ -1082,6 +1087,8 @@ def run_compiled_launch(
         stats["batched_blocks"] += len(pending)
         if len(pending) > stats["largest_batch"]:
             stats["largest_batch"] = len(pending)
+        if observe_batch is not None:
+            observe_batch("engine.compiled.batch_blocks", len(pending))
         pending.clear()
 
     for linear in range(nblocks):

@@ -42,10 +42,17 @@ from repro.simt.ir import (
     While,
     op_category,
 )
-from repro.simt.compiled import _OP_FUNCS, _trunc_div, _trunc_mod, run_compiled_launch
+from repro.simt.compiled import (
+    _OP_FUNCS,
+    _trunc_div,
+    _trunc_mod,
+    compile_kernel,
+    run_compiled_launch,
+)
 from repro.simt.memory import _ATOMIC_SCALAR, Device, DeviceBuffer
 from repro.simt.sink import TraceSink
 from repro.simt.types import WARP_SIZE, DType
+from repro.telemetry import get_telemetry
 
 DimLike = Union[int, Tuple[int, int]]
 
@@ -170,13 +177,61 @@ class Executor:
 
         for sink in self.sinks:
             sink.on_kernel_begin(kernel, grid, block, nblocks)
-        with np.errstate(all="ignore"):
-            if self.engine == "compiled":
-                profiled = run_compiled_launch(self, kernel, grid, block, params)
-            else:
-                profiled = self._launch_interpreted(kernel, grid, block, params, nblocks)
+        tele = get_telemetry()
+        if tele.enabled:
+            profiled = self._launch_traced(tele, kernel, grid, block, params, nblocks)
+        else:
+            with np.errstate(all="ignore"):
+                if self.engine == "compiled":
+                    profiled = run_compiled_launch(self, kernel, grid, block, params)
+                else:
+                    profiled = self._launch_interpreted(kernel, grid, block, params, nblocks)
         for sink in self.sinks:
             sink.on_kernel_end(profiled, nblocks)
+
+    def _launch_traced(
+        self,
+        tele,
+        kernel: Kernel,
+        grid: Tuple[int, int],
+        block: Tuple[int, int],
+        params: Dict[str, Union[int, float]],
+        nblocks: int,
+    ) -> int:
+        """Telemetry-enabled launch path: compile/execute spans + counters.
+
+        Kept out of :meth:`launch` so the disabled-telemetry fast path pays
+        exactly one ``enabled`` check per launch and nothing else.  Spans
+        wrap whole launches — never per-block or per-instruction work.
+        """
+        with tele.span(
+            "launch", kernel=kernel.name, engine=self.engine, blocks=nblocks
+        ) as lsp:
+            if self.engine == "compiled":
+                with tele.span(
+                    "compile",
+                    kernel=kernel.name,
+                    cached=getattr(kernel, "_compiled_cache", None) is not None,
+                ):
+                    compile_kernel(kernel)
+            with np.errstate(all="ignore"):
+                with tele.span("execute", kernel=kernel.name, engine=self.engine):
+                    if self.engine == "compiled":
+                        profiled = run_compiled_launch(self, kernel, grid, block, params)
+                    else:
+                        profiled = self._launch_interpreted(
+                            kernel, grid, block, params, nblocks
+                        )
+            stats = self.last_launch_stats
+            lsp.set(profiled_blocks=profiled)
+            tele.count("engine.launches")
+            tele.count(f"engine.{self.engine}.blocks", nblocks)
+            if self.engine == "compiled":
+                tele.count("engine.compiled.batches", int(stats.get("batches", 0)))
+                tele.count(
+                    "engine.compiled.batched_blocks", int(stats.get("batched_blocks", 0))
+                )
+        return profiled
 
     def _launch_interpreted(
         self,

@@ -1,0 +1,360 @@
+"""Trace exporters, loader and summarizer.
+
+Three output formats, all produced from one :class:`~repro.telemetry.core.Telemetry`
+registry:
+
+* **JSONL span log** (``*.jsonl``) — one self-describing JSON object per
+  line (``kind`` = ``meta`` / ``span`` / ``counter`` / ``gauge`` /
+  ``hist``), greppable and streamable;
+* **Chrome trace-event JSON** (``*.json``) — loadable in
+  ``chrome://tracing`` / Perfetto; spans become complete (``"ph": "X"``)
+  events on one absolute microsecond timeline, one row per recording
+  process, with counters/gauges/histograms carried in a ``reproTelemetry``
+  top-level key (Chrome ignores unknown keys);
+* **flat metrics summary** — human-readable text with top spans by
+  self-time, counter/gauge totals and histograms
+  (:func:`format_summary`, what ``python -m repro telemetry`` prints).
+
+:func:`load_trace` reads either file format back into a neutral
+:class:`TraceData`, so the summarizer works on both.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.telemetry.core import Telemetry
+
+TRACE_FORMAT = "repro.telemetry/v1"
+
+#: The exporters accept a live registry or an already-loaded trace.
+TraceSource = Union[Telemetry, "TraceData"]
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TraceData",
+    "write_spans_jsonl",
+    "write_chrome_trace",
+    "write_trace",
+    "load_trace",
+    "format_summary",
+]
+
+
+def _span_records(tele: Telemetry) -> List[Dict[str, Any]]:
+    """Finished spans as neutral records with absolute epoch timestamps."""
+    out = []
+    for sp in tele.spans:
+        if sp.t1 is None:
+            continue
+        out.append(
+            {
+                "name": sp.name,
+                "id": sp.span_id,
+                "parent": sp.parent_id,
+                "ts": tele.epoch_anchor + sp.t0,
+                "dur": sp.t1 - sp.t0,
+                "pid": sp.pid,
+                "attrs": sp.attrs,
+            }
+        )
+    out.sort(key=lambda r: r["ts"])
+    return out
+
+
+def _trace_data_of(source: "TraceSource") -> "TraceData":
+    """Normalize a live registry or already-loaded trace to :class:`TraceData`."""
+    if isinstance(source, TraceData):
+        return source
+    return TraceData(
+        spans=_span_records(source),
+        counters=dict(source.counters),
+        gauges=dict(source.gauges),
+        histograms={k: v.to_dict() for k, v in source.histograms.items()},
+        meta={"format": TRACE_FORMAT, "pid": source._pid},
+    )
+
+
+def write_spans_jsonl(source: "TraceSource", path: str) -> None:
+    """JSONL export: meta line, then span lines, then metric lines."""
+    data = _trace_data_of(source)
+    with open(path, "w") as fh:
+        meta = {"kind": "meta", "format": TRACE_FORMAT, **{
+            k: v for k, v in data.meta.items() if k not in ("kind", "format")
+        }}
+        fh.write(json.dumps(meta) + "\n")
+        for rec in data.spans:
+            fh.write(json.dumps({"kind": "span", **rec}) + "\n")
+        for name in sorted(data.counters):
+            fh.write(
+                json.dumps({"kind": "counter", "name": name, "value": data.counters[name]})
+                + "\n"
+            )
+        for name in sorted(data.gauges):
+            fh.write(
+                json.dumps({"kind": "gauge", "name": name, "value": data.gauges[name]}) + "\n"
+            )
+        for name in sorted(data.histograms):
+            fh.write(
+                json.dumps({"kind": "hist", "name": name, **data.histograms[name]}) + "\n"
+            )
+
+
+def write_chrome_trace(source: "TraceSource", path: str) -> None:
+    """Chrome trace-event JSON export (load via chrome://tracing or Perfetto)."""
+    data = _trace_data_of(source)
+    records = sorted(data.spans, key=lambda r: r["ts"])
+    t_base = records[0]["ts"] if records else 0.0
+    events: List[Dict[str, Any]] = []
+    for pid in sorted({r["pid"] for r in records}):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    for rec in records:
+        events.append(
+            {
+                "name": rec["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": round((rec["ts"] - t_base) * 1e6, 3),
+                "dur": round(rec["dur"] * 1e6, 3),
+                "pid": rec["pid"],
+                "tid": 0,
+                "args": {"id": rec["id"], "parent": rec["parent"], **rec["attrs"]},
+            }
+        )
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "reproTelemetry": {
+            "format": TRACE_FORMAT,
+            "baseEpochSeconds": t_base,
+            "counters": {k: data.counters[k] for k in sorted(data.counters)},
+            "gauges": {k: data.gauges[k] for k in sorted(data.gauges)},
+            "histograms": {k: data.histograms[k] for k in sorted(data.histograms)},
+        },
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+
+
+def write_trace(source: "TraceSource", path: str) -> None:
+    """Extension-dispatched export: ``*.jsonl`` spans log, else Chrome JSON."""
+    if path.endswith(".jsonl"):
+        write_spans_jsonl(source, path)
+    else:
+        write_chrome_trace(source, path)
+
+
+# ----------------------------------------------------------------------
+# Loading and summarizing
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TraceData:
+    """Format-neutral contents of a trace file."""
+
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+def load_trace(path: str) -> TraceData:
+    """Read a trace file produced by either exporter."""
+    with open(path) as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return _load_chrome(doc)
+    return _load_jsonl(text, path)
+
+
+def _load_chrome(doc: Dict[str, Any]) -> TraceData:
+    extra = doc.get("reproTelemetry", {})
+    base = float(extra.get("baseEpochSeconds", 0.0))
+    data = TraceData(
+        counters={k: float(v) for k, v in extra.get("counters", {}).items()},
+        gauges={k: float(v) for k, v in extra.get("gauges", {}).items()},
+        histograms=dict(extra.get("histograms", {})),
+        meta={"format": extra.get("format", "chrome"), "source": "chrome"},
+    )
+    for ev in doc["traceEvents"]:
+        if ev.get("ph") != "X":
+            continue
+        args = dict(ev.get("args", {}))
+        data.spans.append(
+            {
+                "name": ev["name"],
+                "id": args.pop("id", None),
+                "parent": args.pop("parent", None),
+                "ts": base + float(ev["ts"]) / 1e6,
+                "dur": float(ev["dur"]) / 1e6,
+                "pid": ev.get("pid", 0),
+                "attrs": args,
+            }
+        )
+    return data
+
+
+def _load_jsonl(text: str, path: str) -> TraceData:
+    data = TraceData()
+    for i, line in enumerate(text.splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{i + 1}: not a JSONL telemetry trace: {exc}") from None
+        kind = rec.pop("kind", None)
+        if kind == "meta":
+            data.meta = rec
+        elif kind == "span":
+            data.spans.append(rec)
+        elif kind == "counter":
+            data.counters[rec["name"]] = float(rec["value"])
+        elif kind == "gauge":
+            data.gauges[rec["name"]] = float(rec["value"])
+        elif kind == "hist":
+            data.histograms[rec["name"]] = {
+                k: rec.get(k) for k in ("count", "total", "min", "max", "buckets", "other")
+            }
+    return data
+
+
+def _self_times(spans: List[Dict[str, Any]]) -> Dict[Optional[str], float]:
+    """Per-span self time: duration minus direct children's durations."""
+    child_sum: Dict[Optional[str], float] = {}
+    for sp in spans:
+        parent = sp.get("parent")
+        if parent is not None:
+            child_sum[parent] = child_sum.get(parent, 0.0) + sp["dur"]
+    return {
+        sp["id"]: max(sp["dur"] - child_sum.get(sp["id"], 0.0), 0.0) for sp in spans
+    }
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value * 1e6:.0f}us"
+
+
+def _fmt_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)).rstrip())
+    return lines
+
+
+def format_summary(data: TraceData, top: int = 15) -> str:
+    """Human-readable trace digest: top spans by self-time, metric totals."""
+    lines: List[str] = []
+    spans = data.spans
+    if spans:
+        t0 = min(sp["ts"] for sp in spans)
+        t1 = max(sp["ts"] + sp["dur"] for sp in spans)
+        pids = {sp["pid"] for sp in spans}
+        lines.append(
+            f"{len(spans)} spans over {_fmt_seconds(t1 - t0)} wall "
+            f"({len(pids)} process{'es' if len(pids) != 1 else ''})"
+        )
+        self_of = _self_times(spans)
+        agg: Dict[str, List[float]] = {}
+        for sp in spans:
+            rec = agg.setdefault(sp["name"], [0, 0.0, 0.0])
+            rec[0] += 1
+            rec[1] += sp["dur"]
+            rec[2] += self_of.get(sp["id"], 0.0)
+        ranked = sorted(agg.items(), key=lambda kv: kv[1][2], reverse=True)
+        rows = [
+            [name, str(int(n)), _fmt_seconds(total), _fmt_seconds(self_s),
+             _fmt_seconds(total / n)]
+            for name, (n, total, self_s) in ranked[:top]
+        ]
+        lines.append("")
+        lines.append(f"top spans by self-time (of {len(agg)} distinct):")
+        lines.extend(_table(["span", "count", "total", "self", "mean"], rows))
+    else:
+        lines.append("no spans recorded")
+
+    pass_rows = _pass_rows(data.counters)
+    if pass_rows:
+        lines.append("")
+        lines.append("analysis passes (measured):")
+        lines.extend(_table(["pass", "events", "seconds", "share"], pass_rows))
+
+    if data.counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(data.counters):
+            lines.append(f"  {name} = {_fmt_value(data.counters[name])}")
+    if data.gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for name in sorted(data.gauges):
+            lines.append(f"  {name} = {_fmt_value(data.gauges[name])}")
+    if data.histograms:
+        lines.append("")
+        lines.append("histograms:")
+        for name in sorted(data.histograms):
+            h = data.histograms[name]
+            count = int(h.get("count") or 0)
+            mean = (h.get("total") or 0.0) / count if count else 0.0
+            lines.append(
+                f"  {name}: n={count} mean={mean:.2f} "
+                f"min={_fmt_value(h['min']) if h.get('min') is not None else '-'} "
+                f"max={_fmt_value(h['max']) if h.get('max') is not None else '-'}"
+            )
+    return "\n".join(lines)
+
+
+def _pass_rows(counters: Dict[str, float]) -> List[List[str]]:
+    """Rows for the per-analysis-pass table (``pass.<name>.{events,seconds}``)."""
+    names = sorted(
+        {
+            name.split(".", 2)[1]
+            for name in counters
+            if name.startswith("pass.") and name.count(".") >= 2
+        }
+    )
+    if not names:
+        return []
+    seconds = {n: counters.get(f"pass.{n}.seconds", 0.0) for n in names}
+    total = sum(seconds.values())
+    rows = []
+    for n in sorted(names, key=lambda n: seconds[n], reverse=True):
+        events = counters.get(f"pass.{n}.events", 0.0)
+        share = seconds[n] / total if total else 0.0
+        rows.append(
+            [n, _fmt_value(events), f"{seconds[n]:.4f}", f"{share:.0%}"]
+        )
+    return rows

@@ -17,13 +17,15 @@ as measurement granularities, not simulated hardware structures.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.simt.ir import Kernel, MemSpace, OpCategory, Stmt
 from repro.simt.sink import TraceSink
+from repro.telemetry import get_telemetry
 from repro.trace.ilp import IlpTrackerBank
 from repro.trace.passes import make_passes
 from repro.trace.passes.shared import NUM_BANKS  # noqa: F401  (re-export)
@@ -78,18 +80,60 @@ class KernelTraceCollector(TraceSink):
         self.pass_names: Tuple[str, ...] = tuple(p.name for p in self._passes)
         self.profiles: List[KernelProfile] = []
         self._p: Optional[KernelProfile] = None
+        # Per-pass cost accounting, active only while telemetry is enabled at
+        # construction time: each dispatched hook is wrapped to accumulate
+        # wall time and an event count, flushed to ``pass.<name>.{seconds,
+        # events}`` counters at every kernel end.  With telemetry disabled
+        # the tables hold the bare bound methods — zero added work per event.
+        tele = get_telemetry()
+        self._tele = tele if tele.enabled else None
+        self._pass_seconds: Dict[str, float] = {p.name: 0.0 for p in self._passes}
+        self._pass_events: Dict[str, int] = {p.name: 0 for p in self._passes}
+        wrap = self._timed if self._tele is not None else (lambda name, fn: fn)
         # Hot-path dispatch tables, built once.
-        self._instr_passes = [p.on_instr for p in self._passes if "instr" in p.subscribes]
-        self._branch_passes = [p.on_branch for p in self._passes if "branch" in p.subscribes]
+        self._instr_passes = [
+            wrap(p.name, p.on_instr) for p in self._passes if "instr" in p.subscribes
+        ]
+        self._branch_passes = [
+            wrap(p.name, p.on_branch) for p in self._passes if "branch" in p.subscribes
+        ]
         self._mem_passes: Dict[MemSpace, list] = {}
         for p in self._passes:
             if "mem" in p.subscribes:
                 for space in p.mem_spaces:
-                    self._mem_passes.setdefault(space, []).append(p.on_mem)
+                    self._mem_passes.setdefault(space, []).append(wrap(p.name, p.on_mem))
         # Identity memo for the warp-mask popcount (the compiled engine
         # passes one mask object for a whole straight-line run).
         self._wm_obj: Optional[np.ndarray] = None
         self._wm_nwarps = 0
+
+    def _timed(self, name: str, fn: Callable) -> Callable:
+        """Wrap one pass hook to meter its wall time and event count."""
+        seconds = self._pass_seconds
+        events = self._pass_events
+        perf = time.perf_counter
+
+        def wrapper(*args) -> None:
+            t0 = perf()
+            fn(*args)
+            seconds[name] += perf() - t0
+            events[name] += 1
+
+        return wrapper
+
+    def _run_lifecycle(self, hook: str, *args) -> None:
+        """Dispatch a lifecycle hook to every pass, timing each when traced.
+
+        Lifecycle hooks are timed as well as event hooks so every enabled
+        pass accrues nonzero measured seconds even on workloads that never
+        feed it an event (e.g. the texture pass on a texture-free kernel).
+        """
+        perf = time.perf_counter
+        seconds = self._pass_seconds
+        for p in self._passes:
+            t0 = perf()
+            getattr(p, hook)(*args)
+            seconds[p.name] += perf() - t0
 
     def subscriptions(self) -> FrozenSet[str]:
         subs = set()
@@ -116,25 +160,46 @@ class KernelTraceCollector(TraceSink):
             passes=self.pass_names,
         )
         self._wm_obj = None
-        for p in self._passes:
-            p.begin_kernel(kernel, self._p)
+        if self._tele is None:
+            for p in self._passes:
+                p.begin_kernel(kernel, self._p)
+        else:
+            self._run_lifecycle("begin_kernel", kernel, self._p)
 
     def on_block_begin(self, block_idx: int, nthreads: int, nwarps: int) -> None:
-        for p in self._passes:
-            p.begin_block(block_idx, nthreads, nwarps)
+        if self._tele is None:
+            for p in self._passes:
+                p.begin_block(block_idx, nthreads, nwarps)
+        else:
+            self._run_lifecycle("begin_block", block_idx, nthreads, nwarps)
 
     def on_block_end(self) -> None:
-        for p in self._passes:
-            p.end_block()
+        if self._tele is None:
+            for p in self._passes:
+                p.end_block()
+        else:
+            self._run_lifecycle("end_block")
 
     def on_kernel_end(self, profiled_blocks: int, total_blocks: int) -> None:
         assert self._p is not None
         p = self._p
         p.profiled_blocks = profiled_blocks
-        for ap in self._passes:
-            ap.end_kernel(p)
+        if self._tele is None:
+            for ap in self._passes:
+                ap.end_kernel(p)
+        else:
+            self._run_lifecycle("end_kernel", p)
+            self._flush_pass_metrics()
         self.profiles.append(p)
         self._p = None
+
+    def _flush_pass_metrics(self) -> None:
+        tele = self._tele
+        for name, secs in self._pass_seconds.items():
+            tele.count(f"pass.{name}.seconds", secs)
+            tele.count(f"pass.{name}.events", self._pass_events[name])
+            self._pass_seconds[name] = 0.0
+            self._pass_events[name] = 0
 
     # ------------------------------------------------------------------
     # Event dispatch

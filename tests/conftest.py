@@ -10,15 +10,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.pipeline import characterize_suites
-from repro.core.runtime import CharacterizationConfig
+from repro.api import CharacterizationConfig, characterize
 from repro.simt import Device, Executor, KernelBuilder
 from repro.trace import KernelTraceCollector
 
 
 @pytest.fixture(scope="session")
 def suite_profiles():
-    return characterize_suites(CharacterizationConfig())
+    return characterize(CharacterizationConfig()).profiles
 
 
 @pytest.fixture()

@@ -1,0 +1,149 @@
+"""The stable ``repro.api`` facade and the legacy-entrypoint shims."""
+
+import pytest
+
+from repro.api import (
+    CharacterizationConfig,
+    CharacterizationResult,
+    EvaluationResult,
+    analyze,
+    characterize,
+    evaluate,
+    trace_session,
+)
+
+SMALL = ["VA", "BS", "KM", "SS", "HG"]
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return characterize(CharacterizationConfig(abbrevs=SMALL, sample_blocks=16))
+
+
+def test_characterize_returns_result_object(small_result):
+    assert isinstance(small_result, CharacterizationResult)
+    assert [p.workload for p in small_result.profiles] == SMALL
+    assert small_result.failures == []
+
+
+def test_characterize_rejects_legacy_call_shape():
+    with pytest.raises(TypeError, match="CharacterizationConfig"):
+        characterize(["VA", "BS"])
+
+
+def test_analyze_accepts_result_or_profiles(small_result):
+    from_result = analyze(small_result)
+    from_profiles = analyze(small_result.profiles)
+    assert from_result.workloads == from_profiles.workloads
+    assert from_result.kmeans_best_k == from_profiles.kmeans_best_k
+    assert from_result.representatives
+
+
+def test_evaluate_end_to_end(small_result):
+    ev = evaluate(small_result, subset_k=2)
+    assert isinstance(ev, EvaluationResult)
+    assert len(ev.representatives) == 2
+    assert len(ev.weights) == 2
+    assert abs(sum(ev.weights) - 1.0) < 1e-9
+    assert 0.0 <= ev.mean_error < 1.0
+    assert -1.0 <= ev.kendall_tau <= 1.0
+    assert isinstance(ev.same_winner, bool)
+
+
+def test_evaluate_reuses_provided_analysis(small_result):
+    analysis = analyze(small_result)
+    a = evaluate(small_result, subset_k=2, analysis=analysis)
+    b = evaluate(small_result, subset_k=2)
+    assert a.representatives == b.representatives
+
+
+def test_trace_session_enables_and_exports(tmp_path):
+    from repro.telemetry import get_telemetry, load_trace
+
+    path = tmp_path / "session.jsonl"
+    with trace_session(str(path)) as tele:
+        assert tele is get_telemetry() and tele.enabled
+        with tele.span("custom"):
+            tele.count("my.counter", 3)
+    assert not get_telemetry().enabled
+    data = load_trace(str(path))
+    assert [sp["name"] for sp in data.spans] == ["custom"]
+    assert data.counters["my.counter"] == 3
+
+
+def test_trace_session_writes_on_error(tmp_path):
+    path = tmp_path / "crash.jsonl"
+    with pytest.raises(RuntimeError):
+        with trace_session(str(path)) as tele:
+            tele.count("before.crash")
+            raise RuntimeError("boom")
+    from repro.telemetry import load_trace
+
+    assert load_trace(str(path)).counters["before.crash"] == 1
+
+
+def test_top_level_reexports():
+    import repro
+    import repro.api as api
+
+    assert repro.characterize is api.characterize
+    assert repro.analyze is api.analyze
+    assert repro.evaluate is api.evaluate
+    assert repro.trace_session is api.trace_session
+    assert repro.CharacterizationConfig is CharacterizationConfig
+
+
+# ----------------------------------------------------------------------
+# Legacy shims
+# ----------------------------------------------------------------------
+
+
+def test_characterize_suites_shim_warns_and_delegates():
+    from repro.core.pipeline import characterize_suites
+
+    with pytest.warns(DeprecationWarning, match="repro.api.characterize"):
+        profiles = characterize_suites(
+            CharacterizationConfig(abbrevs=["VA"], sample_blocks=16)
+        )
+    assert [p.workload for p in profiles] == ["VA"]
+
+
+def test_characterize_and_analyze_shim_warns_and_delegates():
+    from repro.core.pipeline import characterize_and_analyze
+
+    with pytest.warns(DeprecationWarning, match="repro.api.analyze"):
+        result = characterize_and_analyze(
+            CharacterizationConfig(abbrevs=SMALL, sample_blocks=16)
+        )
+    assert result.workloads == SMALL
+
+
+def test_shim_keeps_legacy_type_error():
+    from repro.core.pipeline import characterize_suites
+
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError):
+            characterize_suites(["VA"])
+
+
+# ----------------------------------------------------------------------
+# REPRO_JOBS validation
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("bad", ["0", "-3"])
+def test_resolve_jobs_rejects_nonpositive_env(monkeypatch, bad):
+    from repro.core.runtime import resolve_jobs
+
+    monkeypatch.setenv("REPRO_JOBS", bad)
+    with pytest.raises(ValueError, match="REPRO_JOBS must be a positive integer"):
+        resolve_jobs(None)
+
+
+def test_resolve_jobs_explicit_zero_still_means_all_cores(monkeypatch):
+    import os
+
+    from repro.core.runtime import resolve_jobs
+
+    monkeypatch.setenv("REPRO_JOBS", "0")  # env is invalid...
+    assert resolve_jobs(0) == (os.cpu_count() or 1)  # ...explicit 0 wins

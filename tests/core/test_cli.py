@@ -158,6 +158,15 @@ def test_bench_quick_writes_schema_json(capsys, tmp_path, monkeypatch):
         assert set(e) == {"name", "passes", "seconds"}
     assert doc["demand_speedup"] is not None
 
+    # Telemetry-overhead stage: disabled vs enabled on the quick basket.
+    assert set(doc["telemetry"]) == {"disabled_s", "enabled_s", "overhead"}
+    assert doc["telemetry"]["disabled_s"] > 0
+    assert "telemetry overhead" in out
+    # The stage leaves the global registry the way it found it: off.
+    from repro.telemetry import get_telemetry
+
+    assert not get_telemetry().enabled
+
 
 def test_fuzz_smoke_and_corpus_replay(capsys, tmp_path):
     assert main(["fuzz", "--n", "5", "--seed", "1"]) == 0
@@ -174,3 +183,58 @@ def test_fuzz_smoke_and_corpus_replay(capsys, tmp_path):
 def test_fuzz_replay_empty_corpus_fails(capsys, tmp_path):
     assert main(["fuzz", "--replay", "--corpus-dir", str(tmp_path / "nope")]) == 1
     assert "no corpus entries" in capsys.readouterr().err
+
+
+def test_list_json_schema(capsys):
+    import json
+
+    assert main(["list", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.workloads/v1"
+    by_abbrev = {w["abbrev"]: w for w in doc["workloads"]}
+    assert set(by_abbrev["VA"]) == {"suite", "abbrev", "name", "description"}
+    assert by_abbrev["VA"]["suite"] == "CUDA SDK"
+
+
+def test_characterize_json_schema(capsys):
+    import json
+
+    assert main(["characterize", "VA", "--sample-blocks", "8", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.feature-matrix/v1"
+    (entry,) = doc["workloads"]
+    assert entry["workload"] == "VA"
+    assert set(entry["values"]) == set(doc["metrics"])
+    assert all(isinstance(v, float) for v in entry["values"].values())
+
+
+def test_characterize_json_csv_conflict(capsys, tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main(["characterize", "VA", "--json", "--csv", str(tmp_path / "x.csv")])
+    assert exc.value.code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_characterize_unknown_metric_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["characterize", "VA", "--metrics", "bogus.metric"])
+    assert exc.value.code == 2
+    assert "unknown metric" in capsys.readouterr().err
+
+
+def test_characterize_unknown_workload_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["characterize", "NOPE"])
+    assert exc.value.code == 2
+
+
+def test_stress_json_schema(capsys, suite_profiles):
+    import json
+
+    assert main(["stress", "--json", "--top", "3"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.stress/v1"
+    assert doc["top"] == 3
+    for block, ranking in doc["blocks"].items():
+        assert len(ranking) == 3
+        assert all(set(r) == {"workload", "score"} for r in ranking)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.pipeline import analyze
+from repro.api import analyze
 from repro.core.placement import place_workload
 from repro.workloads.runner import run_workload
 

@@ -84,7 +84,7 @@ def test_md_table():
 
 
 def test_render_analysis_report_sections(suite_profiles):
-    from repro.core.pipeline import analyze
+    from repro.api import analyze
     from repro.report import render_analysis_report
 
     text = render_analysis_report(analyze(suite_profiles))
