@@ -16,11 +16,10 @@ that is guaranteed to stay stable::
 Everything here is re-exported from :mod:`repro` itself, so
 ``from repro import characterize`` works too.
 
-Migration from the legacy entrypoints (which now emit
-``DeprecationWarning``):
+Migration from the removed legacy entrypoints:
 
 =============================================  ===================================
-old                                            new
+old (removed)                                  new
 =============================================  ===================================
 ``core.pipeline.characterize_suites(cfg)``     ``api.characterize(cfg).profiles``
 ``core.pipeline.characterize_and_analyze()``   ``api.analyze(api.characterize())``

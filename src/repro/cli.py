@@ -36,7 +36,7 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 #: Uniform exit codes (see module docstring).
 EXIT_OK = 0
@@ -147,8 +147,14 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         raise _usage_error(exc)
     # Without --metrics the matrix defaults to whatever the collected
     # passes support (everything, unless --passes narrowed the run).
-    fm = FeatureMatrix.from_profiles(_profiles(args), metric_names=selected)
+    profiles = _profiles(args)
+    fm = FeatureMatrix.from_profiles(profiles, metric_names=selected)
     if args.json:
+        # Aggregate engine counters (batches, largest batch, event-buffer
+        # bytes, ...) ride along per workload when the run produced them.
+        stats_by_workload = {
+            p.workload: getattr(p, "engine_stats", None) for p in profiles
+        }
         doc = {
             "schema": "repro.feature-matrix/v1",
             "metrics": list(fm.metric_names),
@@ -157,6 +163,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
                     "workload": w,
                     "suite": s,
                     "values": {n: float(v) for n, v in zip(fm.metric_names, row)},
+                    "engine_stats": stats_by_workload.get(w),
                 }
                 for w, s, row in zip(fm.workloads, fm.suites, fm.values)
             ],
@@ -384,6 +391,25 @@ def _cmd_profile_cache(args: argparse.Namespace) -> int:
     if not entries:
         print(f"profile cache at {cache.cache_dir} is empty")
         return EXIT_OK
+    if args.stats:
+        total = sum(e.size_bytes for e in entries)
+        per_pass: Dict[str, int] = {}
+        for e in entries:
+            for name in e.passes:
+                per_pass[name] = per_pass.get(name, 0) + 1
+        print(f"{len(entries)} shard(s), {total / 1024:.0f}K total in {cache.cache_dir}")
+        rows = [
+            [name, count, f"{count / len(entries):.0%}"]
+            for name, count in sorted(per_pass.items(), key=lambda kv: (-kv[1], kv[0]))
+        ]
+        print(
+            ascii_table(
+                ["pass", "shards carrying sections", "coverage"],
+                rows,
+                title="per-pass carried sections",
+            )
+        )
+        return EXIT_OK
     now = time.time()
     rows = [
         [
@@ -465,6 +491,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         demand = result.demand_speedup
         if demand is not None:
             print(f"demand-driven mix+branch run: {demand:.2f}x faster than all passes")
+    if result.profiled is not None:
+        p = result.profiled
+        print(
+            f"profiled path (pass basket, all blocks, all passes): "
+            f"callback {p.callback_s:.2f}s, columnar {p.columnar_s:.2f}s "
+            f"({p.speedup:.2f}x)"
+        )
     if result.telemetry is not None:
         t = result.telemetry
         print(
@@ -641,6 +674,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("profile-cache", help="inspect the sharded profile cache")
     p.add_argument("--purge", action="store_true", help="delete stale/orphan shards")
     p.add_argument("--clear", action="store_true", help="delete every shard")
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="summary only: shard count, total bytes, per-pass section coverage",
+    )
     p.set_defaults(fn=_cmd_profile_cache)
 
     p = sub.add_parser("telemetry", help="summarize or convert a recorded telemetry trace")

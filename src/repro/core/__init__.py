@@ -9,12 +9,7 @@ from repro.core.featurespace import (
     correlation_matrix,
     standardize,
 )
-from repro.core.pipeline import (
-    AnalysisResult,
-    analyze,
-    characterize_and_analyze,
-    characterize_suites,
-)
+from repro.core.pipeline import AnalysisResult, analyze
 from repro.core.runtime import (
     CharacterizationConfig,
     CharacterizationError,
@@ -53,8 +48,6 @@ __all__ = [
     "WorkloadFinished",
     "WorkloadStarted",
     "analyze",
-    "characterize_and_analyze",
-    "characterize_suites",
     "correlated_pairs",
     "correlation_matrix",
     "evaluation",

@@ -2,9 +2,10 @@
 
 ``analyze()`` turns workload profiles into the paper's artifacts — feature
 matrix, PCA, dendrogram, K-means clusters, subspace analyses,
-representatives.  The characterization entrypoints
-(``characterize_suites()`` / ``characterize_and_analyze()``) are retained
-as deprecated shims over the stable :mod:`repro.api` facade.
+representatives.  Characterization itself lives behind the stable
+:mod:`repro.api` facade (``api.characterize(config)``); the deprecated
+``characterize_suites()`` / ``characterize_and_analyze()`` shims that once
+lived here have been removed.
 
 Execution, parallelism and caching live in :mod:`repro.core.runtime`:
 workloads fan out over a process pool (``CharacterizationConfig.jobs`` /
@@ -18,7 +19,6 @@ on whatever metrics those passes support.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -31,39 +31,7 @@ from repro.core.analysis.kmeans import KMeansResult, choose_k
 from repro.core.analysis.pca import PcaResult, fit_pca
 from repro.core.analysis.subspace import SubspaceAnalysis, analyze_subspace
 from repro.core.featurespace import FeatureMatrix, StandardizedMatrix, standardize
-from repro.core.runtime import (
-    CharacterizationConfig,
-    CharacterizationError,
-    RunObserver,
-    run_characterization,
-)
 from repro.trace.profile import WorkloadProfile
-
-
-def characterize_suites(
-    config: Optional[CharacterizationConfig] = None,
-    observer: Optional[RunObserver] = None,
-) -> List[WorkloadProfile]:
-    """Deprecated shim — use :func:`repro.api.characterize`.
-
-    Behaves exactly as before (raises :class:`CharacterizationError` if any
-    workload fails after retries, returns the profile list), but the stable
-    entrypoint is now ``repro.api.characterize(config).profiles``.
-    """
-    warnings.warn(
-        "repro.core.pipeline.characterize_suites() is deprecated; use "
-        "repro.api.characterize(config).profiles",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    if config is not None and not isinstance(config, CharacterizationConfig):
-        raise TypeError(
-            "characterize_suites() takes a CharacterizationConfig; the legacy "
-            "abbrev-list / keyword API was removed"
-        )
-    from repro import api
-
-    return list(api.characterize(config, observer).profiles)
 
 
 @dataclass
@@ -135,25 +103,3 @@ def analyze(
             fm, names, name, variance_target=variance_target, linkage_method=linkage_method
         )
     return result
-
-
-def characterize_and_analyze(
-    config: Optional[CharacterizationConfig] = None,
-    observer: Optional[RunObserver] = None,
-    **analysis_kwargs,
-) -> AnalysisResult:
-    """Deprecated shim — use :func:`repro.api.analyze` on a
-    :func:`repro.api.characterize` result.
-
-    Keyword arguments (``variance_target``, ``linkage_method``, ``k_range``,
-    ``seed``, ``subspaces``, ``metric_names``) go to :func:`analyze`.
-    """
-    warnings.warn(
-        "repro.core.pipeline.characterize_and_analyze() is deprecated; use "
-        "repro.api.analyze(repro.api.characterize(config))",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro import api
-
-    return api.analyze(api.characterize(config, observer), **analysis_kwargs)

@@ -1,6 +1,6 @@
 """Parallel characterization runtime: config, events, sharded cache, pool.
 
-This module is the execution engine behind ``characterize_suites()``:
+This module is the execution engine behind ``repro.api.characterize()``:
 
 * :class:`CharacterizationConfig` — one object for every knob that used to
   be a scattered keyword argument (workload set, sampling, verification,
@@ -93,8 +93,8 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 class CharacterizationConfig:
     """Everything a characterization run needs, in one place.
 
-    Replaces the old scattered ``characterize_suites(abbrevs=...,
-    sample_blocks=..., use_cache=..., verify=..., progress=...)`` keywords.
+    One object for every knob that used to be a scattered keyword
+    argument on the long-removed ``characterize_suites()`` entrypoint.
     """
 
     #: Workload abbrevs to characterize (``None`` = every registered one).
@@ -325,6 +325,8 @@ class CacheEntry:
     created: float
     wall_seconds: float
     warp_instrs: int
+    #: Pass names whose sections this shard carries (from shard metadata).
+    passes: Tuple[str, ...] = ()
 
 
 class ProfileCache:
@@ -453,6 +455,8 @@ class ProfileCache:
         missing = tuple(
             name for name in requested if stored.get(name) != self.pass_digest(name)
         )
+        if meta.get("engine_stats"):
+            profile.engine_stats = meta["engine_stats"]
         return profile, meta, missing
 
     def store(
@@ -486,6 +490,9 @@ class ProfileCache:
             "created": time.time(),
             "wall_seconds": wall_seconds,
             "warp_instrs": int(profile.total_warp_instrs),
+            # Execution detail, not profile content: kept in shard metadata
+            # so cache hits still report engine counters.
+            "engine_stats": getattr(profile, "engine_stats", None),
         }
         tmp = path + f".tmp.{os.getpid()}"
         try:
@@ -540,6 +547,7 @@ class ProfileCache:
                     created=float(meta.get("created", 0.0)),
                     wall_seconds=float(meta.get("wall_seconds", 0.0)),
                     warp_instrs=int(meta.get("warp_instrs", 0)),
+                    passes=tuple(meta.get("passes") or ()),
                 )
             )
         return out
@@ -586,7 +594,7 @@ class CharacterizationResult:
 
 
 class CharacterizationError(RuntimeError):
-    """Raised by ``characterize_suites()`` when any workload fails."""
+    """Raised by ``repro.api.characterize()`` when any workload fails."""
 
     def __init__(self, failures: Sequence[WorkloadFailure]) -> None:
         self.failures = list(failures)

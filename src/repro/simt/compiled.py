@@ -11,18 +11,30 @@ interpreter in :mod:`repro.simt.executor`:
   cached on the :class:`~repro.simt.ir.Kernel` instance, so repeated
   launches of the same kernel pay lowering cost once.
 
-* **Block batching** — independent *unprofiled* blocks are stacked into a
-  single state of ``K * npad`` lanes (per-block ``%ctaid``/``%tid``
-  vectors, one shared-memory row per block), amortising every numpy
-  operation across K blocks.  Profiled blocks always run singly, so sink
-  events and all collected metrics are bit-for-bit identical to the
-  interpreter's.  Kernels containing atomics are never batched: atomic
-  lane serialisation is defined in launch order, which stacking would
-  reorder.
+* **Block batching** — independent blocks are stacked into a single state
+  of ``K * npad`` lanes (per-block ``%ctaid``/``%tid`` vectors, one
+  shared-memory row per block), amortising every numpy operation across K
+  blocks.  Under the default *columnar* event mode, profiled blocks batch
+  exactly like silent ones: a batch containing profiled blocks runs the
+  observed program with an :class:`~repro.simt.events.EventRecorder`
+  capturing per-event columnar buffers, delivered to sinks as one
+  ``on_batch`` call.  Under the legacy *callback* event mode profiled
+  blocks run singly and emit per-event sink callbacks.  Both modes produce
+  bit-identical device memory and profiles.  Kernels containing atomics
+  are never batched: atomic lane serialisation is defined in launch order,
+  which stacking would reorder.  Launches with a cross-block memory hazard
+  — a global load that can observe a buffer the same launch stores to, two
+  store sites that can hit one buffer, or a store inside a loop (detected
+  by a static base-pointer dataflow resolved against the bound buffers,
+  see :func:`_batch_hazard`) — are likewise pinned to one block per batch,
+  because lockstep program order would otherwise let an earlier block's
+  later memory operation land after a later block's earlier one.
 
-Blocks are stacked in ascending linear order, so numpy's
-highest-lane-wins scatter resolution reproduces the interpreter's
-last-block-wins outcome for conflicting stores within one statement.
+Blocks are stacked in ascending linear order and batches always cover
+contiguous runs of linear block ids, so numpy's highest-lane-wins scatter
+resolution reproduces the interpreter's last-block-wins outcome for
+conflicting stores within one statement, and cross-batch conflicts resolve
+in sequential block order.
 """
 
 from __future__ import annotations
@@ -43,6 +55,7 @@ from repro.simt.ir import (
     MemSpace,
     Op,
     OpCategory,
+    ParamRef,
     Reg,
     Return,
     Stmt,
@@ -159,16 +172,22 @@ class _RunState:
         "lane_block",
         "shared",
         "note_cache",
+        "recorder",
     )
 
 
 # ----------------------------------------------------------------------
-# Observation hooks (only reachable from the observed program, which the
-# driver runs exclusively on single-block states).
+# Observation hooks (only reachable from the observed program).  With a
+# recorder installed (columnar mode) events are captured as batch buffers;
+# otherwise (callback mode, single-block states) they fan out to sinks.
 # ----------------------------------------------------------------------
 
 
 def _note_instr(st: _RunState, stmt: Stmt, category: OpCategory, act: np.ndarray) -> None:
+    rec = st.recorder
+    if rec is not None:
+        rec.instr(stmt, category, act)
+        return
     # Active masks are never mutated in place (every mask update allocates),
     # so object identity implies value identity: a straight-line run under
     # one mask reduces it once, not per instruction.  The cache holds a
@@ -186,11 +205,19 @@ def _note_instr(st: _RunState, stmt: Stmt, category: OpCategory, act: np.ndarray
 
 
 def _note_mem(st, stmt, space, kind, esize, addrs, act) -> None:
+    rec = st.recorder
+    if rec is not None:
+        rec.mem(stmt, space, kind, esize, addrs, act)
+        return
     for sink in st.sinks:
         sink.on_mem(stmt, space, kind, esize, addrs, act)
 
 
 def _note_branch(st, stmt, kind, act, taken) -> None:
+    rec = st.recorder
+    if rec is not None:
+        rec.branch(stmt, kind, act, taken)
+        return
     warp_active = act.reshape(-1, WARP_SIZE).sum(axis=1)
     warp_taken = taken.reshape(-1, WARP_SIZE).sum(axis=1)
     for sink in st.sinks:
@@ -849,6 +876,9 @@ class CompiledKernel:
         "shared_decls",
         "shared_offsets",
         "has_atomics",
+        "load_params",
+        "store_params",
+        "store_sites",
         "run_silent",
         "_observed",
     )
@@ -865,6 +895,9 @@ class CompiledKernel:
             if isinstance(stmt, Atomic):
                 self.has_atomics = True
         self.nslots = len(self.slot_of)
+        self.load_params, self.store_params, self.store_sites = _buffer_param_flow(
+            kernel
+        )
         self.sreg_slots: Tuple[Tuple[str, int], ...] = tuple(
             (name, slot) for name, slot in self.slot_of.items() if name in _SREG_NAMES
         )
@@ -922,6 +955,121 @@ def _stmt_regs(stmt: Stmt):
         yield stmt.cond
     elif isinstance(stmt, While) and stmt.cond is not None:
         yield stmt.cond
+
+
+def _buffer_param_flow(kernel: Kernel):
+    """Which buffer params can reach global-load vs store/atomic addresses.
+
+    A forward dataflow over register definitions: a register *derives from*
+    a buffer param when the param's base pointer appears anywhere in the
+    arithmetic producing it (the builder always forms addresses as
+    ``ParamRef(buf) + offset``).  Loaded *values* never carry base-ness —
+    buffers hold data, and the builder offers no way to use one as a base.
+    Iterated to a fixpoint so loop-carried address registers converge.
+    Returns ``(load_params, store_params, store_sites)``: the first two are
+    frozensets of param names, the third one ``(params, in_loop)`` entry per
+    static store/atomic site.  The launch driver resolves all three through
+    the actual buffer bindings to decide whether batching this launch's
+    blocks could reorder memory operations (see :func:`_batch_hazard`).
+    """
+    bufs = {p.name for p in kernel.params if p.is_buffer}
+    deriv: Dict[str, set] = {}
+
+    def of(op) -> set:
+        if isinstance(op, ParamRef):
+            return {op.name} if op.name in bufs else set()
+        if isinstance(op, Reg):
+            return deriv.get(op.name, set())
+        return set()
+
+    loads: set = set()
+    stores: set = set()
+    changed = True
+    while changed:
+        changed = False
+        for stmt in kernel.walk():
+            if isinstance(stmt, Instr):
+                s: set = set()
+                for src in stmt.srcs:
+                    s |= of(src)
+                cur = deriv.setdefault(stmt.dest.name, set())
+                if not s <= cur:
+                    cur |= s
+                    changed = True
+            elif isinstance(stmt, Load):
+                if stmt.space is MemSpace.GLOBAL:
+                    new = of(stmt.addr) - loads
+                    if new:
+                        loads |= new
+                        changed = True
+            elif isinstance(stmt, Store):
+                if stmt.space is not MemSpace.SHARED:
+                    new = of(stmt.addr) - stores
+                    if new:
+                        stores |= new
+                        changed = True
+            elif isinstance(stmt, Atomic):
+                new = of(stmt.addr) - stores
+                if new:
+                    stores |= new
+                    changed = True
+
+    sites: List[Tuple[frozenset, bool]] = []
+
+    def collect(stmts, in_loop: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Store):
+                if stmt.space is not MemSpace.SHARED:
+                    sites.append((frozenset(of(stmt.addr)), in_loop))
+            elif isinstance(stmt, Atomic):
+                sites.append((frozenset(of(stmt.addr)), in_loop))
+            elif isinstance(stmt, If):
+                collect(stmt.then_body, in_loop)
+                collect(stmt.else_body, in_loop)
+            elif isinstance(stmt, While):
+                collect(stmt.cond_body, True)
+                collect(stmt.body, True)
+
+    collect(kernel.body, False)
+    return frozenset(loads), frozenset(stores), tuple(sites)
+
+
+def _batch_hazard(ck: "CompiledKernel", params_by_name: Dict) -> bool:
+    """Whether batching blocks of this launch could change device memory.
+
+    Batched blocks execute in lockstep program order, so a *later* block's
+    store at an *earlier* program point lands before an earlier block's
+    store at a later point — the reverse of sequential block order.  That
+    reordering is observable exactly when
+
+    - a global load's possible base buffers intersect any store's (a block
+      could see, or miss, a same-launch neighbour's store), or
+    - two distinct store/atomic sites can hit the same buffer (cross-site
+      write-write collisions resolve in program-point order, not block
+      order), or
+    - a store site sits inside a loop (iteration *k* of a later block must
+      not be overwritten by iteration *k+1* of an earlier one).
+
+    Base sets are resolved against the actual bound buffer bases, so two
+    params bound to one buffer alias correctly.  Single straight-line store
+    sites are always safe: the scatter's highest-lane-wins tie-break makes
+    the last block win, same as sequential order.
+    """
+    base_sites = []
+    for names, in_loop in ck.store_sites:
+        bases = frozenset(params_by_name[n] for n in names)
+        if bases and in_loop:
+            return True
+        base_sites.append(bases)
+    load_bases = {params_by_name[n] for n in ck.load_params}
+    if load_bases & {b for bases in base_sites for b in bases}:
+        return True
+    seen: set = set()
+    for bases in base_sites:
+        if bases & seen:
+            return True
+        seen |= bases
+    return False
 
 
 def compile_kernel(kernel: Kernel) -> CompiledKernel:
@@ -1013,6 +1161,7 @@ def _make_state(
     st.regs = [None] * ck.nslots
     st.returned = np.zeros(nlanes, dtype=bool)
     st.note_cache = None
+    st.recorder = None
     st.block_mask = tmpl["block_mask"]
     st.lane_block = tmpl["lane_block"]
     st.shared = [
@@ -1037,11 +1186,16 @@ def run_compiled_launch(
 ) -> int:
     """Drive one launch through the compiled engine.
 
-    Unprofiled blocks accumulate into silent batches of up to
-    ``batch_limit`` blocks; any pending batch is flushed before a profiled
-    block runs, preserving the interpreter's sequential device-memory
-    ordering.  Returns the number of profiled blocks and records
-    ``executor.last_launch_stats``.
+    Blocks accumulate into batches of up to ``batch_limit`` contiguous
+    blocks.  Under columnar event mode (the default when sinks are
+    attached), a batch containing profiled blocks runs the observed program
+    with an :class:`~repro.simt.events.EventRecorder` capturing columnar
+    buffers delivered via ``sink.on_batch``; purely silent batches run the
+    silent program.  Under callback event mode, any pending batch is
+    flushed before a profiled block runs singly with per-event callbacks.
+    Both orders execute blocks in ascending contiguous runs, preserving the
+    interpreter's sequential device-memory outcome.  Returns the number of
+    profiled blocks and records ``executor.last_launch_stats``.
     """
     ck = compile_kernel(kernel)
     params = [params_by_name[p.name] for p in kernel.params]
@@ -1050,7 +1204,11 @@ def run_compiled_launch(
     nwarps = -(-nthreads // WARP_SIZE)
     npad = nwarps * WARP_SIZE
 
-    if ck.has_atomics:
+    if ck.has_atomics or _batch_hazard(ck, params_by_name):
+        # Hazardous launches (atomics, self-observing loads, colliding
+        # store sites) get sequential semantics outright — the pin beats
+        # even an explicit batch_blocks override, which is a sizing knob,
+        # not a correctness waiver.
         limit = 1
     elif executor.batch_blocks is not None:
         limit = max(1, int(executor.batch_blocks))
@@ -1059,15 +1217,20 @@ def run_compiled_launch(
 
     sinks = executor.sinks
     pf = executor.profile_filter
+    columnar = bool(sinks) and executor.event_mode == "columnar"
     run_observed = ck.observed_runner(executor.hook_subscriptions()) if sinks else None
     stats = {
         "engine": "compiled",
+        "event_mode": executor.event_mode,
         "blocks": nblocks,
         "profiled_blocks": 0,
         "batches": 0,
         "batched_blocks": 0,
         "largest_batch": 0,
         "batch_limit": limit,
+        "observed_batches": 0,
+        "event_counts": {"instr": 0, "mem": 0, "branch": 0},
+        "event_bytes": 0,
     }
     pending: List[int] = []
     templates: Dict[int, Dict] = {}
@@ -1076,13 +1239,13 @@ def run_compiled_launch(
     tele = get_telemetry()
     observe_batch = tele.observe if tele.enabled else None
 
-    def flush() -> None:
-        if not pending:
-            return
+    def run_silent_batch() -> None:
         st = _make_state(
             ck, executor, grid, block, pending, params, observe=False, templates=templates
         )
         ck.run_silent(st, st.block_mask)
+
+    def account_flush() -> None:
         stats["batches"] += 1
         stats["batched_blocks"] += len(pending)
         if len(pending) > stats["largest_batch"]:
@@ -1091,22 +1254,87 @@ def run_compiled_launch(
             observe_batch("engine.compiled.batch_blocks", len(pending))
         pending.clear()
 
-    for linear in range(nblocks):
-        if sinks and pf(linear, nblocks):
-            flush()
-            stats["profiled_blocks"] += 1
-            st = _make_state(
-                ck, executor, grid, block, (linear,), params, observe=True, templates=templates
-            )
-            for sink in sinks:
-                sink.on_block_begin(linear, nthreads, nwarps)
-            run_observed(st, st.block_mask)
-            for sink in sinks:
-                sink.on_block_end()
-        else:
+    if columnar:
+        from repro.simt.events import EventRecorder
+
+        stats["observed_batch_limit"] = limit
+
+        prof_rows: List[int] = []
+        prof_ids: List[int] = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            if prof_ids:
+                st = _make_state(
+                    ck,
+                    executor,
+                    grid,
+                    block,
+                    pending,
+                    params,
+                    observe=False,
+                    templates=templates,
+                )
+                rec = EventRecorder(
+                    prof_ids, prof_rows, len(pending), npad, nwarps, nthreads
+                )
+                st.recorder = rec
+                run_observed(st, st.block_mask)
+                batch = rec.finish()
+                stats["observed_batches"] += 1
+                stats["profiled_blocks"] += len(prof_ids)
+                counts = stats["event_counts"]
+                for kind, n in batch.event_counts().items():
+                    counts[kind] += n
+                stats["event_bytes"] += batch.buffer_bytes()
+                prof_ids.clear()
+                prof_rows.clear()
+                for sink in sinks:
+                    sink.on_batch(batch)
+            else:
+                run_silent_batch()
+            account_flush()
+
+        for linear in range(nblocks):
+            if pf(linear, nblocks):
+                prof_rows.append(len(pending))
+                prof_ids.append(linear)
             pending.append(linear)
             if len(pending) >= limit:
                 flush()
-    flush()
+        flush()
+    else:
+
+        def flush() -> None:
+            if not pending:
+                return
+            run_silent_batch()
+            account_flush()
+
+        for linear in range(nblocks):
+            if sinks and pf(linear, nblocks):
+                flush()
+                stats["profiled_blocks"] += 1
+                st = _make_state(
+                    ck,
+                    executor,
+                    grid,
+                    block,
+                    (linear,),
+                    params,
+                    observe=True,
+                    templates=templates,
+                )
+                for sink in sinks:
+                    sink.on_block_begin(linear, nthreads, nwarps)
+                run_observed(st, st.block_mask)
+                for sink in sinks:
+                    sink.on_block_end()
+            else:
+                pending.append(linear)
+                if len(pending) >= limit:
+                    flush()
+        flush()
     executor.last_launch_stats = stats
     return stats["profiled_blocks"]

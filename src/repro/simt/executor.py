@@ -97,6 +97,13 @@ def _as_dim(dim: DimLike, what: str) -> Tuple[int, int]:
 #: compiled/batched one; "interpreted" is the reference statement walker).
 ENGINES = ("compiled", "interpreted")
 
+#: How the compiled engine delivers events to sinks.  ``"columnar"``
+#: (default) batches profiled blocks and hands each batch to sinks as one
+#: :class:`~repro.simt.events.EventBatch` via ``on_batch``; ``"callback"``
+#: runs profiled blocks singly and fires the per-event scalar hooks.  The
+#: interpreted engine always uses callbacks.
+EVENT_MODES = ("columnar", "callback")
+
 
 class Executor:
     """Launches kernels on a :class:`~repro.simt.memory.Device`.
@@ -118,9 +125,15 @@ class Executor:
         closures and batches unprofiled blocks; ``"interpreted"`` walks the
         IR per block.  Both produce bit-identical memory and profiles.
     batch_blocks:
-        Override the number of blocks stacked per silent batch (compiled
-        engine only).  ``None`` auto-sizes from the block's lane count;
-        kernels containing atomics always run one block at a time.
+        Override the number of blocks stacked per batch (compiled engine
+        only).  ``None`` auto-sizes from the block's lane count; kernels
+        containing atomics always run one block at a time.
+    event_mode:
+        ``"columnar"`` (default) lets the compiled engine batch profiled
+        blocks and deliver events as columnar buffers via ``on_batch``;
+        ``"callback"`` forces the legacy per-event scalar hook path.  Both
+        produce bit-identical memory and profiles; the interpreted engine
+        always uses callbacks.
     """
 
     def __init__(
@@ -131,17 +144,38 @@ class Executor:
         strict_barriers: bool = True,
         engine: str = "compiled",
         batch_blocks: Optional[int] = None,
+        event_mode: str = "columnar",
     ) -> None:
         if engine not in ENGINES:
             raise LaunchError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if event_mode not in EVENT_MODES:
+            raise LaunchError(
+                f"unknown event_mode {event_mode!r}; expected one of {EVENT_MODES}"
+            )
         self.device = device
         self.sinks = list(sinks)
         self.profile_filter = profile_filter
         self.strict_barriers = strict_barriers
         self.engine = engine
         self.batch_blocks = batch_blocks
+        self.event_mode = event_mode
         #: Populated after every launch: engine, block/batch counters.
         self.last_launch_stats: Dict[str, Union[int, str]] = {}
+        #: Running totals over every launch this executor has driven —
+        #: the per-workload aggregate surfaced by ``characterize --json``.
+        self.launch_stats_totals: Dict[str, Union[int, str, Dict[str, int]]] = {
+            "engine": engine,
+            "event_mode": event_mode,
+            "launches": 0,
+            "blocks": 0,
+            "profiled_blocks": 0,
+            "batches": 0,
+            "batched_blocks": 0,
+            "largest_batch": 0,
+            "observed_batches": 0,
+            "event_counts": {"instr": 0, "mem": 0, "branch": 0},
+            "event_bytes": 0,
+        }
 
     def hook_subscriptions(self) -> frozenset:
         """Union of the attached sinks' per-event hook subscriptions.
@@ -188,6 +222,21 @@ class Executor:
                     profiled = self._launch_interpreted(kernel, grid, block, params, nblocks)
         for sink in self.sinks:
             sink.on_kernel_end(profiled, nblocks)
+        self._accumulate_launch_stats()
+
+    def _accumulate_launch_stats(self) -> None:
+        stats = self.last_launch_stats
+        totals = self.launch_stats_totals
+        totals["launches"] += 1
+        for key in ("blocks", "profiled_blocks", "batches", "batched_blocks",
+                    "observed_batches", "event_bytes"):
+            totals[key] += int(stats.get(key, 0))
+        totals["largest_batch"] = max(
+            totals["largest_batch"], int(stats.get("largest_batch", 0))
+        )
+        counts = totals["event_counts"]
+        for kind, n in stats.get("event_counts", {}).items():
+            counts[kind] += int(n)
 
     def _launch_traced(
         self,
@@ -231,6 +280,14 @@ class Executor:
                 tele.count(
                     "engine.compiled.batched_blocks", int(stats.get("batched_blocks", 0))
                 )
+                observed = int(stats.get("observed_batches", 0))
+                if observed:
+                    tele.count("engine.compiled.observed_batches", observed)
+                    tele.count(
+                        "engine.compiled.event_bytes", int(stats.get("event_bytes", 0))
+                    )
+                    for kind, n in stats.get("event_counts", {}).items():
+                        tele.count(f"engine.compiled.events.{kind}", int(n))
         return profiled
 
     def _launch_interpreted(
@@ -252,6 +309,7 @@ class Executor:
             run.execute()
         self.last_launch_stats = {
             "engine": "interpreted",
+            "event_mode": "callback",
             "blocks": nblocks,
             "profiled_blocks": profiled,
             "batches": 0,

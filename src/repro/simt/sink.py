@@ -36,6 +36,15 @@ class TraceSink:
 
     ``warp_mask`` in :meth:`on_instr` marks warps with at least one active
     lane; instruction counts at warp granularity are ``warp_mask.sum()``.
+
+    Under the compiled engine's columnar event mode (the default), profiled
+    blocks execute in lockstep batches and each batch's events arrive as one
+    :meth:`on_batch` call carrying an
+    :class:`~repro.simt.events.EventBatch` instead of per-block callbacks.
+    The default implementation scalar-replays the batch through the per-event
+    hooks above — block by block, in ascending order — so any sink stays
+    correct without changes; vectorized sinks (the pass-based collector)
+    override :meth:`on_batch` to consume the buffers directly.
     """
 
     def subscriptions(self) -> FrozenSet[str]:
@@ -88,6 +97,15 @@ class TraceSink:
         warp_taken: np.ndarray,
     ) -> None:
         """``kind`` is ``"if"`` or ``"loop"``; arrays hold per-warp lane counts."""
+
+    def on_batch(self, batch) -> None:
+        """Consume one columnar :class:`~repro.simt.events.EventBatch`.
+
+        Replaces the ``(on_block_begin … on_block_end)`` sequence for the
+        batch's profiled blocks.  The default replays the batch through the
+        scalar hooks, reproducing the legacy callback sequence exactly.
+        """
+        batch.replay(self)
 
     def on_block_end(self) -> None:
         pass

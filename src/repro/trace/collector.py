@@ -241,6 +241,30 @@ class KernelTraceCollector(TraceSink):
         for fn in fns:
             fn(stmt, kind, elem_size, addrs, act)
 
+    def on_batch(self, batch) -> None:
+        """Columnar path: hand the whole batch to each pass's ``consume``.
+
+        Each pass owns the full per-block lifecycle for the batch (its
+        ``consume`` either vectorizes over the block axis or scalar-replays
+        through its own hooks), so the collector does not fan out
+        ``on_block_begin``/``on_block_end`` here.  Per-pass accounting
+        attributes the batch's event count to every pass — the columnar
+        analogue of each subscribed hook firing once per event.
+        """
+        if self._tele is None:
+            for p in self._passes:
+                p.consume(batch)
+            return
+        perf = time.perf_counter
+        nevents = len(batch.events)
+        seconds = self._pass_seconds
+        events = self._pass_events
+        for p in self._passes:
+            t0 = perf()
+            p.consume(batch)
+            seconds[p.name] += perf() - t0
+            events[p.name] += nevents
+
 
 def _register_pressure_of(kernel: Kernel) -> int:
     """Static register pressure, cached on the kernel instance.

@@ -84,6 +84,44 @@ class AnalysisPass:
     ) -> None:
         pass
 
+    # -- columnar path --------------------------------------------------
+
+    def consume(self, batch) -> None:
+        """Consume one columnar :class:`~repro.simt.events.EventBatch`.
+
+        The default scalar-replays the batch through this pass's lifecycle
+        and event hooks — per profiled block in ascending order, filtering
+        events by subscription, mem space and participation — reproducing
+        the callback sequence the collector would have dispatched.  Passes
+        override this with vectorized reductions over the block axis; any
+        override must stay bit-identical to this replay.
+        """
+        subs = self.subscribes
+        want_instr = "instr" in subs
+        want_mem = "mem" in subs
+        want_branch = "branch" in subs
+        spaces = self.mem_spaces
+        nthreads = batch.nthreads
+        nwarps = batch.nwarps
+        events = batch.events
+        for i, linear in enumerate(batch.block_ids):
+            self.begin_block(linear, nthreads, nwarps)
+            for ev in events:
+                tag = ev[0]
+                if tag == "instr":
+                    if want_instr and ev[3][i]:
+                        self.on_instr(ev[1], ev[2], int(ev[3][i]), int(ev[5][i]), ev[4][i])
+                elif tag == "mem":
+                    if want_mem and ev[2] in spaces:
+                        row = ev[6][i]
+                        if row.any():
+                            self.on_mem(ev[1], ev[3], ev[4], ev[5][i], row)
+                elif want_branch:
+                    wa = ev[3][i]
+                    if wa.any():
+                        self.on_branch(ev[1], ev[2], wa, ev[4][i])
+            self.end_block()
+
 
 _REGISTRY: Dict[str, Type[AnalysisPass]] = {}
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+import numpy as np
+
 from repro.trace.passes.base import AnalysisPass, register_pass
 
 
@@ -55,6 +57,65 @@ class BranchPass(AnalysisPass):
         b.divergent += div
         b.taken_frac_sum += frac_sum
         b.taken_frac_sqsum += frac_sqsum
+
+    def consume(self, batch):
+        # Per event, the distinct (active, taken) row pairs are found once
+        # with a row-unique; each contributes through the same cache as the
+        # scalar path (identical byte keys: rows are contiguous int64
+        # slices).  Accumulation replays block-major so the float sums add
+        # in exactly the scalar order.
+        evs = []
+        for ev in batch.events:
+            if ev[0] != "branch":
+                continue
+            wa, wt = ev[3], ev[4]
+            nw = wa.shape[1]
+            uniq, inverse = np.unique(
+                np.concatenate((wa, wt), axis=1), axis=0, return_inverse=True
+            )
+            inverse = inverse.reshape(-1)
+            cs = []
+            for row in uniq:
+                a = row[:nw]
+                t = row[nw:]
+                key = (a.tobytes(), t.tobytes())
+                c = self._cache.get(key)
+                if c is None:
+                    has = a > 0
+                    active = a[has]
+                    taken = t[has]
+                    n = active.size
+                    if n == 0:
+                        c = (0, 0, 0.0, 0.0)
+                    else:
+                        divergent = (taken > 0) & (taken < active)
+                        frac = taken / active
+                        c = (
+                            n,
+                            int(divergent.sum()),
+                            float(frac.sum()),
+                            float((frac * frac).sum()),
+                        )
+                    self._cache[key] = c
+                cs.append(c)
+            evs.append((ev[2], inverse, cs))
+        if not evs:
+            return
+        b = self._stats
+        for i in range(len(batch.block_ids)):
+            for kind, inverse, cs in evs:
+                c = cs[inverse[i]]
+                n = c[0]
+                if n == 0:
+                    continue
+                b.events += n
+                if kind == "loop":
+                    b.loop_events += n
+                else:
+                    b.if_events += n
+                b.divergent += c[1]
+                b.taken_frac_sum += c[2]
+                b.taken_frac_sqsum += c[3]
 
     def end_kernel(self, profile):
         self._stats = None

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.simt.ir import Atomic, Instr, Load, Reg, Stmt
 from repro.trace.ilp import IlpTrackerBank
 from repro.trace.passes.base import AnalysisPass, register_pass
@@ -47,7 +49,8 @@ class IlpPass(AnalysisPass):
         self._deps: Dict[int, Tuple[Optional[str], List[str]]] = {}
         self._feeds: Dict[int, bool] = {}
         self._stream: List[int] = []
-        self._contribs: Dict[Tuple[int, ...], tuple] = {}
+        # Keyed by stream tuple (scalar path) or stream bytes (columnar).
+        self._contribs: Dict[object, tuple] = {}
 
     def begin_block(self, block_idx, nthreads, nwarps):
         self._stream = []
@@ -80,6 +83,51 @@ class IlpPass(AnalysisPass):
             self._contribs[key] = contrib
         self._bank.add_contribution(contrib)
         self._stream = []
+
+    def consume(self, batch):
+        # One participation matrix over the feeding events gives each
+        # block's sid stream in a single fancy-index; streams repeat across
+        # blocks, so the per-stream tracker contribution cache (keyed by
+        # the stream's int64 bytes) does the heavy lifting exactly as the
+        # scalar path's tuple-keyed cache does.
+        sids: List[int] = []
+        lane_cols = []
+        feeds_cache = self._feeds
+        deps_cache = self._deps
+        for ev in batch.events:
+            if ev[0] != "instr":
+                continue
+            stmt = ev[1]
+            feeds = feeds_cache.get(stmt.sid)
+            if feeds is None:
+                deps = _reg_deps(stmt)
+                deps_cache[stmt.sid] = deps
+                feeds = deps[0] is not None or bool(deps[1])
+                feeds_cache[stmt.sid] = feeds
+            if feeds:
+                sids.append(stmt.sid)
+                lane_cols.append(ev[3])
+        if not sids:
+            return
+        sid_arr = np.array(sids, dtype=np.int64)
+        part = np.stack(lane_cols, axis=1) > 0  # (P, events)
+        contribs = self._contribs
+        for i in range(len(batch.block_ids)):
+            stream = sid_arr[part[i]]
+            if stream.size == 0:
+                continue
+            key = stream.tobytes()
+            contrib = contribs.get(key)
+            if contrib is None:
+                bank = IlpTrackerBank(self.config.ilp_windows)
+                deps = deps_cache
+                for sid in stream:
+                    dest, srcs = deps[sid]
+                    bank.note(dest, srcs)
+                bank.flush()
+                contrib = bank.contribution()
+                contribs[key] = contrib
+            self._bank.add_contribution(contrib)
 
     def end_kernel(self, profile):
         profile.ilp = self._bank.results()

@@ -59,6 +59,39 @@ class MixPass(AnalysisPass):
             self._cv_blocks += 1
         self._warp_counts = None
 
+    def consume(self, batch):
+        # Category counters are per-sid sums (commutative ints), so the
+        # whole event column folds at once; the imbalance CV needs the
+        # per-block warp-issue counts, accumulated as one (P, nwarps)
+        # matrix (a zero-lane row has an all-false warp mask, so the
+        # unconditional add matches the scalar participation guard).
+        P = len(batch.block_ids)
+        counts = np.zeros((P, batch.nwarps), dtype=np.int64)
+        acc = self._sid_acc
+        for ev in batch.events:
+            if ev[0] != "instr":
+                continue
+            counts += ev[4]
+            lanes_sum = int(ev[3].sum())
+            warps_sum = int(ev[5].sum())
+            rec = acc.get(ev[1].sid)
+            if rec is None:
+                acc[ev[1].sid] = [lanes_sum, warps_sum, ev[2].value]
+            else:
+                rec[0] += lanes_sum
+                rec[1] += warps_sum
+        # Per-block CV, replicating the scalar end_block branch structure
+        # exactly (same numpy reductions over the same int64 rows).
+        for i in range(P):
+            row = counts[i]
+            if row.size > 1 and row.sum() > 0:
+                mean = row.mean()
+                if mean > 0:
+                    self._cv_sum += float(row.std() / mean)
+                    self._cv_blocks += 1
+            elif row.size >= 1:
+                self._cv_blocks += 1
+
     def end_kernel(self, profile):
         p = profile
         for lanes_sum, warps_sum, cat in self._sid_acc.values():

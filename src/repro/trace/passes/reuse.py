@@ -31,6 +31,26 @@ class ReusePass(AnalysisPass):
         lines = np.unique(addrs[act] >> self.config.line_bits)
         self._tracker.access_many(lines)
 
+    def consume(self, batch):
+        # The reuse-distance stack is inherently sequential, so the block
+        # axis replays block-major (scalar order); the line shift is still
+        # hoisted to one vectorized pass over each event's address matrix.
+        if self._tracker is None:
+            return
+        evs = [
+            (ev[5] >> self.config.line_bits, ev[6])
+            for ev in batch.events
+            if ev[0] == "mem" and ev[2] is MemSpace.GLOBAL
+        ]
+        if not evs:
+            return
+        tracker = self._tracker
+        for i in range(len(batch.block_ids)):
+            for lines, act in evs:
+                row = act[i]
+                if row.any():
+                    tracker.access_many(np.unique(lines[i][row]))
+
     def end_kernel(self, profile):
         if self._tracker is not None:
             profile.locality = LocalityStats(

@@ -61,5 +61,59 @@ class SharedPass(AnalysisPass):
         s.conflict_degree_sum += cached[1]
         s.conflicted += cached[2]
 
+    def consume(self, batch):
+        # Shared addresses are block-relative, so blocks of one batch mostly
+        # repeat the same (mask, addresses) rows: one row-unique per event
+        # (inactive lanes pinned to -1, which no validated shared address
+        # can be) finds the distinct contributions, computed through the
+        # same byte-keyed cache as the scalar path.  Accumulation replays
+        # block-major so conflict_degree_sum adds floats in scalar order.
+        evs = []
+        for ev in batch.events:
+            if ev[0] != "mem" or ev[2] is not MemSpace.SHARED:
+                continue
+            addrs, act = ev[5], ev[6]
+            uniq, inverse = np.unique(
+                np.where(act, addrs, -1), axis=0, return_inverse=True
+            )
+            inverse = inverse.reshape(-1)
+            cs = []
+            for row in uniq:
+                act_u = row != -1
+                active = row[act_u]
+                ckey = act_u.tobytes() + active.tobytes()
+                cached = self._cache.get(ckey)
+                if cached is None:
+                    nwarps = act_u.size // WARP_SIZE
+                    word = active >> 2
+                    bank = word % NUM_BANKS
+                    wid = np.flatnonzero(act_u) // WARP_SIZE
+                    key = (wid << 44) | (bank << 38) | (word & ((1 << 38) - 1))
+                    wb = np.unique(key) >> 38
+                    pairs, counts = np.unique(wb, return_counts=True)
+                    warp_of = pairs >> 6
+                    degree = np.zeros(nwarps, dtype=np.int64)
+                    np.maximum.at(degree, warp_of, counts)
+                    present = np.zeros(nwarps, dtype=bool)
+                    present[warp_of] = True
+                    cached = (
+                        int(present.sum()),
+                        float(degree[present].sum()),
+                        int((degree[present] > 1).sum()),
+                    )
+                    self._cache[ckey] = cached
+                cs.append(cached)
+            evs.append((inverse, cs))
+        if not evs:
+            return
+        s = self._s
+        for i in range(len(batch.block_ids)):
+            for inverse, cs in evs:
+                c = cs[inverse[i]]
+                if c[0]:
+                    s.accesses += c[0]
+                    s.conflict_degree_sum += c[1]
+                    s.conflicted += c[2]
+
     def end_kernel(self, profile):
         self._s = None

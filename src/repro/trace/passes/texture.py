@@ -36,6 +36,29 @@ class TexturePass(AnalysisPass):
             lines = np.unique(addrs[act] >> self.config.line_bits)
             self._tracker.access_many(lines)
 
+    def consume(self, batch):
+        # Access counters are integer sums over warp rows (exact in any
+        # order); the fetch stream's reuse tracker is sequential and
+        # replays block-major like the reuse pass.
+        t = self._t
+        evs = []
+        for ev in batch.events:
+            if ev[0] != "mem" or ev[2] is not MemSpace.TEXTURE:
+                continue
+            addrs, act = ev[5], ev[6]
+            t.accesses += int(act.reshape(-1, WARP_SIZE).any(axis=1).sum())
+            t.lane_accesses += int(act.sum())
+            if self._tracker is not None:
+                evs.append((addrs >> self.config.line_bits, act))
+        if not evs:
+            return
+        tracker = self._tracker
+        for i in range(len(batch.block_ids)):
+            for lines, act in evs:
+                row = act[i]
+                if row.any():
+                    tracker.access_many(np.unique(lines[i][row]))
+
     def end_kernel(self, profile):
         if self._tracker is not None:
             t = profile.texture

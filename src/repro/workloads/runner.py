@@ -26,6 +26,7 @@ def run_workload(
     engine: str = "compiled",
     batch_blocks: Optional[int] = None,
     passes: Optional[Sequence[str]] = None,
+    event_mode: str = "columnar",
 ) -> WorkloadProfile:
     """Execute one workload under trace collection.
 
@@ -34,9 +35,15 @@ def run_workload(
     the simulator and the kernel implementations.  ``engine`` selects the
     execution engine (``"compiled"`` batches unprofiled blocks under
     sampling; ``"interpreted"`` is the reference per-block interpreter) and
-    produces bit-identical device memory and profiles either way.
+    produces bit-identical device memory and profiles either way, as does
+    ``event_mode`` (``"columnar"`` batches profiled blocks and vectorizes
+    event consumption; ``"callback"`` is the scalar per-event hook path).
     ``passes`` selects the analysis passes to collect (``None`` = all);
     the engines emit only the hooks those passes subscribe to.
+
+    The returned profile carries the executor's aggregate launch counters
+    as an ``engine_stats`` attribute (an execution detail, not part of the
+    serialized profile format — profiles rebuilt from cache don't have it).
     """
     if isinstance(workload, str):
         workload = registry.get(workload)
@@ -52,16 +59,19 @@ def run_workload(
         profile_filter=pf,
         engine=engine,
         batch_blocks=batch_blocks,
+        event_mode=event_mode,
     )
     ctx = RunContext(device, executor, seed=seed)
     workload.run(ctx)
     if verify:
         workload.check(ctx)
-    return WorkloadProfile(
+    profile = WorkloadProfile(
         workload=workload.abbrev,
         suite=workload.suite,
         kernels=collector.profiles,
     )
+    profile.engine_stats = executor.launch_stats_totals
+    return profile
 
 
 def run_suite(
@@ -77,7 +87,7 @@ def run_suite(
 
     This is the low-level serial loop with no caching; most callers want
     :func:`repro.core.runtime.run_characterization` (parallel, cached,
-    fault-isolated) or :func:`repro.core.pipeline.characterize_suites`.
+    fault-isolated) or the :func:`repro.api.characterize` facade.
     ``observer`` receives the same typed events as the runtime; the
     ``progress`` callback is deprecated in its favour.
     """

@@ -94,36 +94,18 @@ def test_top_level_reexports():
 
 
 # ----------------------------------------------------------------------
-# Legacy shims
+# Legacy shims (removed)
 # ----------------------------------------------------------------------
 
 
-def test_characterize_suites_shim_warns_and_delegates():
-    from repro.core.pipeline import characterize_suites
+def test_legacy_shims_are_removed():
+    import repro.core
+    import repro.core.pipeline as pipeline
 
-    with pytest.warns(DeprecationWarning, match="repro.api.characterize"):
-        profiles = characterize_suites(
-            CharacterizationConfig(abbrevs=["VA"], sample_blocks=16)
-        )
-    assert [p.workload for p in profiles] == ["VA"]
-
-
-def test_characterize_and_analyze_shim_warns_and_delegates():
-    from repro.core.pipeline import characterize_and_analyze
-
-    with pytest.warns(DeprecationWarning, match="repro.api.analyze"):
-        result = characterize_and_analyze(
-            CharacterizationConfig(abbrevs=SMALL, sample_blocks=16)
-        )
-    assert result.workloads == SMALL
-
-
-def test_shim_keeps_legacy_type_error():
-    from repro.core.pipeline import characterize_suites
-
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(TypeError):
-            characterize_suites(["VA"])
+    for name in ("characterize_suites", "characterize_and_analyze"):
+        assert not hasattr(pipeline, name)
+        assert not hasattr(repro.core, name)
+        assert name not in repro.core.__all__
 
 
 # ----------------------------------------------------------------------

@@ -158,6 +158,12 @@ def test_bench_quick_writes_schema_json(capsys, tmp_path, monkeypatch):
         assert set(e) == {"name", "passes", "seconds"}
     assert doc["demand_speedup"] is not None
 
+    # Profiled-path stage: per-event callbacks vs columnar batch buffers.
+    assert set(doc["profiled_speedup"]) == {"callback_s", "columnar_s", "speedup"}
+    assert doc["profiled_speedup"]["callback_s"] > 0
+    assert doc["profiled_speedup"]["columnar_s"] > 0
+    assert "profiled path" in out
+
     # Telemetry-overhead stage: disabled vs enabled on the quick basket.
     assert set(doc["telemetry"]) == {"disabled_s", "enabled_s", "overhead"}
     assert doc["telemetry"]["disabled_s"] > 0

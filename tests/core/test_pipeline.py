@@ -3,45 +3,50 @@
 import numpy as np
 import pytest
 
-from repro.core.pipeline import AnalysisResult, analyze, characterize_suites
+from repro.api import characterize
+from repro.core.pipeline import AnalysisResult, analyze
 from repro.core.runtime import CharacterizationConfig
+
+
+def _profiles(config):
+    return characterize(config).profiles
 
 
 def test_cache_roundtrip(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    first = characterize_suites(CharacterizationConfig(abbrevs=["VA"], sample_blocks=8))
+    first = _profiles(CharacterizationConfig(abbrevs=["VA"], sample_blocks=8))
     files = list(tmp_path.glob("*.profile.json"))
     assert len(files) == 1
-    second = characterize_suites(CharacterizationConfig(abbrevs=["VA"], sample_blocks=8))
+    second = _profiles(CharacterizationConfig(abbrevs=["VA"], sample_blocks=8))
     assert second[0].workload == "VA"
     assert second[0].total_warp_instrs == first[0].total_warp_instrs
 
 
 def test_cache_shards_are_per_workload_and_config(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    characterize_suites(CharacterizationConfig(abbrevs=["VA"], sample_blocks=8))
-    characterize_suites(CharacterizationConfig(abbrevs=["VA"], sample_blocks=4))
-    characterize_suites(CharacterizationConfig(abbrevs=["HG"], sample_blocks=8))
+    _profiles(CharacterizationConfig(abbrevs=["VA"], sample_blocks=8))
+    _profiles(CharacterizationConfig(abbrevs=["VA"], sample_blocks=4))
+    _profiles(CharacterizationConfig(abbrevs=["HG"], sample_blocks=8))
     # One shard per (workload, sample_blocks): VA@8, VA@4, HG@8.
     assert len(list(tmp_path.glob("*.profile.json"))) == 3
     # A multi-workload run reuses the single-workload shards: no new files.
-    characterize_suites(CharacterizationConfig(abbrevs=["VA", "HG"], sample_blocks=8))
+    _profiles(CharacterizationConfig(abbrevs=["VA", "HG"], sample_blocks=8))
     assert len(list(tmp_path.glob("*.profile.json"))) == 3
 
 
 def test_cache_can_be_disabled(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
-    characterize_suites(
-        CharacterizationConfig(abbrevs=["VA"], sample_blocks=8, use_cache=False)
-    )
+    _profiles(CharacterizationConfig(abbrevs=["VA"], sample_blocks=8, use_cache=False))
     assert list(tmp_path.glob("*")) == []
 
 
-def test_legacy_kwargs_are_gone():
+def test_legacy_pipeline_entrypoints_are_gone():
+    import repro.core.pipeline as pipeline
+
+    assert not hasattr(pipeline, "characterize_suites")
+    assert not hasattr(pipeline, "characterize_and_analyze")
     with pytest.raises(TypeError):
-        characterize_suites(abbrevs=["VA"], sample_blocks=8, use_cache=False)
-    with pytest.raises(TypeError):
-        characterize_suites(["VA"])  # old positional abbrev-list convention
+        characterize(["VA"])  # old positional abbrev-list convention
 
 
 def test_analyze_produces_complete_result(suite_profiles):
@@ -78,8 +83,8 @@ def test_analyze_custom_subspaces(suite_profiles):
 
 def test_profiles_are_deterministic_across_runs():
     config = CharacterizationConfig(abbrevs=["SLA"], sample_blocks=16, use_cache=False)
-    a = characterize_suites(config)
-    b = characterize_suites(config)
+    a = _profiles(config)
+    b = _profiles(config)
     pa, pb = a[0], b[0]
     assert pa.total_thread_instrs == pb.total_thread_instrs
     from repro.core import metrics

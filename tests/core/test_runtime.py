@@ -6,8 +6,8 @@ import sys
 
 import pytest
 
+from repro.api import characterize
 from repro.core import metrics
-from repro.core.pipeline import characterize_suites
 from repro.core.runtime import (
     CharacterizationConfig,
     CharacterizationError,
@@ -339,10 +339,10 @@ def test_hung_workload_times_out_without_killing_suite(cache_dir, register):
     assert "timed out" in result.failures[0].error
 
 
-def test_characterize_suites_raises_structured_error(cache_dir, register):
+def test_characterize_raises_structured_error(cache_dir, register):
     register(CrashingWorkload)
     with pytest.raises(CharacterizationError) as exc_info:
-        characterize_suites(
+        characterize(
             CharacterizationConfig(abbrevs=["XCRASH"], sample_blocks=8, use_cache=False)
         )
     assert exc_info.value.failures[0].workload == "XCRASH"

@@ -2,8 +2,11 @@
 
 These entries were picked for feature diversity (barriers, atomics, shared
 read/write, overlapping stores, nested control flow, SFU chains, 2-D
-blocks, an agreed-fault launch) — replaying them pins both the generator's
-seed → case mapping and the engines' agreement on each shape.
+blocks, an agreed-fault launch, shared/texture event buffers recorded from
+genuinely multi-block columnar batches, and two store-hazard shapes whose
+overlap-window stores collide with the epilogue across blocks) — replaying
+them pins the generator's seed → case mapping, the engines' agreement on
+each shape, and scalar-vs-columnar per-pass section parity.
 """
 
 import pytest

@@ -180,10 +180,82 @@ def test_divergent_barrier_still_detected_under_batching():
             Executor(dev, engine=engine).launch(b.finalize(), 4, 32, {"o": obuf})
 
 
-def test_profiled_blocks_are_never_batched():
+def _store_only_kernel():
     b = KernelBuilder("k")
     o = b.param_buf("o", DType.I32)
     b.st(o, b.global_thread_id(), b.ctaid_x)
+    return b.finalize()
+
+
+def test_columnar_mode_batches_profiled_blocks():
+    # Columnar event mode (the default) batches profiled blocks alongside
+    # silent ones and delivers events per batch.
+    k = _store_only_kernel()
+    dev = Device()
+    obuf = dev.alloc("o", 8 * 32, DType.I32)
+    ex = Executor(
+        dev,
+        sinks=[KernelTraceCollector()],
+        profile_filter=stride_sampler(2),
+        engine="compiled",
+    )
+    ex.launch(k, 8, 32, {"o": obuf})
+    stats = ex.last_launch_stats
+    assert stats["engine"] == "compiled"
+    assert stats["event_mode"] == "columnar"
+    assert stats["profiled_blocks"] == 2
+    assert stats["batched_blocks"] == stats["blocks"] == 8
+    assert stats["largest_batch"] > 1
+    assert stats["observed_batches"] >= 1
+    assert stats["event_counts"]["instr"] > 0
+    assert stats["event_bytes"] > 0
+
+    # With every block profiled, every batch is an observed batch.
+    dev = Device()
+    obuf = dev.alloc("o", 8 * 32, DType.I32)
+    ex = Executor(
+        dev,
+        sinks=[KernelTraceCollector()],
+        profile_filter=profile_all_blocks,
+        engine="compiled",
+    )
+    ex.launch(k, 8, 32, {"o": obuf})
+    stats = ex.last_launch_stats
+    assert stats["profiled_blocks"] == 8
+    assert stats["observed_batches"] == stats["batches"]
+    assert stats["largest_batch"] > 1
+
+
+def test_callback_mode_never_batches_profiled_blocks():
+    # The legacy callback event mode keeps profiled blocks out of batches.
+    k = _store_only_kernel()
+    dev = Device()
+    obuf = dev.alloc("o", 8 * 32, DType.I32)
+    ex = Executor(
+        dev,
+        sinks=[KernelTraceCollector()],
+        profile_filter=stride_sampler(2),
+        engine="compiled",
+        event_mode="callback",
+    )
+    ex.launch(k, 8, 32, {"o": obuf})
+    stats = ex.last_launch_stats
+    assert stats["event_mode"] == "callback"
+    assert stats["profiled_blocks"] == 2
+    assert stats["batched_blocks"] == 6
+    assert stats["profiled_blocks"] + stats["batched_blocks"] == stats["blocks"]
+    assert stats["largest_batch"] > 1
+
+
+def test_load_store_overlap_pins_observed_batches():
+    # A kernel whose loads can observe its own stores must keep profiled
+    # blocks at sequential execution points: observed batches pin to one
+    # block (silent stretches still batch), so the recorded trace matches
+    # sequential execution even for benignly racy workloads such as BFS.
+    b = KernelBuilder("k")
+    o = b.param_buf("o", DType.I32)
+    i = b.global_thread_id()
+    b.st(o, i, b.iadd(b.ld(o, i), 1))
     k = b.finalize()
 
     dev = Device()
@@ -196,25 +268,38 @@ def test_profiled_blocks_are_never_batched():
     )
     ex.launch(k, 8, 32, {"o": obuf})
     stats = ex.last_launch_stats
-    assert stats["engine"] == "compiled"
+    assert stats["observed_batch_limit"] == 1
     assert stats["profiled_blocks"] == 2
-    assert stats["batched_blocks"] == 6
-    assert stats["profiled_blocks"] + stats["batched_blocks"] == stats["blocks"]
-    assert stats["largest_batch"] > 1
-
-    # With every block profiled, nothing is ever batched.
+    assert stats["observed_batches"] == 2
+    # Disjoint load/store buffers keep the full observed batch limit.
+    b = KernelBuilder("k2")
+    src = b.param_buf("src", DType.I32)
+    dst = b.param_buf("dst", DType.I32)
+    i = b.global_thread_id()
+    b.st(dst, i, b.ld(src, i))
+    k2 = b.finalize()
     dev = Device()
-    obuf = dev.alloc("o", 8 * 32, DType.I32)
+    sbuf = dev.alloc("src", 8 * 32, DType.I32)
+    dbuf = dev.alloc("dst", 8 * 32, DType.I32)
     ex = Executor(
         dev,
         sinks=[KernelTraceCollector()],
-        profile_filter=profile_all_blocks,
+        profile_filter=stride_sampler(2),
         engine="compiled",
     )
-    ex.launch(k, 8, 32, {"o": obuf})
-    stats = ex.last_launch_stats
-    assert stats["profiled_blocks"] == 8
-    assert stats["batched_blocks"] == 0
+    ex.launch(k2, 8, 32, {"src": sbuf, "dst": dbuf})
+    assert ex.last_launch_stats["observed_batch_limit"] > 1
+    # ... but binding the same buffer to both params is aliasing, and pins.
+    dev = Device()
+    buf = dev.alloc("b", 8 * 32, DType.I32)
+    ex = Executor(
+        dev,
+        sinks=[KernelTraceCollector()],
+        profile_filter=stride_sampler(2),
+        engine="compiled",
+    )
+    ex.launch(k2, 8, 32, {"src": buf, "dst": buf})
+    assert ex.last_launch_stats["observed_batch_limit"] == 1
 
 
 def test_atomic_kernels_pin_batches_to_one_block():
