@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate the end-to-end golden analysis fixture.
+
+Run from the repository root after an *intentional* change to the metric
+definitions, normalization, PCA, clustering, or representative selection:
+
+    PYTHONPATH=src python scripts/regen_golden_analysis.py
+
+then review the diff of ``tests/fixtures/golden_analysis.json`` — every
+changed number should be explainable by the change you made.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.api import CharacterizationConfig, analyze, characterize  # noqa: E402
+from repro.core.snapshot import analysis_snapshot  # noqa: E402
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), os.pardir, "tests", "fixtures", "golden_analysis.json"
+)
+
+
+def main() -> int:
+    profiles = characterize(CharacterizationConfig()).profiles
+    snapshot = analysis_snapshot(analyze(profiles))
+    with open(FIXTURE, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"wrote {os.path.relpath(FIXTURE)}: {len(snapshot['workloads'])} workloads, "
+        f"{snapshot['pca']['n_components']} PCs, K={snapshot['clusters']['best_k']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

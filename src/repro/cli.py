@@ -534,6 +534,51 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return EXIT_OK if stats.ok else EXIT_FAILURE
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import (
+        all_properties,
+        format_report,
+        run_selftest,
+        run_verify,
+        select_properties,
+    )
+
+    if args.list:
+        for prop in all_properties():
+            gen = " [generator-backed]" if prop.generator_backed else ""
+            print(f"{prop.name:<40} {prop.layer:<9}{gen}")
+            print(f"    {prop.invariant}")
+        return EXIT_OK
+
+    try:
+        select_properties(args.only or None)
+    except KeyError as exc:
+        raise _usage_error(exc.args[0])
+    progress = (lambda msg: print(msg, file=sys.stderr)) if args.verbose else None
+    if args.self_test:
+        report = run_selftest(
+            seed=args.seed, quick=args.quick, only=args.only or None, progress=progress
+        )
+    else:
+        report = run_verify(
+            seed=args.seed,
+            quick=args.quick,
+            budget=args.budget,
+            only=args.only or None,
+            progress=progress,
+        )
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote verify report to {args.json_out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(format_report(report))
+    return EXIT_OK if report.ok else EXIT_FAILURE
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     from repro.telemetry import format_summary, load_trace, write_chrome_trace
 
@@ -670,6 +715,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
     p.set_defaults(fn=_cmd_fuzz)
+
+    p = sub.add_parser("verify", help="run the metamorphic invariant-verification suite")
+    p.add_argument("--seed", type=int, default=0, help="run seed (default: 0)")
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI budget: fewer generated inputs, quick-basket ranking check",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="override the per-property input count (generated cases/trials)",
+    )
+    p.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="PROP",
+        help="restrict to matching properties (exact name, name prefix, or "
+        "layer: simt/trace/analysis/uarch); repeatable",
+    )
+    p.add_argument(
+        "--self-test",
+        action="store_true",
+        help="plant one violation per property and require each to be detected",
+    )
+    p.add_argument("--list", action="store_true", help="list registered properties")
+    p.add_argument("--json", action="store_true", help="print the JSON report to stdout")
+    p.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report here (CI artifact)",
+    )
+    p.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        help="record telemetry for this invocation and write the trace here "
+        "(*.json: Chrome trace-event, *.jsonl: span log; default: $REPRO_TRACE)",
+    )
+    p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser("profile-cache", help="inspect the sharded profile cache")
     p.add_argument("--purge", action="store_true", help="delete stale/orphan shards")

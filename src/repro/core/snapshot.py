@@ -1,0 +1,63 @@
+"""Stable JSON snapshots of an analysis run.
+
+Serializes the analysis artifacts that downstream conclusions rest on —
+normalized metric matrix, PCA loadings, cluster assignments and
+representatives — into a canonical JSON document.  Used by the golden
+end-to-end fixture (``tests/fixtures/golden_analysis.json``) and its
+regeneration script, and handy for diffing two analysis runs by hand.
+
+Floats are rounded to ``NDIGITS`` before serialization so the snapshot is
+stable across platforms that differ in the last few ulps of BLAS
+reductions; the golden test compares at a slightly looser tolerance again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+SNAPSHOT_SCHEMA = "repro.analysis-snapshot/v1"
+
+#: Decimal places kept in the snapshot (beyond any realistic platform ulp
+#: drift, below the 1e-8 comparison tolerance of the golden test).
+NDIGITS = 10
+
+
+def _round(values) -> List:
+    return np.round(np.asarray(values, dtype=float), NDIGITS).tolist()
+
+
+def analysis_snapshot(analysis) -> Dict:
+    """Canonical JSON-able snapshot of an :class:`AnalysisResult`."""
+    sm = analysis.standardized
+    pca = analysis.pca
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "workloads": list(analysis.workloads),
+        "suites": list(analysis.suites),
+        "normalized": {
+            "metric_names": list(sm.metric_names),
+            "dropped": list(sm.dropped),
+            "z": _round(sm.z),
+        },
+        "pca": {
+            "n_components": pca.n_components,
+            "explained_ratio": _round(pca.explained_ratio),
+            "retained": round(float(pca.retained), NDIGITS),
+            "loadings": _round(pca.components),
+        },
+        "clusters": {
+            "best_k": analysis.kmeans_best_k,
+            "labels": [int(x) for x in analysis.kmeans.labels],
+        },
+        "representatives": [
+            {
+                "workload": r.workload,
+                "cluster_size": r.cluster_size,
+                "weight": round(float(r.weight), NDIGITS),
+                "members": sorted(r.members),
+            }
+            for r in analysis.representatives
+        ],
+    }

@@ -134,6 +134,15 @@ class Executor:
         ``"callback"`` forces the legacy per-event scalar hook path.  Both
         produce bit-identical memory and profiles; the interpreted engine
         always uses callbacks.
+    block_order:
+        Optional permutation of linear block indices for the interpreted
+        engine: blocks are *visited* in this order while keeping their
+        identities (``%ctaid`` is still derived from each block's own
+        linear index, and the profile filter still sees the block's
+        identity).  CUDA guarantees nothing about inter-block scheduling,
+        so hazard-free kernels must be insensitive to this — the
+        ``repro.verify`` launch-order properties drive it.  Only the
+        interpreted engine supports it.
     """
 
     def __init__(
@@ -145,12 +154,17 @@ class Executor:
         engine: str = "compiled",
         batch_blocks: Optional[int] = None,
         event_mode: str = "columnar",
+        block_order: Optional[Sequence[int]] = None,
     ) -> None:
         if engine not in ENGINES:
             raise LaunchError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         if event_mode not in EVENT_MODES:
             raise LaunchError(
                 f"unknown event_mode {event_mode!r}; expected one of {EVENT_MODES}"
+            )
+        if block_order is not None and engine != "interpreted":
+            raise LaunchError(
+                "block_order is only supported by the interpreted engine"
             )
         self.device = device
         self.sinks = list(sinks)
@@ -159,6 +173,7 @@ class Executor:
         self.engine = engine
         self.batch_blocks = batch_blocks
         self.event_mode = event_mode
+        self.block_order = None if block_order is None else [int(b) for b in block_order]
         #: Populated after every launch: engine, block/batch counters.
         self.last_launch_stats: Dict[str, Union[int, str]] = {}
         #: Running totals over every launch this executor has driven —
@@ -300,7 +315,14 @@ class Executor:
     ) -> int:
         profiled = 0
         hooks = self.hook_subscriptions() if self.sinks else frozenset()
-        for linear in range(nblocks):
+        order: Sequence[int] = range(nblocks)
+        if self.block_order is not None:
+            if sorted(self.block_order) != list(range(nblocks)):
+                raise LaunchError(
+                    f"block_order must be a permutation of range({nblocks})"
+                )
+            order = self.block_order
+        for linear in order:
             ctaid = (linear % grid[0], linear // grid[0])
             observe = bool(self.sinks) and self.profile_filter(linear, nblocks)
             if observe:

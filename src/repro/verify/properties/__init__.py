@@ -1,0 +1,10 @@
+"""Property modules — importing this package registers every property.
+
+Registration order (simt → trace → analysis → uarch) mirrors the pipeline
+and defines report order.
+"""
+
+from repro.verify.properties import simt  # noqa: F401
+from repro.verify.properties import trace  # noqa: F401
+from repro.verify.properties import analysis  # noqa: F401
+from repro.verify.properties import uarch  # noqa: F401

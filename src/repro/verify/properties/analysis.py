@@ -1,0 +1,467 @@
+"""Analysis-layer properties: PCA, normalization, clustering, representatives.
+
+The statistical half of the paper's methodology makes implicit promises —
+PCA components are orthonormal and account for exactly the variance they
+claim; z-scoring makes the workload space invariant to the units the raw
+characteristics happen to be measured in; K-means is deterministic under a
+pinned seed and its *partition* is stable under workload duplication and
+row permutation; representative selection really picks the
+nearest-to-centroid member of each cluster.  Each property checks one of
+those promises on seeded synthetic data, and each plant breaks the promise
+in the way a real regression would (a scaled component column, a nonlinear
+"normalization", a dropped inverse mapping, swapped exemplars).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List
+
+import numpy as np
+
+from repro.core.analysis.diversity import Representative, representatives
+from repro.core.analysis.kmeans import KMeansResult, choose_k, kmeans, rand_index
+from repro.core.analysis.pca import PcaResult, fit_pca
+from repro.core.featurespace import FeatureMatrix, StandardizedMatrix, standardize
+from repro.verify.data import make_blobs, make_feature_matrix
+from repro.verify.registry import (
+    PlantResult,
+    Property,
+    PropertyResult,
+    VerifyContext,
+    register,
+)
+
+_ATOL = 1e-9
+
+
+def _pca_failures(sm: StandardizedMatrix, pca: PcaResult, target) -> List[str]:
+    """Orthonormality + variance-accounting violations of one fitted PCA."""
+    bad: List[str] = []
+    comps = pca.components
+    k = pca.n_components
+    gram_err = float(np.abs(comps.T @ comps - np.eye(k)).max())
+    if gram_err > _ATOL:
+        bad.append(f"components not orthonormal: |C'C - I| max {gram_err:.3e}")
+    ev = pca.explained_variance
+    if np.any(ev < 0) or np.any(np.diff(ev) > _ATOL):
+        bad.append(f"explained_variance not descending/non-negative: {ev}")
+    z = sm.z
+    n = z.shape[0]
+    total = float(np.trace((z.T @ z) / (n - 1)))
+    if not np.allclose(pca.explained_ratio, ev / total, atol=_ATOL):
+        bad.append("explained_ratio != eigenvalue / total variance")
+    if abs(pca.retained - float(pca.explained_ratio.sum())) > _ATOL:
+        bad.append(f"retained {pca.retained} != sum of explained_ratio")
+    if not np.allclose(pca.scores, z @ comps, atol=_ATOL):
+        bad.append("scores != z @ components")
+    # Each score column's sample variance is exactly its eigenvalue.
+    if n > 1:
+        col_var = pca.scores.var(axis=0, ddof=1)
+        if not np.allclose(col_var, ev, rtol=1e-8, atol=_ATOL):
+            bad.append("score column variance != explained_variance")
+    if target is not None:
+        d = len(sm.metric_names)
+        if pca.retained < target - _ATOL and k < d:
+            bad.append(f"retained {pca.retained:.4f} below target {target}")
+        if k > 1 and float(pca.explained_ratio[:-1].sum()) >= target:
+            bad.append("kept more components than the variance target needs")
+    return bad
+
+
+@register
+class PcaOrthonormal(Property):
+    name = "analysis.pca.orthonormal"
+    layer = "analysis"
+    invariant = (
+        "PCA components are orthonormal, eigenvalues descending, and "
+        "ratio/retained/score variance account exactly for the eigenvalues"
+    )
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        rng = ctx.rng(self.name)
+        trials = ctx.cases(4, 16)
+        failures: List[str] = []
+        for t in range(trials):
+            n = int(rng.integers(10, 26))
+            d = int(rng.integers(6, 16))
+            sm = standardize(make_feature_matrix(rng, n=n, d=d))
+            for target in (None, 0.9):
+                for diff in _pca_failures(sm, fit_pca(sm, variance_target=target), target):
+                    failures.append(f"trial {t} (target={target}): {diff}")
+            if failures:
+                return self._result(t + 1, failures, {"trial": t, "n": n, "d": d})
+        return self._result(trials, [])
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        start = time.perf_counter()
+        rng = ctx.rng(self.name + ".plant")
+        sm = standardize(make_feature_matrix(rng))
+        pca = fit_pca(sm, variance_target=0.9)
+        comps = pca.components.copy()
+        comps[:, 0] *= 1.1  # break unit norm of the first component
+        doctored = dataclasses.replace(pca, components=comps)
+        failures = _pca_failures(sm, doctored, 0.9)
+        return PlantResult(
+            name=self.name,
+            detected=bool(failures),
+            seconds=time.perf_counter() - start,
+            detail=failures[0] if failures else "scaled component went unnoticed",
+        )
+
+
+@register
+class NormalizeScaleInvariance(Property):
+    name = "analysis.normalize.scale_invariance"
+    layer = "analysis"
+    invariant = (
+        "per-metric affine rescaling (unit changes) leaves the z-matrix and "
+        "PC-space pairwise distances unchanged"
+    )
+
+    @staticmethod
+    def _diffs(fm: FeatureMatrix, transformed: FeatureMatrix) -> List[str]:
+        sm1, sm2 = standardize(fm), standardize(transformed)
+        bad: List[str] = []
+        if sm1.metric_names != sm2.metric_names:
+            bad.append(
+                f"dropped-column sets differ: {sm1.dropped} vs {sm2.dropped}"
+            )
+            return bad
+        if not np.allclose(sm1.z, sm2.z, atol=1e-8):
+            bad.append(
+                f"z-matrices differ (max abs {np.abs(sm1.z - sm2.z).max():.3e})"
+            )
+        p1 = fit_pca(sm1, variance_target=None)
+        p2 = fit_pca(sm2, variance_target=None)
+        d1 = np.linalg.norm(p1.scores[:, None] - p1.scores[None, :], axis=2)
+        d2 = np.linalg.norm(p2.scores[:, None] - p2.scores[None, :], axis=2)
+        if not np.allclose(d1, d2, atol=1e-8):
+            bad.append(
+                f"PC-space distance matrix moved (max abs {np.abs(d1 - d2).max():.3e})"
+            )
+        return bad
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        rng = ctx.rng(self.name)
+        trials = ctx.cases(4, 16)
+        for t in range(trials):
+            fm = make_feature_matrix(rng)
+            d = fm.values.shape[1]
+            scale = np.exp(rng.uniform(-3.0, 3.0, d))
+            shift = rng.uniform(-10.0, 10.0, d)
+            transformed = FeatureMatrix(
+                workloads=fm.workloads,
+                suites=fm.suites,
+                metric_names=fm.metric_names,
+                values=fm.values * scale + shift,
+            )
+            failures = self._diffs(fm, transformed)
+            if failures:
+                return self._result(
+                    t + 1,
+                    [f"trial {t}: {f}" for f in failures],
+                    {"trial": t, "scale_range": [float(scale.min()), float(scale.max())]},
+                )
+        return self._result(trials, [])
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        start = time.perf_counter()
+        rng = ctx.rng(self.name + ".plant")
+        fm = make_feature_matrix(rng)
+        # Cubing is monotone but *not* affine — z-scores must move.
+        cubed = FeatureMatrix(
+            workloads=fm.workloads,
+            suites=fm.suites,
+            metric_names=fm.metric_names,
+            values=np.sign(fm.values) * np.abs(fm.values) ** 3,
+        )
+        failures = self._diffs(fm, cubed)
+        return PlantResult(
+            name=self.name,
+            detected=bool(failures),
+            seconds=time.perf_counter() - start,
+            detail=failures[0] if failures else "nonlinear transform went unnoticed",
+        )
+
+
+@register
+class KmeansDeterminism(Property):
+    name = "analysis.kmeans.determinism"
+    layer = "analysis"
+    invariant = (
+        "K-means and BIC model selection are bitwise deterministic under a "
+        "pinned seed"
+    )
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        rng = ctx.rng(self.name)
+        trials = ctx.cases(3, 10)
+        for t in range(trials):
+            pts = make_blobs(rng)
+            seed = int(rng.integers(0, 2**31))
+            a = kmeans(pts, 4, np.random.default_rng(seed))
+            b = kmeans(pts, 4, np.random.default_rng(seed))
+            failures: List[str] = []
+            if not np.array_equal(a.labels, b.labels):
+                failures.append("labels differ between identical-seed runs")
+            if not np.array_equal(a.centers, b.centers):
+                failures.append("centers differ between identical-seed runs")
+            if a.inertia != b.inertia:
+                failures.append(f"inertia {a.inertia!r} != {b.inertia!r}")
+            ka, _ = choose_k(pts, range(2, 7), np.random.default_rng(seed))
+            kb, _ = choose_k(pts, range(2, 7), np.random.default_rng(seed))
+            if ka != kb:
+                failures.append(f"choose_k picked {ka} then {kb} with one seed")
+            if failures:
+                return self._result(
+                    t + 1,
+                    [f"trial {t}: {f}" for f in failures],
+                    {"trial": t, "seed": seed},
+                )
+        return self._result(trials, [])
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        """Vary the seed on an ambiguous dataset: determinism must *depend*
+        on the pinned seed, i.e. the check's comparison can actually fail."""
+        start = time.perf_counter()
+        pts = np.random.default_rng(3).uniform(-1.0, 1.0, (24, 3))
+        a = kmeans(pts, 5, np.random.default_rng(1), n_init=1)
+        b = kmeans(pts, 5, np.random.default_rng(2), n_init=1)
+        differs = not np.array_equal(a.labels, b.labels)
+        return PlantResult(
+            name=self.name,
+            detected=differs,
+            seconds=time.perf_counter() - start,
+            detail=(
+                f"seed change moved the partition (rand index "
+                f"{rand_index(a.labels, b.labels):.3f}) — comparison is not vacuous"
+                if differs
+                else "seed change produced identical partitions; check is vacuous"
+            ),
+        )
+
+
+@register
+class ClusterDuplication(Property):
+    name = "analysis.cluster.duplication"
+    layer = "analysis"
+    invariant = (
+        "duplicating workloads does not change the partition of the "
+        "original workload set"
+    )
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        rng = ctx.rng(self.name)
+        trials = ctx.cases(3, 10)
+        for t in range(trials):
+            pts = make_blobs(rng)
+            n = pts.shape[0]
+            dup_idx = rng.choice(n, size=3, replace=False)
+            extended = np.concatenate([pts, pts[dup_idx]])
+            base = kmeans(pts, 4, np.random.default_rng(7))
+            dup = kmeans(extended, 4, np.random.default_rng(7))
+            failures: List[str] = []
+            ri = rand_index(base.labels, dup.labels[:n])
+            if ri < 1.0:
+                failures.append(f"original partition moved (rand index {ri:.3f})")
+            for j, src in enumerate(dup_idx):
+                if dup.labels[n + j] != dup.labels[src]:
+                    failures.append(
+                        f"duplicate of row {src} landed in a different cluster"
+                    )
+            if failures:
+                return self._result(
+                    t + 1,
+                    [f"trial {t}: {f}" for f in failures],
+                    {"trial": t, "duplicated": [int(i) for i in dup_idx]},
+                )
+        return self._result(trials, [])
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        """Blur the blobs into overlap: the partition must become unstable."""
+        start = time.perf_counter()
+        rng = ctx.rng(self.name + ".plant")
+        for _ in range(10):
+            pts = make_blobs(rng)
+            n = pts.shape[0]
+            noisy = pts + 3.0 * rng.standard_normal(pts.shape)
+            dup_idx = rng.choice(n, size=3, replace=False)
+            base = kmeans(noisy, 4, np.random.default_rng(7))
+            dup = kmeans(np.concatenate([noisy, noisy[dup_idx]]), 4, np.random.default_rng(7))
+            ri = rand_index(base.labels, dup.labels[:n])
+            if ri < 1.0:
+                return PlantResult(
+                    name=self.name,
+                    detected=True,
+                    seconds=time.perf_counter() - start,
+                    detail=f"overlapping clusters shifted under duplication (rand index {ri:.3f})",
+                )
+        return PlantResult(
+            name=self.name,
+            detected=False,
+            seconds=time.perf_counter() - start,
+            detail="duplication never moved the noisy partition in 10 draws",
+        )
+
+
+@register
+class ClusterPermutation(Property):
+    name = "analysis.cluster.permutation"
+    layer = "analysis"
+    invariant = (
+        "permuting workload rows yields the identical partition after "
+        "mapping labels back through the inverse permutation"
+    )
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        rng = ctx.rng(self.name)
+        trials = ctx.cases(3, 10)
+        for t in range(trials):
+            pts = make_blobs(rng)
+            n = pts.shape[0]
+            perm = rng.permutation(n)
+            base = kmeans(pts, 4, np.random.default_rng(11))
+            permuted = kmeans(pts[perm], 4, np.random.default_rng(11))
+            # permuted row i is original row perm[i]: map labels back.
+            unshuffled = np.empty(n, dtype=int)
+            unshuffled[perm] = permuted.labels
+            ri = rand_index(base.labels, unshuffled)
+            if ri < 1.0:
+                return self._result(
+                    t + 1,
+                    [f"trial {t}: partition changed under row permutation (rand index {ri:.3f})"],
+                    {"trial": t},
+                )
+        return self._result(trials, [])
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        """Skip the inverse mapping — the comparison must notice raw labels."""
+        start = time.perf_counter()
+        rng = ctx.rng(self.name + ".plant")
+        for _ in range(10):
+            pts = make_blobs(rng)
+            n = pts.shape[0]
+            perm = rng.permutation(n)
+            base = kmeans(pts, 4, np.random.default_rng(11))
+            permuted = kmeans(pts[perm], 4, np.random.default_rng(11))
+            ri = rand_index(base.labels, permuted.labels)  # deliberately unmapped
+            if ri < 1.0:
+                return PlantResult(
+                    name=self.name,
+                    detected=True,
+                    seconds=time.perf_counter() - start,
+                    detail=f"unmapped comparison caught (rand index {ri:.3f})",
+                )
+        return PlantResult(
+            name=self.name,
+            detected=False,
+            seconds=time.perf_counter() - start,
+            detail="raw-label comparison accidentally agreed in 10 draws",
+        )
+
+
+def _rep_failures(
+    km: KMeansResult, scores: np.ndarray, names: List[str], reps: List[Representative]
+) -> List[str]:
+    """Structural violations of a representative list for one clustering."""
+    bad: List[str] = []
+    n = scores.shape[0]
+    nonempty = [j for j in range(km.k) if np.any(km.labels == j)]
+    if len(reps) != len(nonempty):
+        bad.append(f"{len(reps)} representatives for {len(nonempty)} non-empty clusters")
+    weight_sum = sum(r.weight for r in reps)
+    if abs(weight_sum - 1.0) > 1e-9:
+        bad.append(f"weights sum to {weight_sum!r}, not 1")
+    sizes = [r.cluster_size for r in reps]
+    if sizes != sorted(sizes, reverse=True):
+        bad.append("representatives not sorted by descending cluster size")
+    seen: set = set()
+    for r in reps:
+        members = np.flatnonzero(km.labels == r.cluster)
+        if r.cluster_size != members.size:
+            bad.append(f"cluster {r.cluster}: size {r.cluster_size} != {members.size}")
+        if sorted(r.members) != sorted(names[i] for i in members):
+            bad.append(f"cluster {r.cluster}: member list mismatch")
+        if r.index not in members:
+            bad.append(f"cluster {r.cluster}: exemplar row {r.index} not a member")
+            continue
+        if names[r.index] != r.workload:
+            bad.append(f"cluster {r.cluster}: workload name does not match index")
+        d = np.linalg.norm(scores[members] - km.centers[r.cluster], axis=1)
+        nearest = float(d.min())
+        chosen = float(np.linalg.norm(scores[r.index] - km.centers[r.cluster]))
+        if chosen > nearest + 1e-12:
+            bad.append(
+                f"cluster {r.cluster}: exemplar at distance {chosen:.6f}, "
+                f"nearest member at {nearest:.6f}"
+            )
+        seen.update(np.flatnonzero(km.labels == r.cluster).tolist())
+    if len(reps) == len(nonempty) and len(seen) != n:
+        bad.append("cluster members do not partition the workload set")
+    return bad
+
+
+@register
+class RepresentativesStability(Property):
+    name = "analysis.representatives.stability"
+    layer = "analysis"
+    invariant = (
+        "representative selection picks the nearest-to-centroid member of "
+        "each cluster, with weights that sum to 1, invariant to cluster "
+        "relabeling"
+    )
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        rng = ctx.rng(self.name)
+        trials = ctx.cases(3, 10)
+        for t in range(trials):
+            pts = make_blobs(rng)
+            names = [f"w{i:02d}" for i in range(pts.shape[0])]
+            km = kmeans(pts, 4, np.random.default_rng(9))
+            reps = representatives(km, pts, names)
+            failures = _rep_failures(km, pts, names, reps)
+            # Determinism of the selection itself.
+            again = representatives(km, pts, names)
+            if [r.workload for r in reps] != [r.workload for r in again]:
+                failures.append("re-running selection changed the exemplars")
+            # Relabeling clusters must not change *which* workloads are picked.
+            sigma = rng.permutation(km.k)
+            relabeled_centers = np.empty_like(km.centers)
+            relabeled_centers[sigma] = km.centers
+            relabeled = KMeansResult(
+                k=km.k,
+                labels=sigma[km.labels],
+                centers=relabeled_centers,
+                inertia=km.inertia,
+            )
+            reps2 = representatives(relabeled, pts, names)
+            if sorted(r.workload for r in reps) != sorted(r.workload for r in reps2):
+                failures.append("cluster relabeling changed the exemplar set")
+            if failures:
+                return self._result(
+                    t + 1, [f"trial {t}: {f}" for f in failures], {"trial": t}
+                )
+        return self._result(trials, [])
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        """Swap two exemplars' workloads — the structural checks must trip."""
+        start = time.perf_counter()
+        rng = ctx.rng(self.name + ".plant")
+        pts = make_blobs(rng)
+        names = [f"w{i:02d}" for i in range(pts.shape[0])]
+        km = kmeans(pts, 4, np.random.default_rng(9))
+        reps = representatives(km, pts, names)
+        doctored = [dataclasses.replace(r) for r in reps]
+        doctored[0], doctored[1] = (
+            dataclasses.replace(doctored[0], workload=reps[1].workload, index=reps[1].index),
+            dataclasses.replace(doctored[1], workload=reps[0].workload, index=reps[0].index),
+        )
+        failures = _rep_failures(km, pts, names, doctored)
+        return PlantResult(
+            name=self.name,
+            detected=bool(failures),
+            seconds=time.perf_counter() - start,
+            detail=failures[0] if failures else "swapped exemplars went unnoticed",
+        )

@@ -1,0 +1,290 @@
+"""Simulator-layer metamorphic properties.
+
+The paper's characteristics are only *microarchitecture-independent* if the
+profiles really are functions of the program, not of how the simulator
+happened to schedule it.  These properties pin that down:
+
+* permuting block launch order leaves memory and the order-free profile
+  sections unchanged (reuse-distance sections legitimately depend on block
+  visit order and are excluded — see :data:`repro.verify.data.ORDER_FREE_PASSES`);
+* re-factoring the grid shape of a linear-indexed kernel family is
+  bit-invisible, including to the reuse sections;
+* the compiled engine's hazard-driven batch pinning agrees with the
+  interpreted baseline on generated kernels (the PR-3 oracle, run as a
+  standing invariant).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.fuzz.generator import Case, case_stmt_count, generate_case
+from repro.fuzz.shrink import shrink_case
+from repro.verify.data import (
+    ORDER_FREE_PASSES,
+    RESHARD_NBLOCKS,
+    RESHARD_SHAPES,
+    RESHARD_VARIANTS,
+    case_is_order_free,
+    compare_outcomes,
+    order_free_cases,
+    reversal_order,
+    run_case_launch,
+    run_reshard,
+)
+from repro.verify.registry import (
+    PlantResult,
+    Property,
+    PropertyResult,
+    VerifyContext,
+    register,
+)
+
+#: Attempt cap for plant seed searches — each plant scans a dedicated seed
+#: stream until it finds a case exhibiting the planted failure mode.
+_PLANT_ATTEMPTS = 600
+
+
+def _case_witness(case: Case, failures: List[str]) -> Dict:
+    return {
+        "seed": case["seed"],
+        "grid": case["grid"],
+        "block": list(case["block"]),
+        "stmts": case_stmt_count(case),
+        "failures": failures[:8],
+    }
+
+
+def _order_diffs(case: Case, compare_memory: bool, passes) -> List[str]:
+    """Differences between the natural and reversed block launch orders."""
+    nblocks = case["grid"]
+    base = run_case_launch(case)
+    permuted = run_case_launch(case, block_order=reversal_order(nblocks))
+    return compare_outcomes(
+        base,
+        permuted,
+        passes=passes,
+        label="block-order",
+        compare_memory=compare_memory,
+    )
+
+
+class _BlockOrderProperty(Property):
+    """Shared driver for the two launch-order permutation properties."""
+
+    generator_backed = True
+    compare_memory = True
+    passes: tuple = ()
+
+    def _diffs(self, case: Case) -> List[str]:
+        return _order_diffs(case, self.compare_memory, self.passes)
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        n = ctx.cases(5, 24)
+        seeds = (ctx.case_seed(self.name, i) for i in range(10_000))
+        cases = 0
+        for case in order_free_cases(seeds, n):
+            cases += 1
+            failures = self._diffs(case)
+            if failures:
+                shrunk = shrink_case(
+                    case, lambda c: case_is_order_free(c) and bool(self._diffs(c))
+                )
+                return self._result(
+                    cases, failures, _case_witness(shrunk, self._diffs(shrunk))
+                )
+        return self._result(cases, [])
+
+    def _plant_search(self, fails) -> PlantResult:
+        """Find an order-*sensitive* case the check must flag, then shrink it."""
+        start = time.perf_counter()
+        for attempt in range(_PLANT_ATTEMPTS):
+            case = generate_case(self.plant_base + attempt)
+            if case_is_order_free(case):
+                continue  # the check would (rightly) never see this case
+            failures = fails(case)
+            if not failures:
+                continue
+            before = case_stmt_count(case)
+            shrunk = shrink_case(case, lambda c: bool(fails(c)))
+            return PlantResult(
+                name=self.name,
+                detected=True,
+                seconds=time.perf_counter() - start,
+                detail=(
+                    f"seed {case['seed']}: {failures[0]} "
+                    f"(order-sensitive case correctly rejected by the filter)"
+                ),
+                shrunk_from=before,
+                shrunk_to=case_stmt_count(shrunk),
+            )
+        return PlantResult(
+            name=self.name,
+            detected=False,
+            seconds=time.perf_counter() - start,
+            detail=f"no order-sensitive case found in {_PLANT_ATTEMPTS} seeds",
+        )
+
+    plant_base = 5000
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        return self._plant_search(self._diffs)
+
+
+@register
+class BlockOrderMemory(_BlockOrderProperty):
+    name = "sim.block_order.memory"
+    layer = "simt"
+    invariant = (
+        "permuting block launch order leaves device memory bit-identical "
+        "for order-free kernels"
+    )
+    compare_memory = True
+    passes = ()
+    plant_base = 5000
+
+
+@register
+class BlockOrderSections(_BlockOrderProperty):
+    name = "sim.block_order.sections"
+    layer = "simt"
+    invariant = (
+        "permuting block launch order leaves the order-free profile sections "
+        "(mix/ilp/branch/coalescing/shared) numerically unchanged"
+    )
+    compare_memory = False
+    passes = ORDER_FREE_PASSES
+    plant_base = 6000
+
+
+@register
+class ReshardSections(Property):
+    name = "sim.reshard.sections"
+    layer = "simt"
+    invariant = (
+        "re-factoring the grid shape of a linear-indexed kernel leaves memory "
+        "and every profile section bit-identical"
+    )
+    generator_backed = False
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        cases = 0
+        failures: List[str] = []
+        counterexample: Optional[Dict] = None
+        for variant in range(RESHARD_VARIANTS):
+            base = run_reshard(variant, (RESHARD_NBLOCKS, 1))
+            for shape in RESHARD_SHAPES:
+                cases += 1
+                diffs = compare_outcomes(
+                    base,
+                    run_reshard(variant, shape),
+                    passes=list(base.sections),
+                    label=f"v{variant}@{shape[0]}x{shape[1]}",
+                    drop_header_keys=("grid",),
+                )
+                if diffs and counterexample is None:
+                    counterexample = {
+                        "variant": variant,
+                        "grid": list(shape),
+                        "failures": diffs[:8],
+                    }
+                failures.extend(diffs[:4])
+        return self._result(cases, failures, counterexample)
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        start = time.perf_counter()
+        # The broken sibling addresses by raw ctaid.x, so any non-degenerate
+        # factorization collapses distinct blocks onto the same addresses.
+        base = run_reshard(0, (RESHARD_NBLOCKS, 1), raw_ctaid=True)
+        diffs = compare_outcomes(
+            base,
+            run_reshard(0, (4, 3), raw_ctaid=True),
+            passes=list(base.sections),
+            label="raw-ctaid@4x3",
+            drop_header_keys=("grid",),
+        )
+        return PlantResult(
+            name=self.name,
+            detected=bool(diffs),
+            seconds=time.perf_counter() - start,
+            detail=diffs[0] if diffs else "raw-ctaid sibling was not detected",
+        )
+
+
+@register
+class BatchParity(Property):
+    name = "sim.batch.parity"
+    layer = "simt"
+    invariant = (
+        "hazard-pinned compiled batching matches the interpreted baseline "
+        "(memory, profiles, error class) on generated kernels"
+    )
+    generator_backed = True
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        from repro.fuzz.oracle import run_case
+
+        n = ctx.cases(4, 20)
+        cases = 0
+        for i in range(n):
+            case = generate_case(ctx.case_seed(self.name, i))
+            cases += 1
+            report = run_case(case)
+            if not report.ok:
+                shrunk = shrink_case(case, lambda c: not run_case(c).ok)
+                return self._result(
+                    cases,
+                    report.failures,
+                    _case_witness(shrunk, run_case(shrunk).failures),
+                )
+        return self._result(cases, [])
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        """Disable the batching-hazard analysis and prove the oracle notices.
+
+        With ``_batch_hazard`` forced to ``False`` the compiled engine
+        silently batches kernels with overlapping cross-block stores, which
+        reorders their store streams relative to the interpreted baseline.
+        """
+        import repro.simt.compiled as compiled
+        from repro.fuzz.oracle import run_case
+        from repro.verify.data import _case_has_kind
+
+        start = time.perf_counter()
+        original = compiled._batch_hazard
+        try:
+            compiled._batch_hazard = lambda ck, params: False
+            for attempt in range(_PLANT_ATTEMPTS):
+                case = generate_case(7000 + attempt)
+                if not _case_has_kind(case, ("gstore_overlap",)):
+                    continue
+                if not run_case(case).ok:
+                    before = case_stmt_count(case)
+                    shrunk = shrink_case(case, lambda c: not run_case(c).ok)
+                    failure = run_case(shrunk).failures[0]
+                    # The shrunk case must be clean once the hazard
+                    # analysis is restored — the plant, not the engine,
+                    # is what broke parity.
+                    compiled._batch_hazard = original
+                    clean = run_case(shrunk).ok
+                    return PlantResult(
+                        name=self.name,
+                        detected=clean,
+                        seconds=time.perf_counter() - start,
+                        detail=(
+                            f"seed {case['seed']}: {failure}"
+                            if clean
+                            else "shrunk case still fails with hazards restored"
+                        ),
+                        shrunk_from=before,
+                        shrunk_to=case_stmt_count(shrunk),
+                    )
+            return PlantResult(
+                name=self.name,
+                detected=False,
+                seconds=time.perf_counter() - start,
+                detail=f"no parity break found in {_PLANT_ATTEMPTS} seeds",
+            )
+        finally:
+            compiled._batch_hazard = original

@@ -1,0 +1,221 @@
+"""Trace-layer properties: demand-driven collection and profile accounting.
+
+The collector promises that enabling only a *subset* of analysis passes
+changes what is collected, never what any individual pass observes — a
+subset run's sections must be byte-equal to the same sections cut from a
+full-basket run.  And every collected profile must satisfy the oracle's
+internal accounting closure (fractions in [0, 1], thread/warp instruction
+bounds, SIMD slot/lane sums), independent of which kernel produced it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from itertools import combinations
+from typing import List, Optional, Sequence
+
+from repro.fuzz.generator import Case, build_kernel, case_stmt_count, generate_case, make_device
+from repro.fuzz.shrink import shrink_case
+from repro.simt import Executor, SimtError
+from repro.trace.collector import CollectorConfig, KernelTraceCollector
+from repro.trace.profile import PASS_NAMES, WorkloadProfile
+from repro.trace.serialize import workload_header_bytes, workload_section_bytes
+from repro.verify.data import collect_case_profile
+from repro.verify.properties.simt import _PLANT_ATTEMPTS, _case_witness
+from repro.verify.registry import (
+    PlantResult,
+    Property,
+    PropertyResult,
+    VerifyContext,
+    register,
+)
+
+
+def _profile_with_passes(
+    case: Case,
+    passes: Optional[Sequence[str]],
+    config: Optional[CollectorConfig] = None,
+) -> Optional[WorkloadProfile]:
+    """Profile one case with a chosen pass subset (``None`` if it faults)."""
+    kernel = build_kernel(case)
+    dev, bufs = make_device(case)
+    collector = KernelTraceCollector(config=config, passes=passes)
+    executor = Executor(dev, sinks=[collector])
+    try:
+        executor.launch(kernel, case["grid"], tuple(case["block"]), bufs)
+    except SimtError:
+        return None
+    return WorkloadProfile(workload="verify", suite="verify", kernels=collector.profiles)
+
+
+def _header_sans_passes(profile: WorkloadProfile) -> bytes:
+    import json
+
+    headers = json.loads(workload_header_bytes(profile))
+    for h in headers:
+        h.pop("passes", None)
+    return json.dumps(headers, sort_keys=True).encode()
+
+
+def _subset_diffs(
+    case: Case, subsets: Sequence[Sequence[str]], config: Optional[CollectorConfig] = None
+) -> List[str]:
+    """Byte-compare each subset run's sections against the full basket's."""
+    full = _profile_with_passes(case, None)
+    if full is None:
+        return []
+    diffs: List[str] = []
+    for subset in subsets:
+        sub = _profile_with_passes(case, subset, config=config)
+        if sub is None:
+            diffs.append(f"{subset}: subset launch faulted but full launch did not")
+            continue
+        if _header_sans_passes(sub) != _header_sans_passes(full):
+            diffs.append(f"{subset}: header differs from full basket")
+        for name in subset:
+            a = workload_section_bytes(full, name)
+            b = workload_section_bytes(sub, name)
+            if a != b:
+                diffs.append(f"{subset}: section {name!r} not byte-equal to full run")
+    return diffs
+
+
+@register
+class SubsetSections(Property):
+    name = "trace.subset.sections"
+    layer = "trace"
+    invariant = (
+        "a pass-subset collection's sections are byte-equal to the same "
+        "sections of a full-basket collection"
+    )
+    generator_backed = True
+
+    def _subsets(self, case_index: int) -> List[Sequence[str]]:
+        # One singleton and one pair per case, rotating through the basket
+        # so every pass gets exercised alone and in company.
+        pairs = list(combinations(PASS_NAMES, 2))
+        return [
+            (PASS_NAMES[case_index % len(PASS_NAMES)],),
+            pairs[case_index % len(pairs)],
+        ]
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        n = ctx.cases(5, 24)
+        cases = 0
+        for i in range(n):
+            case = generate_case(ctx.case_seed(self.name, i))
+            subsets = self._subsets(i)
+            cases += 1
+            failures = _subset_diffs(case, subsets)
+            if failures:
+                shrunk = shrink_case(case, lambda c: bool(_subset_diffs(c, subsets)))
+                return self._result(
+                    cases, failures, _case_witness(shrunk, _subset_diffs(shrunk, subsets))
+                )
+        return self._result(cases, [])
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        """Drift the subset collector's config and prove the bytes notice.
+
+        A subset collector constructed with ``line_bytes=256`` bins reuse
+        distances on coarser lines than the full basket — exactly the kind
+        of silent config divergence this property exists to catch.
+        """
+        start = time.perf_counter()
+        drift = CollectorConfig(line_bytes=256)
+        subsets: List[Sequence[str]] = [("reuse", "coalescing")]
+        for attempt in range(_PLANT_ATTEMPTS):
+            case = generate_case(8000 + attempt)
+            failures = _subset_diffs(case, subsets, config=drift)
+            if failures:
+                before = case_stmt_count(case)
+                shrunk = shrink_case(
+                    case, lambda c: bool(_subset_diffs(c, subsets, config=drift))
+                )
+                return PlantResult(
+                    name=self.name,
+                    detected=True,
+                    seconds=time.perf_counter() - start,
+                    detail=f"seed {case['seed']}: {failures[0]}",
+                    shrunk_from=before,
+                    shrunk_to=case_stmt_count(shrunk),
+                )
+        return PlantResult(
+            name=self.name,
+            detected=False,
+            seconds=time.perf_counter() - start,
+            detail=f"line_bytes drift went unnoticed in {_PLANT_ATTEMPTS} seeds",
+        )
+
+
+@register
+class ProfileAccounting(Property):
+    name = "trace.profile.accounting"
+    layer = "trace"
+    invariant = (
+        "every collected profile satisfies the accounting closure: fractions "
+        "in [0,1], warp<=thread<=32*warp per category, SIMD slot/lane sums"
+    )
+    generator_backed = True
+
+    def _diffs(self, case: Case) -> List[str]:
+        from repro.fuzz.oracle import check_profile_invariants
+
+        profile = collect_case_profile(case)
+        if profile is None:
+            return []
+        return check_profile_invariants(profile)
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        n = ctx.cases(6, 40)
+        cases = 0
+        for i in range(n):
+            case = generate_case(ctx.case_seed(self.name, i))
+            cases += 1
+            failures = self._diffs(case)
+            if failures:
+                shrunk = shrink_case(case, lambda c: bool(self._diffs(c)))
+                return self._result(
+                    cases, failures, _case_witness(shrunk, self._diffs(shrunk))
+                )
+        return self._result(cases, [])
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        """Corrupt one SIMD lane count and prove the closure check trips."""
+        from repro.fuzz.oracle import check_profile_invariants
+
+        start = time.perf_counter()
+
+        def corrupted(case: Case) -> List[str]:
+            profile = collect_case_profile(case)
+            if profile is None:
+                return []
+            kernels = [
+                dataclasses.replace(kp, simd_lane_sum=kp.simd_lane_sum + 1)
+                for kp in profile.kernels
+            ]
+            return check_profile_invariants(
+                dataclasses.replace(profile, kernels=kernels)
+            )
+
+        for attempt in range(_PLANT_ATTEMPTS):
+            case = generate_case(9000 + attempt)
+            failures = corrupted(case)
+            if failures:
+                before = case_stmt_count(case)
+                shrunk = shrink_case(case, lambda c: bool(corrupted(c)))
+                return PlantResult(
+                    name=self.name,
+                    detected=True,
+                    seconds=time.perf_counter() - start,
+                    detail=f"seed {case['seed']}: {failures[0]}",
+                    shrunk_from=before,
+                    shrunk_to=case_stmt_count(shrunk),
+                )
+        return PlantResult(
+            name=self.name,
+            detected=False,
+            seconds=time.perf_counter() - start,
+            detail="lane-sum corruption went unnoticed",
+        )

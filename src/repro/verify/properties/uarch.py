@@ -1,0 +1,198 @@
+"""Uarch-layer properties: model monotonicity and subset ranking fidelity.
+
+The roofline-style timing model must respect resource dominance — giving a
+design strictly more of any single resource (SMs, issue slots, bandwidth,
+cache, resident warps, or less memory latency) can never *increase* its
+modeled cycles for any profile.  And the whole point of the methodology is
+that cluster representatives reproduce full-suite design rankings, so that
+claim is pinned as an executable threshold (Kendall tau and mean relative
+error over the default design space).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.fuzz.generator import Case, case_stmt_count, generate_case
+from repro.fuzz.shrink import shrink_case
+from repro.uarch import BASELINE
+from repro.uarch.model import time_workload
+from repro.verify.data import collect_case_profile
+from repro.verify.properties.simt import _PLANT_ATTEMPTS, _case_witness
+from repro.verify.registry import (
+    PlantResult,
+    Property,
+    PropertyResult,
+    VerifyContext,
+    register,
+)
+
+#: Single-resource upgrades, each of which must be cycle-non-increasing.
+_UPGRADES: Tuple[Tuple[str, Dict], ...] = (
+    ("num_sms x2", {"num_sms": 32}),
+    ("issue_width x2", {"issue_width": 2}),
+    ("dram_bandwidth x2", {"dram_bandwidth": 128.0}),
+    ("l2_lines x4", {"l2_lines": 8192}),
+    ("max_warps x2", {"max_warps_per_sm": 64}),
+    ("mem_latency /2", {"mem_latency": 200}),
+)
+
+_REL_SLACK = 1e-12
+
+
+def _monotonic_diffs(case: Case, upgrades=_UPGRADES) -> List[str]:
+    profile = collect_case_profile(case)
+    if profile is None:
+        return []
+    base = time_workload(profile, BASELINE)
+    bad: List[str] = []
+    for label, changes in upgrades:
+        upgraded = time_workload(profile, BASELINE.derive(label, **changes))
+        if upgraded > base * (1.0 + _REL_SLACK):
+            bad.append(
+                f"{label}: {upgraded:.1f} cycles > baseline {base:.1f} "
+                f"(+{(upgraded / base - 1) * 100:.2f}%)"
+            )
+    return bad
+
+
+@register
+class ModelMonotonic(Property):
+    name = "uarch.monotonic"
+    layer = "uarch"
+    invariant = (
+        "adding any single resource (SMs, issue width, bandwidth, L2, "
+        "warps; or halving latency) never increases modeled cycles"
+    )
+    generator_backed = True
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        n = ctx.cases(6, 40)
+        cases = 0
+        for i in range(n):
+            case = generate_case(ctx.case_seed(self.name, i))
+            cases += 1
+            failures = _monotonic_diffs(case)
+            if failures:
+                shrunk = shrink_case(case, lambda c: bool(_monotonic_diffs(c)))
+                return self._result(
+                    cases, failures, _case_witness(shrunk, _monotonic_diffs(shrunk))
+                )
+        return self._result(cases, [])
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        """Sell a bandwidth *downgrade* as an upgrade; the check must balk."""
+        start = time.perf_counter()
+        trap = (("dram_bandwidth 'upgrade'", {"dram_bandwidth": 1.0}),)
+        for attempt in range(_PLANT_ATTEMPTS):
+            case = generate_case(10_000 + attempt)
+            failures = _monotonic_diffs(case, upgrades=trap)
+            if failures:
+                before = case_stmt_count(case)
+                shrunk = shrink_case(
+                    case, lambda c: bool(_monotonic_diffs(c, upgrades=trap))
+                )
+                return PlantResult(
+                    name=self.name,
+                    detected=True,
+                    seconds=time.perf_counter() - start,
+                    detail=f"seed {case['seed']}: {failures[0]}",
+                    shrunk_from=before,
+                    shrunk_to=case_stmt_count(shrunk),
+                )
+        return PlantResult(
+            name=self.name,
+            detected=False,
+            seconds=time.perf_counter() - start,
+            detail="bandwidth downgrade never slowed a case down",
+        )
+
+
+#: Quick-mode basket: 12 workloads spanning the suite's behavioural corners
+#: (streaming, dense compute, transpose, reductions, histogram, divergent
+#: graph traversal, iterative stencils, sparse) — small enough for CI,
+#: diverse enough that a 4-representative subset meaningfully ranks designs.
+RANKING_BASKET: Tuple[str, ...] = (
+    "VA", "MM", "TR", "RD", "HG", "BS", "BFS", "KM", "HS", "SRAD", "SPMV", "STEN",
+)
+_QUICK_TAU_MIN = 0.55
+_QUICK_ERR_MAX = 0.15
+_DEEP_TAU_MIN = 0.70
+_DEEP_ERR_MAX = 0.10
+
+
+def _ranking_failures(subset, tau_min: float, err_max: float) -> List[str]:
+    bad: List[str] = []
+    if subset.kendall_tau < tau_min:
+        bad.append(
+            f"kendall tau {subset.kendall_tau:.3f} below pinned floor {tau_min}"
+        )
+    if subset.mean_error > err_max:
+        bad.append(
+            f"mean relative error {subset.mean_error:.3f} above cap {err_max}"
+        )
+    return bad
+
+
+@register
+class RankingFidelity(Property):
+    name = "uarch.ranking"
+    layer = "uarch"
+    invariant = (
+        "cluster-representative speedup rankings match the full suite over "
+        "the default design space within pinned tau/error tolerances"
+    )
+
+    def _evaluate(self, ctx: VerifyContext):
+        from repro import api
+
+        basket = RANKING_BASKET if ctx.quick else None
+        subset_k = 4 if ctx.quick else 8
+        profiles = ctx.suite_profiles(basket)
+        analysis = api.analyze(profiles)
+        return api.evaluate(profiles, subset_k=subset_k, analysis=analysis, seed=ctx.seed)
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        tau_min = _QUICK_TAU_MIN if ctx.quick else _DEEP_TAU_MIN
+        err_max = _QUICK_ERR_MAX if ctx.quick else _DEEP_ERR_MAX
+        ev = self._evaluate(ctx)
+        failures = _ranking_failures(ev.subset, tau_min, err_max)
+        counterexample: Optional[Dict] = None
+        if failures:
+            counterexample = {
+                "representatives": ev.representatives,
+                "kendall_tau": ev.kendall_tau,
+                "mean_error": ev.mean_error,
+                "same_winner": ev.same_winner,
+            }
+        return self._result(1, failures, counterexample)
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        """Reverse the subset's design ranking; the thresholds must trip."""
+        from repro.core.evaluation import kendall_tau
+
+        start = time.perf_counter()
+        ev = self._evaluate(ctx)
+        full = ev.subset.full_speedups
+        reversed_est = full[::-1].copy()
+        doctored = dataclasses.replace(
+            ev.subset,
+            subset_speedups=reversed_est,
+            relative_errors=(reversed_est - full) / full,
+            kendall_tau=kendall_tau(full, reversed_est),
+        )
+        tau_min = _QUICK_TAU_MIN if ctx.quick else _DEEP_TAU_MIN
+        err_max = _QUICK_ERR_MAX if ctx.quick else _DEEP_ERR_MAX
+        failures = _ranking_failures(doctored, tau_min, err_max)
+        return PlantResult(
+            name=self.name,
+            detected=bool(failures),
+            seconds=time.perf_counter() - start,
+            detail=(
+                failures[0]
+                if failures
+                else "reversed ranking passed the thresholds — they are vacuous"
+            ),
+        )

@@ -1,0 +1,174 @@
+"""Property registry for the invariant-verification subsystem.
+
+A *property* is one executable metamorphic/invariant check over some layer
+of the pipeline (simulator, trace passes, analysis, uarch models).  Each
+property knows how to
+
+* ``check`` itself against freshly generated inputs, reporting failures and
+  a (shrunk, where generator-backed) counterexample; and
+* ``plant`` a seeded violation of its own invariant and prove that the
+  check detects it — the self-test that keeps a property from rotting into
+  vacuity.
+
+Properties register themselves at import time via :func:`register`;
+:func:`all_properties` returns them in registration order.  The CLI
+(``python -m repro verify``) and the test suite both drive the registry
+through :mod:`repro.verify.runner`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Type
+
+import numpy as np
+
+
+@dataclass
+class PropertyResult:
+    """Outcome of running one property's check."""
+
+    name: str
+    layer: str
+    status: str  # "pass" | "fail"
+    cases: int = 0
+    seconds: float = 0.0
+    failures: List[str] = field(default_factory=list)
+    #: JSON-able witness of the violation (a shrunk fuzz case, a doctored
+    #: matrix description, ...) — ``None`` when the property passed.
+    counterexample: Optional[Dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "pass"
+
+
+@dataclass
+class PlantResult:
+    """Outcome of one property's planted-violation self-test."""
+
+    name: str
+    detected: bool
+    seconds: float = 0.0
+    detail: str = ""
+    #: For generator-backed properties: statement counts before/after the
+    #: shrinker minimised the planted counterexample.
+    shrunk_from: Optional[int] = None
+    shrunk_to: Optional[int] = None
+
+
+class Property:
+    """Base class: one registered invariant check.
+
+    Subclasses set the class attributes and implement :meth:`check` (and
+    :meth:`plant` for the self-test mode).  ``generator_backed`` marks
+    properties whose inputs come from :mod:`repro.fuzz.generator` — their
+    counterexamples are shrunk with :mod:`repro.fuzz.shrink`.
+    """
+
+    name: str = ""
+    layer: str = ""  # "simt" | "trace" | "analysis" | "uarch"
+    invariant: str = ""  # one-line statement of the invariant
+    generator_backed: bool = False
+
+    def check(self, ctx: "VerifyContext") -> PropertyResult:
+        raise NotImplementedError
+
+    def plant(self, ctx: "VerifyContext") -> PlantResult:
+        raise NotImplementedError
+
+    # Helpers shared by subclasses -----------------------------------------
+
+    def _result(
+        self,
+        cases: int,
+        failures: List[str],
+        counterexample: Optional[Dict] = None,
+    ) -> PropertyResult:
+        return PropertyResult(
+            name=self.name,
+            layer=self.layer,
+            status="pass" if not failures else "fail",
+            cases=cases,
+            failures=failures,
+            counterexample=counterexample,
+        )
+
+
+@dataclass
+class VerifyContext:
+    """Execution knobs shared by every property in one verify run."""
+
+    seed: int = 0
+    quick: bool = False
+    budget: Optional[int] = None
+    #: Optional progress sink (one line per property), e.g. stderr print.
+    progress: Optional[Callable[[str], None]] = None
+
+    #: Lazily characterized workload profiles, keyed by basket tuple —
+    #: shared so several properties can reuse one characterization.
+    _profile_cache: Dict = field(default_factory=dict, repr=False)
+
+    def cases(self, quick_default: int, deep_default: int) -> int:
+        """Input-count budget for one generator/trial-driven property."""
+        if self.budget is not None:
+            return max(int(self.budget), 1)
+        return quick_default if self.quick else deep_default
+
+    def rng(self, name: str) -> np.random.Generator:
+        """Per-property numpy generator, decorrelated across properties."""
+        return np.random.default_rng(
+            ((self.seed & 0xFFFFFFFF) << 32) ^ zlib.crc32(name.encode())
+        )
+
+    def case_seed(self, name: str, index: int) -> int:
+        """Per-property fuzz-case seed stream (stable across runs)."""
+        tag = zlib.crc32(name.encode()) & 0xFFFF
+        return (tag << 40) ^ ((self.seed & 0xFFFFF) << 20) ^ index
+
+    def suite_profiles(self, abbrevs: Optional[tuple] = None):
+        """Characterize (and cache) a workload basket for this run."""
+        key = abbrevs
+        if key not in self._profile_cache:
+            from repro.api import CharacterizationConfig, characterize
+
+            config = CharacterizationConfig(
+                abbrevs=list(abbrevs) if abbrevs else None
+            )
+            self._profile_cache[key] = list(characterize(config).profiles)
+        return self._profile_cache[key]
+
+    def note(self, message: str) -> None:
+        if self.progress:
+            self.progress(message)
+
+
+#: Registration order defines report order.
+_REGISTRY: Dict[str, Property] = {}
+
+
+def register(cls: Type[Property]) -> Type[Property]:
+    """Class decorator: instantiate and register one property."""
+    prop = cls()
+    if not prop.name or not prop.layer or not prop.invariant:
+        raise ValueError(f"property {cls.__name__} must set name/layer/invariant")
+    if prop.name in _REGISTRY:
+        raise ValueError(f"duplicate property name {prop.name!r}")
+    _REGISTRY[prop.name] = prop
+    return cls
+
+
+def all_properties() -> List[Property]:
+    """Every registered property, in registration order."""
+    # Importing the properties package populates the registry exactly once.
+    import repro.verify.properties  # noqa: F401
+
+    return list(_REGISTRY.values())
+
+
+def get_property(name: str) -> Property:
+    for prop in all_properties():
+        if prop.name == name:
+            return prop
+    raise KeyError(name)

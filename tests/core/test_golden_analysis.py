@@ -1,0 +1,112 @@
+"""End-to-end golden regression: raw suite → normalized matrix → PCA →
+clusters → representatives.
+
+``tests/fixtures/golden_analysis.json`` pins the full analysis pipeline's
+output on the complete workload suite.  Matrix-valued artifacts compare at
+``atol=1e-8`` (the snapshot itself is rounded to 1e-10, so this only
+absorbs platform BLAS ulp drift); discrete outputs (cluster labels, chosen
+K, representative sets) must match exactly.
+
+If a mismatch is *intentional* — you changed a metric definition, the
+normalization, PCA, clustering, or selection — regenerate the fixture and
+review its diff:
+
+    PYTHONPATH=src python scripts/regen_golden_analysis.py
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import analyze
+from repro.core.snapshot import SNAPSHOT_SCHEMA, analysis_snapshot
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), os.pardir, "fixtures", "golden_analysis.json"
+)
+
+REGEN_HINT = (
+    "if this change is intentional, regenerate the fixture with "
+    "`PYTHONPATH=src python scripts/regen_golden_analysis.py` and review its diff"
+)
+
+with open(FIXTURE) as _fh:
+    GOLDEN = json.load(_fh)
+
+
+@pytest.fixture(scope="module")
+def snapshot(suite_profiles):
+    return analysis_snapshot(analyze(suite_profiles))
+
+
+def _explain(section, detail=""):
+    return f"golden analysis mismatch in {section!r}{detail}; {REGEN_HINT}"
+
+
+def test_fixture_schema():
+    assert GOLDEN["schema"] == SNAPSHOT_SCHEMA, _explain("schema")
+
+
+def test_workload_set_and_suites(snapshot):
+    assert snapshot["workloads"] == GOLDEN["workloads"], _explain("workloads")
+    assert snapshot["suites"] == GOLDEN["suites"], _explain("suites")
+
+
+def test_normalized_matrix(snapshot):
+    got, want = snapshot["normalized"], GOLDEN["normalized"]
+    assert got["metric_names"] == want["metric_names"], _explain(
+        "normalized.metric_names"
+    )
+    assert got["dropped"] == want["dropped"], _explain("normalized.dropped")
+    z_got, z_want = np.array(got["z"]), np.array(want["z"])
+    assert z_got.shape == z_want.shape, _explain("normalized.z", " (shape)")
+    worst = float(np.abs(z_got - z_want).max())
+    assert np.allclose(z_got, z_want, atol=1e-8), _explain(
+        "normalized.z", f" (max abs diff {worst:.3e})"
+    )
+
+
+def test_pca_loadings_signature(snapshot):
+    got, want = snapshot["pca"], GOLDEN["pca"]
+    assert got["n_components"] == want["n_components"], _explain("pca.n_components")
+    assert np.allclose(
+        got["explained_ratio"], want["explained_ratio"], atol=1e-8
+    ), _explain("pca.explained_ratio")
+    assert abs(got["retained"] - want["retained"]) < 1e-8, _explain("pca.retained")
+    l_got, l_want = np.array(got["loadings"]), np.array(want["loadings"])
+    worst = float(np.abs(l_got - l_want).max())
+    assert np.allclose(l_got, l_want, atol=1e-8), _explain(
+        "pca.loadings", f" (max abs diff {worst:.3e})"
+    )
+
+
+def test_cluster_assignments(snapshot):
+    got, want = snapshot["clusters"], GOLDEN["clusters"]
+    assert got["best_k"] == want["best_k"], _explain("clusters.best_k")
+    if got["labels"] != want["labels"]:
+        moved = [
+            f"{w}: {a}->{b}"
+            for w, a, b in zip(GOLDEN["workloads"], want["labels"], got["labels"])
+            if a != b
+        ]
+        pytest.fail(_explain("clusters.labels", f" (moved: {', '.join(moved)})"))
+
+
+def test_representatives(snapshot):
+    got, want = snapshot["representatives"], GOLDEN["representatives"]
+    assert [r["workload"] for r in got] == [r["workload"] for r in want], _explain(
+        "representatives",
+        f" (got {[r['workload'] for r in got]}, expected {[r['workload'] for r in want]})",
+    )
+    for g, w in zip(got, want):
+        assert g["cluster_size"] == w["cluster_size"], _explain(
+            "representatives", f" ({g['workload']} cluster_size)"
+        )
+        assert abs(g["weight"] - w["weight"]) < 1e-8, _explain(
+            "representatives", f" ({g['workload']} weight)"
+        )
+        assert g["members"] == w["members"], _explain(
+            "representatives", f" ({g['workload']} members)"
+        )

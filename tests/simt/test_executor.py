@@ -395,3 +395,47 @@ def test_non_multiple_of_warp_block():
     dst = dev.alloc("dst", 48)
     _launch(k, 1, 48, {"src": src, "dst": dst, "n": 48}, device=dev)
     assert np.array_equal(dev.download(dst), h)
+
+
+# ---------------------------------------------------------------------------
+# Block launch-order permutation (used by the verify properties)
+
+
+def _ctaid_writer():
+    """Each block writes its own ctaid.x into its slot of ``o``."""
+    b = KernelBuilder("who")
+    o = b.param_buf("o", DType.I32)
+    with b.if_(b.ieq(b.tid_x, 0)):
+        b.st(o, b.ctaid_x, b.ctaid_x)
+    return b.finalize()
+
+
+def test_block_order_preserves_block_identity():
+    k = _ctaid_writer()
+    dev = Device()
+    o = dev.alloc("o", 6, DType.I32)
+    ex = Executor(dev, engine="interpreted", block_order=[5, 4, 3, 2, 1, 0])
+    ex.launch(k, 6, 32, {"o": o})
+    # Visiting blocks in reverse must not change which ctaid each block sees.
+    assert dev.download(o).tolist() == [0, 1, 2, 3, 4, 5]
+
+
+def test_block_order_must_be_a_permutation():
+    k = _ctaid_writer()
+    dev = Device()
+    o = dev.alloc("o", 4, DType.I32)
+    with pytest.raises(LaunchError, match="permutation"):
+        Executor(dev, engine="interpreted", block_order=[0, 1, 2]).launch(
+            k, 4, 32, {"o": o}
+        )
+    with pytest.raises(LaunchError, match="permutation"):
+        Executor(dev, engine="interpreted", block_order=[0, 1, 2, 2]).launch(
+            k, 4, 32, {"o": o}
+        )
+
+
+def test_block_order_rejected_on_non_interpreted_engines():
+    with pytest.raises(LaunchError, match="interpreted"):
+        Executor(Device(), engine="compiled", block_order=[0])
+    with pytest.raises(LaunchError, match="interpreted"):
+        Executor(Device(), block_order=[0])  # default engine is compiled

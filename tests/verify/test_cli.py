@@ -1,0 +1,77 @@
+"""The ``repro verify`` command-line surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_verify_list(capsys):
+    assert main(["verify", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "sim.block_order.memory" in out
+    assert "uarch.ranking" in out
+    assert "generator-backed" in out
+
+
+def test_verify_unknown_property_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["verify", "--only", "bogus"])
+    assert exc.value.code == 2
+    assert "unknown property" in capsys.readouterr().err
+
+
+def test_verify_only_layer_passes(capsys):
+    assert main(["verify", "--quick", "--budget", "1", "--only", "analysis"]) == 0
+    out = capsys.readouterr().out
+    assert "analysis.pca.orthonormal" in out
+    assert "all properties hold" in out
+    assert "sim.batch.parity" not in out
+
+
+def test_verify_json_stdout(capsys):
+    assert (
+        main(["verify", "--quick", "--budget", "1", "--only", "analysis.kmeans", "--json"])
+        == 0
+    )
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.verify/v1"
+    assert [p["name"] for p in doc["properties"]] == ["analysis.kmeans.determinism"]
+
+
+def test_verify_json_out_artifact(tmp_path, capsys):
+    path = tmp_path / "report.json"
+    assert (
+        main(
+            [
+                "verify",
+                "--quick",
+                "--budget",
+                "1",
+                "--only",
+                "trace.profile.accounting",
+                "--json-out",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    doc = json.loads(path.read_text())
+    assert doc["ok"] is True
+    capsys.readouterr()
+
+
+def test_verify_self_test_subcommand(capsys):
+    assert main(["verify", "--self-test", "--only", "analysis.pca.orthonormal"]) == 0
+    out = capsys.readouterr().out
+    assert "DETECTED" in out
+    assert "every property detects its planted violation" in out
+
+
+def test_verify_verbose_progress(capsys):
+    assert (
+        main(["verify", "--quick", "--budget", "1", "--only", "analysis.pca", "-v"]) == 0
+    )
+    err = capsys.readouterr().err
+    assert "PASS" in err

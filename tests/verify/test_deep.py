@@ -1,0 +1,38 @@
+"""Nightly deep property sweep (full default budgets).
+
+Excluded from tier-1 by the ``slow`` marker; the nightly workflow runs
+``pytest -m slow`` plus ``repro verify`` in deep mode.
+"""
+
+import pytest
+
+from repro.verify import run_selftest, run_verify
+
+pytestmark = pytest.mark.slow
+
+
+def test_deep_generator_properties_hold():
+    report = run_verify(
+        seed=0,
+        quick=False,
+        only=["simt", "trace", "uarch.monotonic"],
+    )
+    failed = [r for r in report.results if not r.ok]
+    assert not failed, "; ".join(f"{r.name}: {r.failures[:2]}" for r in failed)
+
+
+def test_deep_analysis_properties_hold():
+    report = run_verify(seed=0, quick=False, only=["analysis"])
+    assert report.ok, [r.failures for r in report.results if not r.ok]
+
+
+def test_deep_ranking_fidelity(suite_profiles):
+    # The conftest fixture warms the on-disk profile cache for the full
+    # suite, so the deep ranking check reuses it instead of re-simulating.
+    report = run_verify(seed=0, quick=False, only=["uarch.ranking"])
+    assert report.ok, report.results[0].failures
+
+
+def test_deep_selftest_alternate_seed():
+    report = run_selftest(seed=1, quick=False)
+    assert report.ok, [p.detail for p in report.planted if not p.detected]

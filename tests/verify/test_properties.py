@@ -1,0 +1,60 @@
+"""Every registered property holds on seeded inputs (tier-1 budget).
+
+The deep sweep (full default budgets, full-suite ranking) runs nightly —
+see ``test_deep.py``.  Here each property gets a small but real input
+budget so a regression in any layer's invariant fails tier-1.
+"""
+
+import pytest
+
+from repro.verify import run_verify
+from repro.verify.runner import REPORT_SCHEMA
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return run_verify(seed=0, quick=True, budget=2)
+
+
+def test_all_properties_pass_quick(quick_report):
+    failed = [r for r in quick_report.results if not r.ok]
+    assert not failed, "properties violated: " + "; ".join(
+        f"{r.name}: {r.failures[:2]}" for r in failed
+    )
+    assert quick_report.ok
+
+
+def test_report_covers_whole_registry(quick_report):
+    from repro.verify import all_properties
+
+    assert [r.name for r in quick_report.results] == [
+        p.name for p in all_properties()
+    ]
+    assert all(r.cases >= 1 for r in quick_report.results)
+
+
+def test_json_report_shape(quick_report):
+    doc = quick_report.to_json()
+    assert doc["schema"] == REPORT_SCHEMA
+    assert doc["mode"] == "check"
+    assert doc["ok"] is True
+    assert len(doc["properties"]) == len(quick_report.results)
+    for entry in doc["properties"]:
+        assert entry["status"] == "pass"
+        assert entry["counterexample"] is None
+
+
+def test_verify_runs_under_telemetry():
+    from repro import api
+
+    with api.trace_session() as tele:
+        report = run_verify(seed=0, quick=True, only=["analysis.pca.orthonormal"])
+    assert report.ok
+    assert tele.spans_by_name("verify.check")
+    prop_spans = tele.spans_by_name("verify.property")
+    assert [s.attrs["property"] for s in prop_spans] == ["analysis.pca.orthonormal"]
+
+
+def test_budget_override_controls_case_count():
+    report = run_verify(seed=0, budget=1, only=["trace.profile.accounting"])
+    assert report.results[0].cases == 1

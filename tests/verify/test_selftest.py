@@ -1,0 +1,52 @@
+"""Planted-violation self-test: no property is allowed to be vacuous.
+
+Each property plants a seeded violation of its own invariant and must
+detect it; generator-backed properties must additionally shrink the
+planted counterexample.  A property whose plant goes undetected would
+pass ``verify`` forever without checking anything — this is the tier-1
+guard against that.
+"""
+
+import pytest
+
+from repro.verify import all_properties, run_selftest
+
+
+@pytest.fixture(scope="module")
+def selftest_report():
+    return run_selftest(seed=0, quick=True)
+
+
+def test_every_property_detects_its_planted_violation(selftest_report):
+    missed = [p for p in selftest_report.planted if not p.detected]
+    assert not missed, "vacuous properties: " + "; ".join(
+        f"{p.name} ({p.detail})" for p in missed
+    )
+    assert selftest_report.ok
+    assert [p.name for p in selftest_report.planted] == [
+        p.name for p in all_properties()
+    ]
+
+
+def test_generator_backed_plants_shrink(selftest_report):
+    backed = {p.name for p in all_properties() if p.generator_backed}
+    for planted in selftest_report.planted:
+        if planted.name in backed:
+            assert planted.shrunk_from is not None, planted.name
+            assert planted.shrunk_to is not None, planted.name
+            assert planted.shrunk_to <= planted.shrunk_from, planted.name
+        else:
+            assert planted.shrunk_from is None, planted.name
+
+
+def test_every_plant_reports_detail(selftest_report):
+    for planted in selftest_report.planted:
+        assert planted.detail, planted.name
+
+
+def test_selftest_json_report(selftest_report):
+    doc = selftest_report.to_json()
+    assert doc["mode"] == "selftest"
+    assert doc["ok"] is True
+    assert doc["properties"] == []
+    assert all(entry["detected"] for entry in doc["planted"])
