@@ -24,6 +24,12 @@ demand-driven pass speedup (mix+branch vs all passes) and the profiled
 columnar-event speedup (per-event callbacks vs columnar batch buffers on
 the fully-profiled pass basket) when both files record them.
 
+The DSE sweep stage (cold vs warm timing-shard cache) is always guarded
+when the fresh file records it: the warm leg must hit 100% of the timing
+shards (an exact, deterministic invariant — any miss is a cache-keying
+bug), and the cold/warm speedup must stay above a floor (widened tolerance,
+since the warm leg is milliseconds of wall clock).
+
 ``--seconds-tolerance F`` additionally compares raw compiled wall-clock
 seconds — the guard for the *disabled-telemetry* fast path, whose cost a
 ratio check cannot see (both engines pay it).  It prefers the bench's
@@ -150,6 +156,37 @@ def check_telemetry_overhead(fresh: dict, budget: float) -> bool:
     return ok
 
 
+def check_sweep(fresh: dict, baseline: dict, tolerance: float) -> bool:
+    """Guard the DSE sweep stage: exact warm-cache hits + speedup floor.
+
+    The warm-hit check is deterministic — a warm rerun must serve *every*
+    (workload × design × model) cell from the timing shards, so any miss is
+    a cache-keying bug, not noise, and fails exactly.  The cold/warm
+    speedup is wall-clock (the warm leg is milliseconds), so its ratio
+    check runs at 4x the usual tolerance with an absolute floor of 2x.
+    """
+    record = fresh.get("dse_sweep")
+    if not record:
+        print("dse sweep check skipped: fresh file records no sweep stage")
+        return True
+    hits, cells = int(record["warm_hits"]), int(record["cells"])
+    ok = hits == cells and cells > 0
+    verdict = "ok" if ok else "CACHE MISS"
+    print(f"dse sweep warm-cache hits: {hits}/{cells} ... {verdict}")
+    base_record = baseline.get("dse_sweep")
+    if base_record:
+        floor = max(2.0, float(base_record["speedup"]) / (1.0 + 4.0 * tolerance))
+        speedup = float(record["speedup"])
+        speed_ok = speedup >= floor
+        verdict = "ok" if speed_ok else "REGRESSION"
+        print(
+            f"dse sweep cold/warm speedup: fresh {speedup:.2f}x vs baseline "
+            f"{float(base_record['speedup']):.2f}x (floor {floor:.2f}x) ... {verdict}"
+        )
+        ok &= speed_ok
+    return ok
+
+
 def check_ratio(label: str, fresh: float, baseline: float, tolerance: float) -> bool:
     floor = baseline / (1.0 + tolerance)
     ok = fresh >= floor
@@ -227,6 +264,7 @@ def main(argv=None) -> int:
             float(base_prof["speedup"]),
             args.tolerance,
         )
+    ok &= check_sweep(fresh, baseline, args.tolerance)
     if args.seconds_tolerance is not None:
         ok &= check_seconds(fresh, baseline, args.seconds_tolerance)
     if args.max_telemetry_overhead is not None:

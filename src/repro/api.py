@@ -131,6 +131,8 @@ class EvaluationResult:
     weights: List[float]
     #: Per-design accuracy record (errors, Kendall tau, winner agreement).
     subset: "SubsetEvaluation"  # noqa: F821 - resolved at runtime
+    #: Timing model the speedup matrix came from.
+    model: str = "roofline"
 
     @property
     def mean_error(self) -> float:
@@ -150,40 +152,55 @@ def evaluate(
     subset_k: int = 8,
     analysis: Optional[AnalysisResult] = None,
     seed: int = 0,
+    model: str = "roofline",
+    configs: Optional[Sequence["GpuConfig"]] = None,  # noqa: F821
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
 ) -> EvaluationResult:
     """Evaluate how well a ``subset_k``-representative subset covers the
-    default microarchitecture design space.
+    microarchitecture design space.
 
     Clusters the PCA scores into ``subset_k`` groups, picks one
     representative per cluster and compares subset-estimated speedups
-    against the full suite over :func:`repro.uarch.default_design_space`.
-    Pass ``analysis`` to reuse an existing :func:`analyze` result instead of
-    recomputing it.
+    against the full suite.  The speedup matrix comes from the DSE sweep
+    engine (:func:`repro.uarch.run_sweep`), so results are served from
+    content-addressed timing shards when available; ``model`` selects any
+    registered timing model (``roofline``/``cycle``) and ``configs``
+    overrides the default design space.  Pass ``analysis`` to reuse an
+    existing :func:`analyze` result instead of recomputing it.
     """
     import numpy as np
 
     from repro.core.analysis.diversity import representatives as pick_reps
     from repro.core.analysis.kmeans import kmeans
     from repro.core.evaluation import evaluate_subset
-    from repro.uarch import BASELINE, default_design_space, speedup_matrix
+    from repro.uarch import default_design_space, run_sweep
 
     profiles = _as_profiles(source)
     if analysis is None:
         analysis = analyze(profiles)
-    configs = default_design_space()
-    perf = speedup_matrix(profiles, configs, BASELINE)
+    config_list = list(configs) if configs is not None else default_design_space()
+    sweep = run_sweep(
+        profiles,
+        configs=config_list,
+        models=(model,),
+        jobs=jobs,
+        use_cache=use_cache,
+    )
+    perf = sweep.speedups(model)
     km = kmeans(analysis.pca.scores, subset_k, np.random.default_rng(seed), n_init=50)
     reps = pick_reps(km, analysis.pca.scores, analysis.workloads)
     subset = evaluate_subset(
         perf,
         [r.index for r in reps],
         [r.weight for r in reps],
-        [c.name for c in configs],
+        [c.name for c in config_list],
     )
     return EvaluationResult(
         representatives=[r.workload for r in reps],
         weights=[r.weight for r in reps],
         subset=subset,
+        model=model,
     )
 
 

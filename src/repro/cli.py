@@ -8,6 +8,9 @@ Surfaces the paper's workflows without writing Python::
     python -m repro subspace "branch divergence"
     python -m repro stress                     # functional-block rankings
     python -m repro evaluate --subset-k 8      # design-space evaluation
+    python -m repro dse sweep                  # Pareto frontier + sensitivity
+    python -m repro dse compare                # roofline-vs-cycle rank agreement
+    python -m repro dse fidelity               # subset fidelity across k
     python -m repro profile-cache              # inspect the profile cache
     python -m repro fuzz --n 500 --seed 0      # differential-fuzz the engines
     python -m repro telemetry run.json         # summarize a telemetry trace
@@ -25,9 +28,15 @@ Exit codes are uniform across subcommands: 0 success, 1 operation failure
 (workload characterization failed, fuzz found a bug), 2 usage error
 (unknown workload/metric/pass, conflicting flags, bad ``REPRO_JOBS``).
 
-``--json`` on ``list``, ``characterize`` and ``stress`` emits
-machine-readable output on stdout; each document carries a ``schema`` key
-(``repro.workloads/v1``, ``repro.feature-matrix/v1``, ``repro.stress/v1``).
+``--json`` on ``list``, ``characterize``, ``stress``, ``evaluate`` and the
+``dse`` subcommands emits machine-readable output on stdout; each document
+carries a ``schema`` key (``repro.workloads/v1``, ``repro.feature-matrix/v1``,
+``repro.stress/v1``, ``repro.evaluate/v1``, ``repro.dse-sweep/v1``,
+``repro.dse-compare/v1``, ``repro.dse-fidelity/v1``).
+
+``evaluate`` and the ``dse`` commands take ``--model roofline|cycle`` to pick
+the registered timing model; ``dse`` also takes ``--design-space PATH`` to
+sweep a ``repro.design-space/v1`` spec instead of the built-in space.
 """
 
 from __future__ import annotations
@@ -108,7 +117,7 @@ def _profiles(args: argparse.Namespace):
 
     try:
         config = CharacterizationConfig(
-            abbrevs=args.workloads or None,
+            abbrevs=getattr(args, "workloads", None) or None,
             sample_blocks=args.sample_blocks,
             use_cache=not args.no_cache,
             jobs=args.jobs,
@@ -287,12 +296,55 @@ def _cmd_stress(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _check_model(name: str) -> str:
+    from repro.uarch import model_names
+
+    if name not in model_names():
+        raise _usage_error(
+            f"unknown timing model {name!r}; choose from {', '.join(model_names())}"
+        )
+    return name
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.api import evaluate
     from repro.report import ascii_table
 
-    result = evaluate(_profiles(args), subset_k=args.subset_k)
+    model = _check_model(args.model)
+    result = evaluate(
+        _profiles(args), subset_k=args.subset_k, model=model, jobs=args.jobs
+    )
     ev = result.subset
+    if args.json:
+        doc = {
+            "schema": "repro.evaluate/v1",
+            "subset_k": args.subset_k,
+            "model": model,
+            "representatives": [
+                {"workload": w, "weight": float(wt)}
+                for w, wt in zip(result.representatives, result.weights)
+            ],
+            "designs": [
+                {
+                    "name": name,
+                    "full_speedup": float(full),
+                    "subset_speedup": float(sub),
+                    "relative_error": float(err),
+                }
+                for name, full, sub, err in zip(
+                    ev.design_names,
+                    ev.full_speedups,
+                    ev.subset_speedups,
+                    ev.relative_errors,
+                )
+            ],
+            "mean_error": float(ev.mean_error),
+            "max_error": float(ev.max_error),
+            "kendall_tau": float(ev.kendall_tau),
+            "same_winner": bool(ev.same_winner),
+        }
+        print(json.dumps(doc, indent=2))
+        return EXIT_OK
     rows = [
         [name, full, sub, f"{err * 100:+.1f}%"]
         for name, full, sub, err in zip(
@@ -303,12 +355,249 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         ascii_table(
             ["design", "full suite", "subset", "error"],
             rows,
-            title=f"representatives: {', '.join(result.representatives)}",
+            title=f"representatives ({model} model): {', '.join(result.representatives)}",
         )
     )
     print(
         f"mean |error| {ev.mean_error:.1%}  max {ev.max_error:.1%}  "
         f"tau {ev.kendall_tau:.2f}  same winner: {ev.same_winner}"
+    )
+    return EXIT_OK
+
+
+#: Quick DSE basket: one streaming, one divergent, one compute workload —
+#: small enough for a CI smoke sweep, varied enough to exercise every axis.
+DSE_QUICK_BASKET = ("VA", "BS", "NN")
+
+
+def _dse_workloads(args: argparse.Namespace) -> None:
+    """Apply ``--quick`` to the positional workload selection, in place."""
+    if args.quick:
+        if args.workloads:
+            raise _usage_error("--quick and explicit workloads are mutually exclusive")
+        args.workloads = list(DSE_QUICK_BASKET)
+
+
+def _dse_space(args: argparse.Namespace):
+    from repro.uarch import DesignSpaceError, load_space
+
+    try:
+        return load_space(args.design_space)
+    except DesignSpaceError as exc:
+        raise _usage_error(exc)
+    except OSError as exc:
+        raise _usage_error(f"cannot read design space {args.design_space}: {exc}")
+
+
+def _cmd_dse_sweep(args: argparse.Namespace) -> int:
+    from repro.core.evaluation import geomean
+    from repro.report import ascii_table
+    from repro.uarch import (
+        axis_sensitivity,
+        design_cost,
+        pareto_frontier,
+        run_sweep,
+    )
+
+    model = _check_model(args.model)
+    space = _dse_space(args)
+    _dse_workloads(args)
+    configs = space.configs()
+    profiles = _profiles(args)
+    sweep = run_sweep(
+        profiles,
+        configs=configs,
+        models=(model,),
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        progress=(lambda msg: print(msg, file=sys.stderr)) if args.verbose else None,
+    )
+    speedups = sweep.speedups(model)
+    per_design = [geomean(speedups[:, j]) for j in range(len(configs))]
+    costs = [design_cost(c, space.baseline) for c in configs]
+    frontier = set(pareto_frontier(costs, per_design))
+    sensitivity = axis_sensitivity(configs, space.baseline, per_design)
+    if args.json:
+        doc = {
+            "schema": "repro.dse-sweep/v1",
+            "space": space.name,
+            "sweep": space.sweep,
+            "model": model,
+            "workloads": sweep.workloads,
+            "designs": [
+                {
+                    "name": c.name,
+                    "cost": float(cost),
+                    "speedup": float(sp),
+                    "pareto": j in frontier,
+                }
+                for j, (c, cost, sp) in enumerate(zip(configs, costs, per_design))
+            ],
+            "sensitivity": sensitivity,
+            "cache": {"hits": sweep.cache_hits, "misses": sweep.cache_misses},
+            "wall_seconds": sweep.wall_seconds,
+        }
+        print(json.dumps(doc, indent=2))
+        return EXIT_OK
+    rows = [
+        [c.name, f"{cost:.2f}", f"{sp:.3f}x", "*" if j in frontier else ""]
+        for j, (c, cost, sp) in enumerate(zip(configs, costs, per_design))
+    ]
+    print(
+        ascii_table(
+            ["design", "cost", "geomean speedup", "pareto"],
+            rows,
+            title=(
+                f"{space.name} space ({len(configs)} designs, {model} model, "
+                f"{len(profiles)} workloads)"
+            ),
+        )
+    )
+    if sensitivity:
+        sens_rows = [
+            [
+                rec["field"],
+                f"{rec['spread']:.3f}",
+                " ".join(f"{p['name']}={p['speedup']:.2f}x" for p in rec["points"]),
+            ]
+            for rec in sensitivity
+        ]
+        print(ascii_table(["axis", "spread", "points"], sens_rows, title="per-axis sensitivity"))
+    print(f"cache: {sweep.cache_hits} hits, {sweep.cache_misses} misses")
+    return EXIT_OK
+
+
+def _cmd_dse_compare(args: argparse.Namespace) -> int:
+    from repro.core.evaluation import geomean, kendall_tau
+    from repro.report import ascii_table
+    from repro.uarch import run_sweep
+
+    models = _csv_names(args.models) or []
+    if len(models) < 2:
+        raise _usage_error("--models needs at least two comma-separated model names")
+    for name in models:
+        _check_model(name)
+    space = _dse_space(args)
+    _dse_workloads(args)
+    configs = space.configs()
+    profiles = _profiles(args)
+    sweep = run_sweep(
+        profiles,
+        configs=configs,
+        models=models,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+    )
+    per_model = {
+        m: [geomean(sweep.speedups(m)[:, j]) for j in range(len(configs))]
+        for m in sweep.models
+    }
+    agreement = [
+        {
+            "models": [a, b],
+            "kendall_tau": float(kendall_tau(per_model[a], per_model[b])),
+        }
+        for i, a in enumerate(sweep.models)
+        for b in sweep.models[i + 1 :]
+    ]
+    if args.json:
+        doc = {
+            "schema": "repro.dse-compare/v1",
+            "space": space.name,
+            "models": list(sweep.models),
+            "workloads": sweep.workloads,
+            "designs": [
+                {"name": c.name, **{m: float(per_model[m][j]) for m in sweep.models}}
+                for j, c in enumerate(configs)
+            ],
+            "rank_agreement": agreement,
+            "cache": {"hits": sweep.cache_hits, "misses": sweep.cache_misses},
+        }
+        print(json.dumps(doc, indent=2))
+        return EXIT_OK
+    rows = [
+        [c.name] + [f"{per_model[m][j]:.3f}x" for m in sweep.models]
+        for j, c in enumerate(configs)
+    ]
+    print(
+        ascii_table(
+            ["design"] + [f"{m} speedup" for m in sweep.models],
+            rows,
+            title=f"{space.name} space: geomean speedups by model",
+        )
+    )
+    for rec in agreement:
+        a, b = rec["models"]
+        print(f"rank agreement {a} vs {b}: kendall tau {rec['kendall_tau']:.3f}")
+    return EXIT_OK
+
+
+def _cmd_dse_fidelity(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.report import ascii_table
+
+    model = _check_model(args.model)
+    try:
+        subset_ks = [int(tok) for tok in (_csv_names(args.subset_k) or [])]
+    except ValueError:
+        raise _usage_error(f"--subset-k must be comma-separated integers, got {args.subset_k!r}")
+    if not subset_ks or any(k < 1 for k in subset_ks):
+        raise _usage_error("--subset-k needs at least one positive integer")
+    space = _dse_space(args)
+    profiles = _profiles(args)
+    if max(subset_ks) > len(profiles):
+        raise _usage_error(
+            f"--subset-k {max(subset_ks)} exceeds the {len(profiles)} selected workloads"
+        )
+    analysis = api.analyze(profiles)
+    records = []
+    for k in subset_ks:
+        ev = api.evaluate(
+            profiles,
+            subset_k=k,
+            analysis=analysis,
+            seed=args.seed,
+            model=model,
+            configs=space.configs(),
+            jobs=args.jobs,
+        )
+        records.append(
+            {
+                "subset_k": k,
+                "representatives": ev.representatives,
+                "mean_error": float(ev.subset.mean_error),
+                "max_error": float(ev.subset.max_error),
+                "kendall_tau": float(ev.kendall_tau),
+                "same_winner": bool(ev.same_winner),
+            }
+        )
+    if args.json:
+        doc = {
+            "schema": "repro.dse-fidelity/v1",
+            "model": model,
+            "seed": args.seed,
+            "workloads": [p.workload for p in profiles],
+            "points": records,
+        }
+        print(json.dumps(doc, indent=2))
+        return EXIT_OK
+    rows = [
+        [
+            rec["subset_k"],
+            f"{rec['mean_error']:.1%}",
+            f"{rec['max_error']:.1%}",
+            f"{rec['kendall_tau']:.2f}",
+            "yes" if rec["same_winner"] else "no",
+            " ".join(rec["representatives"]),
+        ]
+        for rec in records
+    ]
+    print(
+        ascii_table(
+            ["k", "mean |err|", "max |err|", "tau", "same winner", "representatives"],
+            rows,
+            title=f"subset fidelity vs full suite ({model} model)",
+        )
     )
     return EXIT_OK
 
@@ -498,6 +787,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"callback {p.callback_s:.2f}s, columnar {p.columnar_s:.2f}s "
             f"({p.speedup:.2f}x)"
         )
+    if result.dse_sweep is not None:
+        s = result.dse_sweep
+        print(
+            f"dse sweep (quick basket, both models, default space): "
+            f"cold {s.cold_s:.2f}s, warm {s.warm_s:.2f}s ({s.speedup:.2f}x, "
+            f"{s.warm_hits}/{s.cells} shard hits)"
+        )
     if result.telemetry is not None:
         t = result.telemetry
         print(
@@ -654,14 +950,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("subspace", help="analyze one workload subspace")
     p.add_argument("name", help='e.g. "branch divergence" or "memory coalescing"')
     common(p, workloads=False)
-    p.set_defaults(fn=_cmd_subspace, workloads=[])
+    p.set_defaults(fn=_cmd_subspace)
 
     p = sub.add_parser("stress", help="functional-block stress rankings")
     p.add_argument("--block", help="one block only (default: all)")
     p.add_argument("--top", type=int, default=5)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     common(p, workloads=False)
-    p.set_defaults(fn=_cmd_stress, workloads=[])
+    p.set_defaults(fn=_cmd_stress)
 
     p = sub.add_parser("disasm", help="disassemble a workload's kernels")
     p.add_argument("workload", help="workload abbrev (see `repro list`)")
@@ -671,12 +967,76 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="render the full analysis as Markdown")
     common(p, workloads=False)
     p.add_argument("-o", "--output", help="write to this file instead of stdout")
-    p.set_defaults(fn=_cmd_report, workloads=[])
+    p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("evaluate", help="design-space evaluation with representatives")
     common(p, workloads=False)
     p.add_argument("--subset-k", type=int, default=8)
-    p.set_defaults(fn=_cmd_evaluate, workloads=[])
+    p.add_argument(
+        "--model",
+        default="roofline",
+        help="timing model (see `repro dse` — roofline or cycle)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=_cmd_evaluate)
+
+    p = sub.add_parser("dse", help="design-space exploration (sweep/compare/fidelity)")
+    dse_sub = p.add_subparsers(dest="dse_command", required=True)
+
+    def dse_common(p: argparse.ArgumentParser, quick: bool = True) -> None:
+        common(p)
+        p.add_argument(
+            "--design-space",
+            default=None,
+            metavar="PATH",
+            help="repro.design-space/v1 spec file (default: built-in 16-point space)",
+        )
+        if quick:
+            p.add_argument(
+                "--quick",
+                action="store_true",
+                help=f"CI smoke basket ({', '.join(DSE_QUICK_BASKET)}) instead of all workloads",
+            )
+        p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p2 = dse_sub.add_parser(
+        "sweep", help="sweep the design space: Pareto frontier + per-axis sensitivity"
+    )
+    dse_common(p2)
+    p2.add_argument(
+        "--model",
+        default="roofline",
+        help="timing model (roofline or cycle)",
+    )
+    p2.set_defaults(fn=_cmd_dse_sweep)
+
+    p2 = dse_sub.add_parser(
+        "compare", help="compare timing models: per-design speedups + rank agreement"
+    )
+    dse_common(p2)
+    p2.add_argument(
+        "--models",
+        default="roofline,cycle",
+        help="comma-separated timing models to compare (default: roofline,cycle)",
+    )
+    p2.set_defaults(fn=_cmd_dse_compare)
+
+    p2 = dse_sub.add_parser(
+        "fidelity", help="sweep subset size k: subset-vs-full-suite ranking fidelity"
+    )
+    dse_common(p2, quick=False)
+    p2.add_argument(
+        "--subset-k",
+        default="2,4,6,8",
+        help="comma-separated subset sizes to evaluate (default: 2,4,6,8)",
+    )
+    p2.add_argument(
+        "--model",
+        default="roofline",
+        help="timing model (roofline or cycle)",
+    )
+    p2.add_argument("--seed", type=int, default=0, help="k-means seed (default: 0)")
+    p2.set_defaults(fn=_cmd_dse_fidelity)
 
     p = sub.add_parser("bench", help="benchmark the compiled engine against the interpreter")
     p.add_argument("--quick", action="store_true", help="reduced basket for CI smoke runs")

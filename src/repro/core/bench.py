@@ -167,6 +167,42 @@ class TelemetryOverhead:
 
 
 @dataclass
+class SweepStage:
+    """DSE sweep-engine timing: cold vs warm timing-shard cache.
+
+    The cold leg computes every (workload × design × model) cell of the
+    default design space over the quick basket's profiles; the warm leg
+    reruns the identical sweep against the shards the cold leg wrote.  A
+    correct cache serves *every* cell on the warm leg (``hit_rate`` 1.0) —
+    the regression guard enforces that exactly, plus a floor on the
+    cold/warm speedup.
+    """
+
+    cold_s: float
+    warm_s: float
+    cells: int
+    warm_hits: int
+
+    @property
+    def speedup(self) -> float:
+        return self.cold_s / self.warm_s if self.warm_s else float("inf")
+
+    @property
+    def hit_rate(self) -> float:
+        return self.warm_hits / self.cells if self.cells else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cold_s": round(self.cold_s, 4),
+            "warm_s": round(self.warm_s, 4),
+            "speedup": round(self.speedup, 2),
+            "cells": self.cells,
+            "warm_hits": self.warm_hits,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
 class BenchResult:
     """The complete benchmark outcome."""
 
@@ -176,6 +212,7 @@ class BenchResult:
     pass_entries: List[PassSetEntry] = field(default_factory=list)
     profiled: Optional[ProfiledSpeedup] = None
     telemetry: Optional[TelemetryOverhead] = None
+    dse_sweep: Optional[SweepStage] = None
 
     @property
     def total_interpreted_s(self) -> float:
@@ -222,6 +259,7 @@ class BenchResult:
             "demand_speedup": round(demand, 2) if demand is not None else None,
             "profiled_speedup": self.profiled.to_dict() if self.profiled else None,
             "telemetry": self.telemetry.to_dict() if self.telemetry else None,
+            "dse_sweep": self.dse_sweep.to_dict() if self.dse_sweep else None,
         }
 
 
@@ -322,11 +360,54 @@ def run_bench(
                 f"profiled: callback {callback_s:.2f}s, columnar {columnar_s:.2f}s "
                 f"({result.profiled.speedup:.2f}x)"
             )
+        result.dse_sweep = _time_dse_sweep(sample_blocks, progress)
     finally:
         if was_enabled:
             tele.enable(reset=False)
     result.telemetry = _time_telemetry_overhead(sample_blocks, progress)
     return result
+
+
+def _time_dse_sweep(
+    sample_blocks: Optional[int], progress: Optional[callable]
+) -> SweepStage:
+    """Time a cold-vs-warm DSE sweep over the quick basket's profiles.
+
+    Both timing models sweep the default design space against a private
+    shard directory: the cold leg computes every cell, the warm leg must
+    serve all of them from the shards.  Profile collection happens before
+    the timed region — this stage measures the sweep engine, not the
+    simulator.
+    """
+    import tempfile
+
+    from repro.uarch.sweep import run_sweep
+
+    profiles = [
+        run_workload(
+            registry.get(abbrev)(**scale), verify=False, sample_blocks=sample_blocks
+        )
+        for abbrev, scale in QUICK_BASKET
+    ]
+    with tempfile.TemporaryDirectory() as shard_dir:
+        t0 = time.perf_counter()
+        run_sweep(profiles, models=None, cache_dir=shard_dir)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_sweep(profiles, models=None, cache_dir=shard_dir)
+        warm_s = time.perf_counter() - t0
+    stage = SweepStage(
+        cold_s=cold_s,
+        warm_s=warm_s,
+        cells=warm.cache_hits + warm.cache_misses,
+        warm_hits=warm.cache_hits,
+    )
+    if progress:
+        progress(
+            f"dse sweep: cold {cold_s:.2f}s, warm {warm_s:.2f}s "
+            f"({stage.speedup:.2f}x, {stage.hit_rate:.0%} shard hits)"
+        )
+    return stage
 
 
 #: Paired off/on repetitions of the telemetry stage; the median of the

@@ -1,4 +1,4 @@
-"""Analytical GPU performance model and design-space sweep."""
+"""Analytical GPU performance models and the design-space exploration engine."""
 
 from repro.uarch.config import BASELINE, GpuConfig, default_design_space
 from repro.uarch.cycle import (
@@ -15,6 +15,33 @@ from repro.uarch.model import (
     time_kernel,
     time_workload,
 )
+from repro.uarch.models import (
+    KernelEstimate,
+    TimingModel,
+    get_model,
+    model_names,
+    model_source_files,
+    register_model,
+    resolve_models,
+)
+from repro.uarch.space import (
+    Axis,
+    AxisPoint,
+    DesignSpace,
+    DesignSpaceError,
+    default_space,
+    load_space,
+)
+from repro.uarch.sweep import (
+    SweepCache,
+    SweepResult,
+    axis_sensitivity,
+    config_key,
+    design_cost,
+    pareto_frontier,
+    profile_digest,
+    run_sweep,
+)
 
 __all__ = [
     "BASELINE",
@@ -30,4 +57,25 @@ __all__ = [
     "speedup_matrix",
     "time_kernel",
     "time_workload",
+    "KernelEstimate",
+    "TimingModel",
+    "get_model",
+    "model_names",
+    "model_source_files",
+    "register_model",
+    "resolve_models",
+    "Axis",
+    "AxisPoint",
+    "DesignSpace",
+    "DesignSpaceError",
+    "default_space",
+    "load_space",
+    "SweepCache",
+    "SweepResult",
+    "axis_sensitivity",
+    "config_key",
+    "design_cost",
+    "pareto_frontier",
+    "profile_digest",
+    "run_sweep",
 ]

@@ -49,24 +49,11 @@ def default_design_space() -> List[GpuConfig]:
     """The design points swept by the evaluation-implications experiments.
 
     Each point changes one or two resources relative to the baseline — the
-    kind of sweep an architect runs when sizing a new part.
+    kind of sweep an architect runs when sizing a new part.  The space is
+    declared as a ``repro.design-space/v1`` spec in
+    :data:`repro.uarch.space.DEFAULT_SPEC`; this wrapper keeps the
+    historical list-returning entry point.
     """
-    b = BASELINE
-    return [
-        b,
-        b.derive("sm08", num_sms=8),
-        b.derive("sm32", num_sms=32),
-        b.derive("sm32-bw", num_sms=32, dram_bandwidth=128.0),
-        b.derive("dual-issue", issue_width=2),
-        b.derive("bw-half", dram_bandwidth=32.0),
-        b.derive("bw-2x", dram_bandwidth=128.0),
-        b.derive("lat-800", mem_latency=800),
-        b.derive("lat-200", mem_latency=200),
-        b.derive("no-l2", l2_lines=0),
-        b.derive("l2-8k", l2_lines=8192),
-        b.derive("warps-64", max_warps_per_sm=64),
-        b.derive("warps-16", max_warps_per_sm=16),
-        b.derive("regfile-8k", regfile_per_sm=8192),
-        b.derive("shmem-16k", shared_per_sm=16384),
-        b.derive("fat", num_sms=32, issue_width=2, dram_bandwidth=128.0, l2_lines=8192),
-    ]
+    from repro.uarch.space import default_space
+
+    return default_space().configs()

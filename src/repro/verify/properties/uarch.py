@@ -196,3 +196,80 @@ class RankingFidelity(Property):
                 else "reversed ranking passed the thresholds — they are vacuous"
             ),
         )
+
+
+#: Measured roofline-vs-cycle tau is ~0.875 on both the quick basket and the
+#: full suite; the floors leave headroom for model refinements while still
+#: catching a broken model (an inverted ranking lands at roughly -0.9).
+_AGREE_QUICK_TAU_MIN = 0.70
+_AGREE_DEEP_TAU_MIN = 0.75
+
+
+def _model_rankings(ctx: VerifyContext) -> Tuple[List[float], List[float]]:
+    """Per-design geomean speedups under the roofline and cycle models."""
+    from repro.core.evaluation import geomean
+    from repro.uarch import run_sweep
+
+    basket = RANKING_BASKET if ctx.quick else None
+    profiles = ctx.suite_profiles(basket)
+    sweep = run_sweep(profiles, models=("roofline", "cycle"))
+    n = len(sweep.design_names)
+    roofline = [geomean(sweep.speedups("roofline")[:, j]) for j in range(n)]
+    cycle = [geomean(sweep.speedups("cycle")[:, j]) for j in range(n)]
+    return roofline, cycle
+
+
+@register
+class ModelAgreement(Property):
+    name = "uarch.model_agreement"
+    layer = "uarch"
+    invariant = (
+        "the roofline and cycle-approximate models rank the default design "
+        "space consistently (Kendall tau over per-design geomean speedups "
+        "above a pinned floor)"
+    )
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        from repro.core.evaluation import kendall_tau
+
+        tau_min = _AGREE_QUICK_TAU_MIN if ctx.quick else _AGREE_DEEP_TAU_MIN
+        roofline, cycle = _model_rankings(ctx)
+        tau = kendall_tau(roofline, cycle)
+        failures: List[str] = []
+        counterexample: Optional[Dict] = None
+        if tau < tau_min:
+            failures.append(
+                f"roofline-vs-cycle kendall tau {tau:.3f} below pinned floor {tau_min}"
+            )
+            counterexample = {
+                "kendall_tau": tau,
+                "roofline": roofline,
+                "cycle": cycle,
+            }
+        return self._result(1, failures, counterexample)
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        """Invert one model's speedups; the agreement floor must trip.
+
+        ``v -> 1/v`` is strictly decreasing, so it reverses the cycle
+        model's design ranking exactly (tau flips sign) — the kind of
+        output a sign error in a model refactor would produce.
+        """
+        from repro.core.evaluation import kendall_tau
+
+        start = time.perf_counter()
+        tau_min = _AGREE_QUICK_TAU_MIN if ctx.quick else _AGREE_DEEP_TAU_MIN
+        roofline, cycle = _model_rankings(ctx)
+        broken_cycle = [1.0 / v for v in cycle]
+        tau = kendall_tau(roofline, broken_cycle)
+        detected = tau < tau_min
+        return PlantResult(
+            name=self.name,
+            detected=detected,
+            seconds=time.perf_counter() - start,
+            detail=(
+                f"inverted cycle ranking: tau {tau:.3f} vs floor {tau_min}"
+                if detected
+                else f"inverted cycle ranking passed the floor (tau {tau:.3f}) — it is vacuous"
+            ),
+        )

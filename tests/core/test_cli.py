@@ -164,6 +164,14 @@ def test_bench_quick_writes_schema_json(capsys, tmp_path, monkeypatch):
     assert doc["profiled_speedup"]["columnar_s"] > 0
     assert "profiled path" in out
 
+    # DSE sweep stage: cold vs warm timing-shard cache over the quick basket.
+    sweep = doc["dse_sweep"]
+    assert set(sweep) == {"cold_s", "warm_s", "speedup", "cells", "warm_hits", "hit_rate"}
+    assert sweep["cells"] > 0
+    assert sweep["warm_hits"] == sweep["cells"]  # warm rerun hits every shard
+    assert sweep["hit_rate"] == 1.0
+    assert "dse sweep" in out
+
     # Telemetry-overhead stage: disabled vs enabled on the quick basket.
     assert set(doc["telemetry"]) == {"disabled_s", "enabled_s", "overhead"}
     assert doc["telemetry"]["disabled_s"] > 0
@@ -244,3 +252,143 @@ def test_stress_json_schema(capsys, suite_profiles):
     for block, ranking in doc["blocks"].items():
         assert len(ranking) == 3
         assert all(set(r) == {"workload", "score"} for r in ranking)
+
+
+def test_evaluate_json_schema(capsys, suite_profiles):
+    import json
+
+    assert main(["evaluate", "--subset-k", "6", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.evaluate/v1"
+    assert doc["subset_k"] == 6 and doc["model"] == "roofline"
+    assert len(doc["representatives"]) == 6
+    assert all(set(r) == {"workload", "weight"} for r in doc["representatives"])
+    names = [d["name"] for d in doc["designs"]]
+    assert "base" in names and "fat" in names
+    for d in doc["designs"]:
+        assert set(d) == {"name", "full_speedup", "subset_speedup", "relative_error"}
+    assert isinstance(doc["kendall_tau"], float)
+    assert isinstance(doc["same_winner"], bool)
+
+
+def test_evaluate_unknown_model_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["evaluate", "--model", "oracle"])
+    assert exc.value.code == 2
+    assert "unknown timing model" in capsys.readouterr().err
+
+
+def test_dse_sweep_json_schema(capsys, suite_profiles):
+    import json
+
+    assert main(["dse", "sweep", "VA", "BS", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.dse-sweep/v1"
+    assert doc["space"] == "default" and doc["model"] == "roofline"
+    assert doc["workloads"] == ["VA", "BS"]
+    assert len(doc["designs"]) == 16
+    for d in doc["designs"]:
+        assert set(d) == {"name", "cost", "speedup", "pareto"}
+    assert any(d["pareto"] for d in doc["designs"])
+    assert {rec["field"] for rec in doc["sensitivity"]} >= {"num_sms", "dram_bandwidth"}
+    assert set(doc["cache"]) == {"hits", "misses"}
+
+
+def test_dse_sweep_quick_conflicts_with_workloads(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["dse", "sweep", "VA", "--quick"])
+    assert exc.value.code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_dse_sweep_text_output(capsys, suite_profiles):
+    assert main(["dse", "sweep", "VA", "BS", "--model", "cycle"]) == 0
+    out = capsys.readouterr().out
+    assert "cycle model" in out
+    assert "per-axis sensitivity" in out
+    assert "cache:" in out
+
+
+def test_dse_sweep_custom_design_space(capsys, tmp_path):
+    import json
+
+    spec = {
+        "schema": "repro.design-space/v1",
+        "name": "mine",
+        "sweep": "one_hot",
+        "baseline": {"name": "base"},
+        "axes": [
+            {"field": "num_sms", "points": [{"name": "sm32", "value": 32}]},
+        ],
+        "points": [],
+    }
+    path = tmp_path / "space.json"
+    path.write_text(json.dumps(spec))
+    assert main(["dse", "sweep", "VA", "--design-space", str(path), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["space"] == "mine"
+    assert [d["name"] for d in doc["designs"]] == ["base", "sm32"]
+
+
+def test_dse_sweep_bad_design_space_is_usage_error(capsys, tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"schema": "nope/v9"}')
+    with pytest.raises(SystemExit) as exc:
+        main(["dse", "sweep", "VA", "--design-space", str(path)])
+    assert exc.value.code == 2
+    assert "schema" in capsys.readouterr().err
+
+
+def test_dse_compare_json_schema(capsys, suite_profiles):
+    import json
+
+    assert main(["dse", "compare", "VA", "BS", "NN", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.dse-compare/v1"
+    assert doc["models"] == ["roofline", "cycle"]
+    for d in doc["designs"]:
+        assert set(d) == {"name", "roofline", "cycle"}
+    (agreement,) = doc["rank_agreement"]
+    assert agreement["models"] == ["roofline", "cycle"]
+    assert -1.0 <= agreement["kendall_tau"] <= 1.0
+
+
+def test_dse_compare_needs_two_models(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["dse", "compare", "VA", "--models", "roofline"])
+    assert exc.value.code == 2
+    assert "at least two" in capsys.readouterr().err
+
+
+def test_dse_fidelity_json_schema(capsys, suite_profiles):
+    import json
+
+    assert main(["dse", "fidelity", "--subset-k", "4,6", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.dse-fidelity/v1"
+    assert doc["model"] == "roofline"
+    assert [p["subset_k"] for p in doc["points"]] == [4, 6]
+    for p in doc["points"]:
+        assert set(p) == {
+            "subset_k",
+            "representatives",
+            "mean_error",
+            "max_error",
+            "kendall_tau",
+            "same_winner",
+        }
+        assert len(p["representatives"]) == p["subset_k"]
+
+
+def test_dse_fidelity_bad_subset_k_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["dse", "fidelity", "--subset-k", "2,two"])
+    assert exc.value.code == 2
+    assert "comma-separated integers" in capsys.readouterr().err
+
+
+def test_dse_fidelity_subset_k_exceeding_workloads(capsys, suite_profiles):
+    with pytest.raises(SystemExit) as exc:
+        main(["dse", "fidelity", "VA", "BS", "--subset-k", "8"])
+    assert exc.value.code == 2
+    assert "exceeds" in capsys.readouterr().err
