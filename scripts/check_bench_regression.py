@@ -42,6 +42,18 @@ slow the shipping configuration by more than 3%.
 
 ``--max-telemetry-overhead F`` bounds the fresh file's own measured
 enabled-vs-disabled telemetry overhead (the bench's ``telemetry`` record).
+
+``--workload-floor F`` (default 1.0) requires *every* workload entry of a
+full, unfiltered fresh bench to reach at least ``F``x speedup — the
+compiled engine must never lose to the interpreter outright.  Quick and
+``--workloads``-filtered files skip this check with a notice: their
+baskets are too small (or scale-reduced) for an absolute floor to be a
+stable contract.
+
+A fresh file produced by ``repro bench --workloads ...`` carries a
+``workload_filter`` marker; for such files the aggregate ratio is not
+comparable (the basket changed), so the guard compares each matched
+workload's speedup individually instead.
 """
 
 from __future__ import annotations
@@ -187,6 +199,58 @@ def check_sweep(fresh: dict, baseline: dict, tolerance: float) -> bool:
     return ok
 
 
+def check_workload_floor(fresh: dict, floor: float) -> bool:
+    """Every workload of a full, unfiltered bench must reach ``floor``x."""
+    if fresh.get("quick") or fresh.get("workload_filter"):
+        reason = "quick basket" if fresh.get("quick") else "workload-filtered run"
+        print(f"per-workload floor check skipped: {reason}")
+        return True
+    entries = fresh.get("workloads", [])
+    if not entries:
+        print("per-workload floor check skipped: fresh file has no workloads")
+        return True
+    ok = True
+    for entry in entries:
+        speedup = float(entry["speedup"])
+        good = speedup >= floor
+        verdict = "ok" if good else "BELOW FLOOR"
+        scale = " ".join(f"{k}={v}" for k, v in entry["scale"].items())
+        print(
+            f"workload floor {entry['workload']} [{scale}]: {speedup:.2f}x "
+            f"(floor {floor:.2f}x) ... {verdict}"
+        )
+        ok &= good
+    return ok
+
+
+def check_filtered_workloads(fresh: dict, baseline: dict, tolerance: float) -> bool:
+    """Per-workload ratio guard for ``--workloads``-filtered fresh files."""
+
+    def key(entry: dict):
+        return (entry["workload"], json.dumps(entry["scale"], sort_keys=True))
+
+    base_map = {key(e): e for e in baseline.get("workloads", [])}
+    ok = True
+    matched = 0
+    for entry in fresh.get("workloads", []):
+        ref = base_map.get(key(entry))
+        if ref is None:
+            continue
+        matched += 1
+        ok &= check_ratio(
+            f"workload speedup {entry['workload']}",
+            float(entry["speedup"]),
+            float(ref["speedup"]),
+            tolerance,
+        )
+    if not matched:
+        print(
+            "filtered run: no matching (workload, scale) entries in the "
+            "baseline; nothing to compare"
+        )
+    return ok
+
+
 def check_ratio(label: str, fresh: float, baseline: float, tolerance: float) -> bool:
     floor = baseline / (1.0 + tolerance)
     ok = fresh >= floor
@@ -227,25 +291,43 @@ def main(argv=None) -> int:
         help="fail when the fresh bench's measured enabled-telemetry "
         "overhead exceeds this fraction",
     )
+    parser.add_argument(
+        "--workload-floor",
+        type=float,
+        default=1.0,
+        help="minimum per-workload speedup a full unfiltered fresh bench "
+        "must reach (default: 1.0 — the compiled engine never loses)",
+    )
     args = parser.parse_args(argv)
 
     fresh = load(args.fresh)
     baseline = load(args.baseline)
 
-    matched = matched_speedups(fresh, baseline)
-    if matched is not None:
-        fresh_ratio, base_ratio, count = matched
-        ok = check_ratio(
-            f"engine speedup ({count} matched workloads)",
-            fresh_ratio,
-            base_ratio,
-            args.tolerance,
+    if fresh.get("workload_filter"):
+        print(
+            f"fresh file is workload-filtered ({','.join(fresh['workload_filter'])}); "
+            "aggregate speedup is not comparable — checking per workload"
         )
+        ok = check_filtered_workloads(fresh, baseline, args.tolerance)
     else:
-        print("no matching (workload, scale) entries; comparing top-level speedups")
-        ok = check_ratio(
-            "engine speedup", float(fresh["speedup"]), float(baseline["speedup"]), args.tolerance
-        )
+        matched = matched_speedups(fresh, baseline)
+        if matched is not None:
+            fresh_ratio, base_ratio, count = matched
+            ok = check_ratio(
+                f"engine speedup ({count} matched workloads)",
+                fresh_ratio,
+                base_ratio,
+                args.tolerance,
+            )
+        else:
+            print("no matching (workload, scale) entries; comparing top-level speedups")
+            ok = check_ratio(
+                "engine speedup",
+                float(fresh["speedup"]),
+                float(baseline["speedup"]),
+                args.tolerance,
+            )
+    ok &= check_workload_floor(fresh, args.workload_floor)
     fresh_demand = fresh.get("demand_speedup")
     base_demand = baseline.get("demand_speedup")
     if fresh_demand is not None and base_demand is not None:

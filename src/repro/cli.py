@@ -729,11 +729,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.core.bench import run_bench, write_bench_json
     from repro.report import ascii_table
 
-    result = run_bench(
-        quick=args.quick,
-        sample_blocks=args.sample_blocks,
-        progress=(lambda msg: print(msg, file=sys.stderr)) if args.verbose else None,
-    )
+    try:
+        result = run_bench(
+            quick=args.quick,
+            sample_blocks=args.sample_blocks,
+            progress=(lambda msg: print(msg, file=sys.stderr)) if args.verbose else None,
+            workloads=args.workloads.split(",") if args.workloads else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
     rows = [
         [
             e.workload,
@@ -754,6 +759,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ]
     )
     title = "engine benchmark" + (" (quick)" if args.quick else "")
+    if result.workload_filter:
+        title += f" [filtered: {','.join(result.workload_filter)}]"
     print(
         ascii_table(
             ["workload", "scale", "interpreted", "compiled", "speedup"], rows, title=title
@@ -1045,6 +1052,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "-o", "--output", default="BENCH_simt.json", help="result JSON path"
+    )
+    p.add_argument(
+        "--workloads",
+        default=None,
+        metavar="ABBREVS",
+        help=(
+            "comma-separated workload abbrevs (e.g. TR,STEN): time only the "
+            "matching basket entries and skip the auxiliary stages"
+        ),
     )
     p.add_argument("-v", "--verbose", action="store_true", help="progress to stderr")
     p.add_argument(

@@ -213,6 +213,10 @@ class BenchResult:
     profiled: Optional[ProfiledSpeedup] = None
     telemetry: Optional[TelemetryOverhead] = None
     dse_sweep: Optional[SweepStage] = None
+    #: Abbrevs the run was restricted to (``--workloads``), or ``None`` for
+    #: a full-basket run.  Filtered results are marked in the JSON so the
+    #: regression checker compares per-workload only and skips aggregates.
+    workload_filter: Optional[List[str]] = None
 
     @property
     def total_interpreted_s(self) -> float:
@@ -248,6 +252,7 @@ class BenchResult:
             "benchmark": "simt-engine",
             "quick": self.quick,
             "sample_blocks": self.sample_blocks,
+            "workload_filter": self.workload_filter,
             "python": platform.python_version(),
             "machine": platform.machine(),
             "host": platform.node(),
@@ -287,8 +292,16 @@ def run_bench(
     sample_blocks: Optional[int] = DEFAULT_SAMPLE_BLOCKS,
     basket: Optional[Sequence[Tuple[str, Dict[str, Any]]]] = None,
     progress: Optional[callable] = None,
+    workloads: Optional[Sequence[str]] = None,
 ) -> BenchResult:
     """Run the engine benchmark and return the timings.
+
+    ``workloads`` restricts the engine-comparison stage to the named
+    abbrevs (every basket entry matching any of them runs; unknown names
+    raise :class:`ValueError`).  A filtered run times *only* that stage —
+    the pass-set, columnar, DSE-sweep and telemetry stages are skipped —
+    and is marked with ``workload_filter`` in the JSON so the regression
+    checker knows aggregate totals are not comparable.
 
     Each workload is simulated once per engine (the runs take seconds, so
     single-shot timing is stable to a few percent).  ``verify`` is off:
@@ -316,7 +329,20 @@ def run_bench(
 
     if basket is None:
         basket = QUICK_BASKET if quick else FULL_BASKET
-    result = BenchResult(quick=quick, sample_blocks=sample_blocks)
+    selected: Optional[List[str]] = None
+    if workloads is not None:
+        selected = [w.strip().upper() for w in workloads if w.strip()]
+        known = {abbrev for abbrev, _scale in basket}
+        unknown = sorted(set(selected) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown bench workload(s) {', '.join(unknown)}; "
+                f"basket has {', '.join(sorted(known))}"
+            )
+        basket = [(abbrev, scale) for abbrev, scale in basket if abbrev in selected]
+    result = BenchResult(
+        quick=quick, sample_blocks=sample_blocks, workload_filter=selected
+    )
     tele = get_telemetry()
     was_enabled = tele.enabled
     if was_enabled:
@@ -335,36 +361,38 @@ def run_bench(
                     f"{abbrev}: interpreted {interp:.2f}s, compiled {comp:.2f}s "
                     f"({entry.speedup:.2f}x)"
                 )
-        for name, selected in pass_sets():
-            total = 0.0
+        if selected is None:
+            for name, chosen in pass_sets():
+                total = 0.0
+                for abbrev, scale in PASS_BASKET:
+                    cls = registry.get(abbrev)
+                    total += _time_engine(cls(**scale), "compiled", None, passes=chosen)
+                result.pass_entries.append(
+                    PassSetEntry(name, list(chosen) if chosen is not None else None, total)
+                )
+                if progress:
+                    progress(f"passes[{name}]: {total:.2f}s")
+            callback_s = columnar_s = 0.0
             for abbrev, scale in PASS_BASKET:
                 cls = registry.get(abbrev)
-                total += _time_engine(cls(**scale), "compiled", None, passes=selected)
-            result.pass_entries.append(
-                PassSetEntry(name, list(selected) if selected is not None else None, total)
-            )
+                callback_s += _time_engine(
+                    cls(**scale), "compiled", None, event_mode="callback"
+                )
+                columnar_s += _time_engine(
+                    cls(**scale), "compiled", None, event_mode="columnar"
+                )
+            result.profiled = ProfiledSpeedup(callback_s, columnar_s)
             if progress:
-                progress(f"passes[{name}]: {total:.2f}s")
-        callback_s = columnar_s = 0.0
-        for abbrev, scale in PASS_BASKET:
-            cls = registry.get(abbrev)
-            callback_s += _time_engine(
-                cls(**scale), "compiled", None, event_mode="callback"
-            )
-            columnar_s += _time_engine(
-                cls(**scale), "compiled", None, event_mode="columnar"
-            )
-        result.profiled = ProfiledSpeedup(callback_s, columnar_s)
-        if progress:
-            progress(
-                f"profiled: callback {callback_s:.2f}s, columnar {columnar_s:.2f}s "
-                f"({result.profiled.speedup:.2f}x)"
-            )
-        result.dse_sweep = _time_dse_sweep(sample_blocks, progress)
+                progress(
+                    f"profiled: callback {callback_s:.2f}s, columnar {columnar_s:.2f}s "
+                    f"({result.profiled.speedup:.2f}x)"
+                )
+            result.dse_sweep = _time_dse_sweep(sample_blocks, progress)
     finally:
         if was_enabled:
             tele.enable(reset=False)
-    result.telemetry = _time_telemetry_overhead(sample_blocks, progress)
+    if selected is None:
+        result.telemetry = _time_telemetry_overhead(sample_blocks, progress)
     return result
 
 

@@ -20,6 +20,14 @@ runtime error a divergent barrier — every engine must then agree not just on
 memory but on *whether* the launch faults, which keeps the differential
 oracle free of false positives while still covering cross-lane and
 deliberately overlapping addressing.
+
+The grammar is *seed-gated*: seeds at or above :data:`ALIAS_SEED_BASE` draw
+from an extended kind set that additionally reads the writable ``out`` /
+``fout`` buffers (``oload``) and stores into fixed low-index bands of them
+(``bandstore``), exercising the batch planner's footprint analysis with
+genuine load/store and store/store aliasing.  Seeds below the base keep the
+original grammar bit-for-bit, so every previously committed corpus entry
+still regenerates from its seed unchanged.
 """
 
 from __future__ import annotations
@@ -62,6 +70,7 @@ _ATOMIC_OPS = ("add", "min", "max", "exch", "cas")
 def generate_case(seed: int) -> Case:
     """Generate one fuzz case deterministically from ``seed``."""
     rng = random.Random(seed)
+    kinds = ALIAS_STMT_KINDS if seed >= ALIAS_SEED_BASE else STMT_KINDS
     block_x = rng.choice((32, 48, 64))
     block_y = 2 if rng.random() < 0.12 else 1
     grid = rng.randint(2, 6)
@@ -69,14 +78,21 @@ def generate_case(seed: int) -> Case:
         "seed": seed,
         "grid": grid,
         "block": [block_x, block_y],
-        "stmts": _gen_stmts(rng, depth=0, budget=rng.randint(3, 12)),
+        "stmts": _gen_stmts(rng, depth=0, budget=rng.randint(3, 12), kinds=kinds),
     }
 
 
-def _gen_stmts(rng: random.Random, depth: int, budget: int) -> List[Dict[str, Any]]:
+def _gen_stmts(
+    rng: random.Random,
+    depth: int,
+    budget: int,
+    kinds: "Tuple[Tuple[str, float], ...]" = None,
+) -> List[Dict[str, Any]]:
+    if kinds is None:
+        kinds = STMT_KINDS
     stmts = []
     for _ in range(budget):
-        stmts.append(_gen_stmt(rng, depth))
+        stmts.append(_gen_stmt(rng, depth, kinds))
     return stmts
 
 
@@ -105,13 +121,29 @@ STMT_KINDS: Tuple[Tuple[str, float], ...] = (
     ("while", 2.5),
 )
 
+#: Seeds at or above this value draw from the extended, aliasing-capable
+#: grammar.  Gating on the seed keeps every pre-existing seed → case mapping
+#: bit-identical (adding kinds changes ``rng.choices`` outcomes).
+ALIAS_SEED_BASE = 1 << 23
 
-def _gen_stmt(rng: random.Random, depth: int) -> Dict[str, Any]:
-    kinds = [(k, w) for k, w in STMT_KINDS if depth < 2 or k not in ("if", "while")]
-    names = [k for k, _ in kinds]
-    weights = [w for _, w in kinds]
+#: The extended grammar: everything above plus reads of the writable
+#: ``out``/``fout`` buffers and fixed-band stores into them.
+ALIAS_STMT_KINDS: Tuple[Tuple[str, float], ...] = STMT_KINDS + (
+    ("oload", 2.5),
+    ("bandstore", 2.0),
+)
+
+
+def _gen_stmt(
+    rng: random.Random, depth: int, kinds: Tuple[Tuple[str, float], ...] = STMT_KINDS
+) -> Dict[str, Any]:
+    avail = [(k, w) for k, w in kinds if depth < 2 or k not in ("if", "while")]
+    names = [k for k, _ in avail]
+    weights = [w for _, w in avail]
     kind = rng.choices(names, weights=weights, k=1)[0]
     gen = getattr(_CaseGen, kind)
+    if kind in ("if", "while"):
+        return gen(rng, depth, kinds)
     return gen(rng, depth)
 
 
@@ -196,6 +228,32 @@ class _CaseGen:
         return {"k": "gstore_overlap", "buf": buf, "src": rng.randrange(4), "w": rng.choice(OVERLAP_WINDOWS)}
 
     @staticmethod
+    def oload(rng, depth):
+        # Read back a writable output buffer: a genuine load/store hazard,
+        # so the batch planner must prove (or group around) disjointness.
+        return {
+            "k": "oload",
+            "buf": rng.choice(("out", "fout")),
+            "d": rng.randrange(4),
+            "mode": rng.choice(("gid", "rand", "broadcast")),
+            "p": rng.randrange(16),
+            "r": rng.randrange(4),
+        }
+
+    @staticmethod
+    def bandstore(rng, depth):
+        # Store into a fixed low-index band of an output buffer: collides
+        # with the epilogue store on low blocks but nowhere else, so the
+        # planner's concrete grouping tier has real work to do.
+        return {
+            "k": "bandstore",
+            "buf": rng.choice(("out", "fout")),
+            "src": rng.randrange(4),
+            "w": rng.choice(OVERLAP_WINDOWS),
+            "c": rng.choice((0, 8, 16, 24)),
+        }
+
+    @staticmethod
     def sstore(rng, depth):
         return {"k": "sstore", "mode": rng.choice(("tid", "xlane", "rand")), "src": rng.randrange(4), "r": rng.randrange(4)}
 
@@ -229,24 +287,24 @@ class _CaseGen:
         return {"k": "ret", "cmp": _gen_cmp(rng)}
 
     @staticmethod
-    def if_(rng, depth):
+    def if_(rng, depth, kinds=STMT_KINDS):
         stmt = {
             "k": "if",
             "cmp": _gen_cmp(rng),
-            "then": _gen_stmts(rng, depth + 1, rng.randint(1, 3)),
+            "then": _gen_stmts(rng, depth + 1, rng.randint(1, 3), kinds),
             "else": [],
         }
         if rng.random() < 0.5:
-            stmt["else"] = _gen_stmts(rng, depth + 1, rng.randint(1, 2))
+            stmt["else"] = _gen_stmts(rng, depth + 1, rng.randint(1, 2), kinds)
         return stmt
 
     @staticmethod
-    def while_(rng, depth):
+    def while_(rng, depth, kinds=STMT_KINDS):
         return {
             "k": "while",
             "src": rng.randrange(4),
             "m": rng.randint(1, 4),
-            "body": _gen_stmts(rng, depth + 1, rng.randint(1, 3)),
+            "body": _gen_stmts(rng, depth + 1, rng.randint(1, 3), kinds),
         }
 
 
@@ -435,6 +493,29 @@ class _Emitter:
         # exercising scatter ordering.  Communicating by construction.
         b = self.b
         idx = b.imod(self.gid(), s["w"])
+        if s["buf"] == "out":
+            b.st(self.out, idx, self.i[s["src"]])
+        else:
+            b.st(self.fout, idx, self.f[s["src"]])
+
+    def _s_oload(self, s):
+        # Load from a writable output buffer — the same buffers the body
+        # and epilogue store to, so the launch is hazard-flagged and the
+        # batch planner must reason about actual footprints.
+        b = self.b
+        if s["buf"] == "out":
+            buf, bank = self.out, self.i
+        else:
+            buf, bank = self.fout, self.f
+        idx = self._index_into(s["mode"], self.n, s["p"], s["r"])
+        b.assign(bank[s["d"]], b.ld(buf, idx))
+
+    def _s_bandstore(self, s):
+        # Store into the fixed band [c, c+w) of an output buffer: every
+        # block writes the same band (scatter order keeps that consistent),
+        # but only low blocks' epilogue tiles overlap it.
+        b = self.b
+        idx = b.iadd(b.imod(self.gid(), s["w"]), s["c"])
         if s["buf"] == "out":
             b.st(self.out, idx, self.i[s["src"]])
         else:

@@ -8,6 +8,7 @@ over a :class:`Device`, and observed through :class:`TraceSink` objects.
 
 from repro.simt.builder import BufParam, KernelBuilder, SharedArray
 from repro.simt.classify import KernelClassification, classify_kernel
+from repro.simt.compiled import BatchPlan, plan_batches
 from repro.simt.disasm import StaticStats, disassemble, static_stats
 from repro.simt.errors import (
     BuildError,
@@ -26,6 +27,7 @@ from repro.simt.types import WARP_SIZE, DType
 
 __all__ = [
     "AtomicOp",
+    "BatchPlan",
     "BufParam",
     "BuildError",
     "Device",
@@ -43,6 +45,7 @@ __all__ = [
     "Op",
     "OpCategory",
     "op_category",
+    "plan_batches",
     "profile_all_blocks",
     "run_reference",
     "SharedArray",

@@ -22,13 +22,32 @@ interpreter in :mod:`repro.simt.executor`:
   blocks run singly and emit per-event sink callbacks.  Both modes produce
   bit-identical device memory and profiles.  Kernels containing atomics
   are never batched: atomic lane serialisation is defined in launch order,
-  which stacking would reorder.  Launches with a cross-block memory hazard
-  — a global load that can observe a buffer the same launch stores to, two
-  store sites that can hit one buffer, or a store inside a loop (detected
-  by a static base-pointer dataflow resolved against the bound buffers,
-  see :func:`_batch_hazard`) — are likewise pinned to one block per batch,
-  because lockstep program order would otherwise let an earlier block's
-  later memory operation land after a later block's earlier one.
+  which stacking would reorder.
+
+* **Batch planning** — lockstep program order lets an earlier block's
+  later memory operation land after a later block's earlier one, so
+  launches with a cross-block memory hazard — a global load that can
+  observe a buffer the same launch stores to, two store sites that can hit
+  one buffer, or a store inside a loop (detected by a static base-pointer
+  dataflow resolved against the bound buffers, see :func:`_batch_hazard`)
+  — cannot batch blindly.  Instead of pinning every such launch to one
+  block per batch, :func:`plan_batches` refines the boolean hazard into
+  three tiers backed by :mod:`repro.simt.footprint`:
+
+  ========================  ==================================================
+  tier                      meaning
+  ========================  ==================================================
+  ``clear``                 no hazard; batch to the lane-budget cap
+  ``symbolic_clear``        hazard flagged, but the affine address analysis
+                            proves no two blocks can touch a common byte —
+                            batch to the cap (the TR/STEN tile shape)
+  ``footprint_grouped``     affine but not provably disjoint; blocks are
+                            greedily grouped into contiguous runs whose
+                            concrete per-block write footprints stay disjoint
+                            from each other and from the runs' reads
+  ``pinned``                atomics, a non-affine address, or genuinely
+                            overlapping footprints — one block per batch
+  ========================  ==================================================
 
 Blocks are stacked in ascending linear order and batches always cover
 contiguous runs of linear block ids, so numpy's highest-lane-wins scatter
@@ -43,6 +62,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.simt import footprint
 from repro.simt.errors import ExecutionError
 from repro.simt.ir import (
     Atomic,
@@ -881,6 +901,7 @@ class CompiledKernel:
         "store_sites",
         "run_silent",
         "_observed",
+        "plan_cache",
     )
 
     def __init__(self, kernel: Kernel) -> None:
@@ -913,6 +934,10 @@ class CompiledKernel:
         # compiled lazily on first use (a mix-only run never lowers the
         # mem/branch hook variants at all).
         self._observed: Dict[frozenset, Callable] = {}
+        # Batch plans keyed by (grid, block, cap, bound params): the
+        # footprint analysis runs once per launch configuration, not per
+        # launch (see plan_batches).
+        self.plan_cache: Dict = {}
 
     def observed_runner(self, hooks: frozenset) -> Callable:
         """The runner emitting exactly ``hooks``, lowered on first request."""
@@ -1072,6 +1097,106 @@ def _batch_hazard(ck: "CompiledKernel", params_by_name: Dict) -> bool:
     return False
 
 
+class BatchPlan:
+    """How one launch configuration batches its blocks.
+
+    ``tier`` is one of ``clear`` / ``symbolic_clear`` / ``footprint_grouped``
+    / ``pinned`` (see the module docstring).  ``limit`` is the maximum
+    blocks per batch; ``group_of`` (grouped tier only) maps linear block id
+    to a non-decreasing group id — batches never span a group boundary.
+    ``pin_reason`` names why a pinned launch pinned.
+    """
+
+    __slots__ = ("tier", "limit", "group_of", "groups", "largest_group", "pin_reason")
+
+    def __init__(self, tier, limit, group_of=None, groups=None, largest_group=None, pin_reason=None):
+        self.tier = tier
+        self.limit = limit
+        self.group_of = group_of
+        self.groups = groups
+        self.largest_group = largest_group
+        self.pin_reason = pin_reason
+
+
+def plan_batches(
+    ck: CompiledKernel,
+    grid: Tuple[int, int],
+    block: Tuple[int, int],
+    params_by_name: Dict,
+    batch_blocks: Optional[int] = None,
+) -> BatchPlan:
+    """Decide how wide this launch may batch, refining the hazard pin.
+
+    Hazard-free launches batch to the lane-budget cap outright.  For
+    hazard-flagged launches the footprint analysis runs in two layers:
+    the symbolic pass first tries to prove every cross-block store-store
+    and store-load pair disjoint structurally (tier ``symbolic_clear``);
+    failing that, each block's concrete per-site byte extents are grouped
+    greedily into contiguous runs with non-overlapping write footprints
+    (tier ``footprint_grouped``).  Only launches with atomics, a
+    non-affine address, or genuinely colliding footprints stay pinned at
+    one block per batch.  Loads are dropped from the analysis when the
+    launch's resolved load bases cannot alias its store bases.
+
+    Plans are cached on ``ck.plan_cache`` per (grid, block, cap, bound
+    params) — an explicit ``batch_blocks`` override adjusts the cap but
+    never widens what the analysis allows.
+    """
+    nthreads = block[0] * block[1]
+    npad = -(-nthreads // WARP_SIZE) * WARP_SIZE
+    if batch_blocks is not None:
+        cap = max(1, int(batch_blocks))
+    else:
+        cap = max(1, min(MAX_BATCH_BLOCKS, TARGET_BATCH_LANES // npad))
+    if ck.has_atomics:
+        return BatchPlan("pinned", 1, pin_reason="atomics")
+    if not _batch_hazard(ck, params_by_name):
+        return BatchPlan("clear", cap)
+    try:
+        key = (grid, block, cap, tuple(sorted(params_by_name.items())))
+    except TypeError:
+        key = None
+    if key is not None:
+        cached = ck.plan_cache.get(key)
+        if cached is not None:
+            return cached
+    nblocks = grid[0] * grid[1]
+    store_bases = {
+        params_by_name[n] for names, _ in ck.store_sites for n in names
+    }
+    load_bases = {params_by_name[n] for n in ck.load_params}
+    fp = footprint.analyze(
+        ck.kernel,
+        grid,
+        block,
+        params_by_name,
+        include_loads=bool(load_bases & store_bases),
+    )
+    if not fp.complete:
+        plan = BatchPlan("pinned", 1, pin_reason="opaque-address")
+    elif footprint.symbolically_disjoint(fp, grid):
+        plan = BatchPlan("symbolic_clear", cap)
+    else:
+        extents = footprint._block_extents(fp, grid, nblocks)
+        if extents is None:
+            plan = BatchPlan("pinned", 1, pin_reason="opaque-address")
+        else:
+            group_of, groups, largest = footprint.group_blocks(extents, nblocks, cap)
+            if largest <= 1:
+                plan = BatchPlan("pinned", 1, pin_reason="footprint-overlap")
+            else:
+                plan = BatchPlan(
+                    "footprint_grouped",
+                    cap,
+                    group_of=group_of,
+                    groups=groups,
+                    largest_group=largest,
+                )
+    if key is not None:
+        ck.plan_cache[key] = plan
+    return plan
+
+
 def compile_kernel(kernel: Kernel) -> CompiledKernel:
     """Return the compiled form of ``kernel``, lowering it on first use."""
     ck = getattr(kernel, "_compiled_cache", None)
@@ -1204,16 +1329,12 @@ def run_compiled_launch(
     nwarps = -(-nthreads // WARP_SIZE)
     npad = nwarps * WARP_SIZE
 
-    if ck.has_atomics or _batch_hazard(ck, params_by_name):
-        # Hazardous launches (atomics, self-observing loads, colliding
-        # store sites) get sequential semantics outright — the pin beats
-        # even an explicit batch_blocks override, which is a sizing knob,
-        # not a correctness waiver.
-        limit = 1
-    elif executor.batch_blocks is not None:
-        limit = max(1, int(executor.batch_blocks))
-    else:
-        limit = max(1, min(MAX_BATCH_BLOCKS, TARGET_BATCH_LANES // npad))
+    # The plan beats an explicit batch_blocks override: the override is a
+    # sizing knob, not a correctness waiver — a pinned launch stays pinned
+    # and a grouped launch never batches across a group boundary.
+    plan = plan_batches(ck, grid, block, params_by_name, executor.batch_blocks)
+    limit = plan.limit
+    group_of = plan.group_of
 
     sinks = executor.sinks
     pf = executor.profile_filter
@@ -1228,6 +1349,9 @@ def run_compiled_launch(
         "batched_blocks": 0,
         "largest_batch": 0,
         "batch_limit": limit,
+        "hazard_tier": plan.tier,
+        "pin_reason": plan.pin_reason,
+        "batch_groups": plan.groups,
         "observed_batches": 0,
         "event_counts": {"instr": 0, "mem": 0, "branch": 0},
         "event_bytes": 0,
@@ -1297,6 +1421,8 @@ def run_compiled_launch(
             account_flush()
 
         for linear in range(nblocks):
+            if group_of is not None and pending and group_of[linear] != group_of[pending[-1]]:
+                flush()
             if pf(linear, nblocks):
                 prof_rows.append(len(pending))
                 prof_ids.append(linear)
@@ -1313,6 +1439,8 @@ def run_compiled_launch(
             account_flush()
 
         for linear in range(nblocks):
+            if group_of is not None and pending and group_of[linear] != group_of[pending[-1]]:
+                flush()
             if sinks and pf(linear, nblocks):
                 flush()
                 stats["profiled_blocks"] += 1

@@ -40,6 +40,13 @@ absent from a path contributes all-inactive rows there, which are filtered.
 This is the columnar pipeline's parity invariant — consumers that filter
 rows by participation and accumulate in (block-ascending, event-order)
 reproduce the scalar callback path bit-for-bit, floats included.
+
+Batch membership itself is decided upstream by the planner
+(:func:`repro.simt.compiled.plan_batches`): hazard-flagged launches whose
+footprints group into contiguous block runs flush a batch at every group
+boundary, so a batch never spans two footprint groups.  Because batches
+always cover ascending linear block ids, the invariant above is unchanged
+— grouping only shortens batches, it never reorders them.
 """
 
 from __future__ import annotations

@@ -190,6 +190,7 @@ class Executor:
             "observed_batches": 0,
             "event_counts": {"instr": 0, "mem": 0, "branch": 0},
             "event_bytes": 0,
+            "hazard_tiers": {},
         }
 
     def hook_subscriptions(self) -> frozenset:
@@ -252,6 +253,10 @@ class Executor:
         counts = totals["event_counts"]
         for kind, n in stats.get("event_counts", {}).items():
             counts[kind] += int(n)
+        tier = stats.get("hazard_tier")
+        if tier:
+            tiers = totals["hazard_tiers"]
+            tiers[tier] = tiers.get(tier, 0) + 1
 
     def _launch_traced(
         self,
@@ -291,6 +296,9 @@ class Executor:
             tele.count("engine.launches")
             tele.count(f"engine.{self.engine}.blocks", nblocks)
             if self.engine == "compiled":
+                tier = stats.get("hazard_tier")
+                if tier:
+                    tele.count(f"engine.compiled.hazard.{tier}")
                 tele.count("engine.compiled.batches", int(stats.get("batches", 0)))
                 tele.count(
                     "engine.compiled.batched_blocks", int(stats.get("batched_blocks", 0))

@@ -1,0 +1,711 @@
+"""Per-block memory-footprint disjointness analysis for batch planning.
+
+The compiled engine stacks blocks into lockstep batches (see
+:mod:`repro.simt.compiled`), which reorders memory operations *across*
+blocks: every block in a batch executes program point ``p`` before any of
+them reaches ``p+1``.  The whole-launch hazard test
+(:func:`repro.simt.compiled._batch_hazard`) detects when that reordering
+could be observable, but it is buffer-granular — it pins launches like the
+SDK transpose (disjoint per-block output tiles, written in a loop) to one
+block per batch even though no two blocks ever touch a common byte.
+
+This module refines the boolean pin into a three-way answer, built from a
+single symbolic pass over the lowered IR:
+
+* **Affine address recovery** — every register is tracked as an affine form
+  ``const + Σ coeff·sym`` over *bounded symbols*: ``%tid.x``/``%tid.y``
+  (domain ``[0, ntid)``), ``%ctaid.x``/``%ctaid.y`` (domain ``[0, nctaid)``,
+  flagged as *block* symbols), one fresh symbol per recognised counted loop
+  (domain ``[0, trips)``), and anonymous bounded symbols for values forced
+  into a range by ``imod``.  Parameters are bound to their concrete values
+  (buffer bases are plain ints at launch time), so an address form is an
+  absolute byte expression.  Anything non-affine is ``None`` (unknown); the
+  analysis never guesses.  All forms are range-limited to ``±2**62`` so the
+  Python-int model can never diverge from the engine's int64 arithmetic.
+
+* **Symbolic disjointness** — with every relevant site affine, cross-block
+  disjointness is decided structurally.  A looped store site is
+  *self-disjoint* when its address is injective over its symbol tuple
+  (mixed-radix test: sorting terms by stride, each stride must clear the
+  span of everything below it, including the element's byte width) or when
+  the block-symbol lattice clears the span of the non-block symbols.  Two
+  distinct sites are disjoint when their absolute byte intervals do not
+  meet at all, or when they tile identically over blocks (equal block
+  coefficients) and the block lattice clears the interval of their
+  per-block residual difference.  Distinct sites' non-block symbols are
+  treated as independent even when shared — the hazard compares *different
+  blocks*, whose threads and loop trips are unrelated.
+
+* **Concrete extents** — when the symbolic proof fails but every site is
+  still affine, :func:`block_extents` evaluates each site's per-block byte
+  interval exactly (block symbols take their per-block values; everything
+  else contributes its range), and :func:`group_blocks` greedily grows
+  contiguous runs of blocks whose write footprints stay disjoint from each
+  other and from the run's read footprints.  A single straight-line store
+  site may self-overlap inside a run — the scatter's highest-lane-wins
+  tie-break already reproduces sequential last-block-wins for one site —
+  but looped sites and cross-site overlaps end the run.
+
+The orchestration (which tier applies, batch limits, caching) lives in
+:func:`repro.simt.compiled.plan_batches`; this module is pure analysis and
+holds no launch state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simt.ir import (
+    Atomic,
+    Barrier,
+    If,
+    Imm,
+    Instr,
+    Kernel,
+    Load,
+    MemSpace,
+    Op,
+    Operand,
+    ParamRef,
+    Reg,
+    Return,
+    Stmt,
+    Store,
+    While,
+    walk_stmts,
+)
+
+#: Affine forms are rejected once any reachable value could leave this range,
+#: so Python-int reasoning can never disagree with wrapped int64 arithmetic.
+_VALUE_LIMIT = 1 << 62
+
+#: Largest block-delta lattice enumerated exactly; bigger grids fall back to
+#: "assume a hit" (conservative: the symbolic proof fails, concrete runs).
+_LATTICE_ENUM_CAP = 1 << 20
+
+
+@dataclass(frozen=True)
+class FootSym:
+    """One bounded symbol: a value ranging over ``[0, count)``."""
+
+    name: str  #: "%ctaid.x", "%tid.y", "loop", "mod", ...
+    count: int
+    is_block: bool
+
+
+@dataclass(frozen=True)
+class Aff:
+    """Affine form ``const + Σ coeff·sym`` (terms sorted, coeffs non-zero)."""
+
+    const: int
+    terms: Tuple[Tuple[int, int], ...]  #: ((sym_index, coeff), ...)
+
+
+def _aff(const: int = 0, terms: Sequence[Tuple[int, int]] = ()) -> Aff:
+    return Aff(int(const), tuple(sorted((i, c) for i, c in terms if c)))
+
+
+def _add(a: Optional[Aff], b: Optional[Aff], sign: int = 1) -> Optional[Aff]:
+    if a is None or b is None:
+        return None
+    coeffs = dict(a.terms)
+    for i, c in b.terms:
+        coeffs[i] = coeffs.get(i, 0) + sign * c
+    return _aff(a.const + sign * b.const, coeffs.items())
+
+
+def _scale(a: Optional[Aff], k: int) -> Optional[Aff]:
+    if a is None:
+        return None
+    return _aff(a.const * k, ((i, c * k) for i, c in a.terms))
+
+
+def _const_of(a: Optional[Aff]) -> Optional[int]:
+    if a is not None and not a.terms:
+        return a.const
+    return None
+
+
+@dataclass(frozen=True)
+class FootSite:
+    """One static global-memory site with a resolved byte-address form."""
+
+    kind: str  #: "store" | "load"
+    aff: Optional[Aff]  #: ``None`` when the address is not provably affine
+    esize: int
+    in_loop: bool
+    sid: int
+
+
+@dataclass
+class Footprints:
+    """Result of :func:`analyze`: symbols plus every relevant site."""
+
+    syms: List[FootSym]
+    sites: List[FootSite]
+
+    @property
+    def complete(self) -> bool:
+        return all(site.aff is not None for site in self.sites)
+
+
+def _range(aff: Aff, syms: List[FootSym]) -> Tuple[int, int]:
+    lo = hi = aff.const
+    for i, c in aff.terms:
+        extent = c * (syms[i].count - 1)
+        if extent < 0:
+            lo += extent
+        else:
+            hi += extent
+    return lo, hi
+
+
+def _checked(aff: Optional[Aff], syms: List[FootSym]) -> Optional[Aff]:
+    if aff is None:
+        return None
+    lo, hi = _range(aff, syms)
+    if lo <= -_VALUE_LIMIT or hi >= _VALUE_LIMIT:
+        return None
+    return aff
+
+
+def _assigned_regs(stmts: Sequence[Stmt]) -> set:
+    names: set = set()
+    for stmt in walk_stmts(list(stmts)):
+        if isinstance(stmt, (Instr, Load)):
+            names.add(stmt.dest.name)
+        elif isinstance(stmt, Atomic) and stmt.dest is not None:
+            names.add(stmt.dest.name)
+    return names
+
+
+class _Pass:
+    """One abstract walk of the kernel body, collecting affine sites."""
+
+    def __init__(
+        self,
+        grid: Tuple[int, int],
+        block: Tuple[int, int],
+        params_by_name: Dict,
+        include_loads: bool,
+    ) -> None:
+        self.grid = grid
+        self.block = block
+        self.params = params_by_name
+        self.include_loads = include_loads
+        self.syms: List[FootSym] = []
+        self._sreg_aff: Dict[str, Optional[Aff]] = {}
+        self.env: Dict[str, Optional[Aff]] = {}
+        self.sites: List[FootSite] = []
+        self._depth = 0
+
+    # -- symbols -----------------------------------------------------------
+
+    def _new_sym(self, name: str, count: int, is_block: bool = False) -> Aff:
+        if count <= 1:
+            return _aff(0)
+        self.syms.append(FootSym(name, count, is_block))
+        return _aff(0, ((len(self.syms) - 1, 1),))
+
+    def _sreg(self, name: str) -> Optional[Aff]:
+        cached = self._sreg_aff.get(name)
+        if cached is not None:
+            return cached
+        gx, gy = self.grid
+        bx, by = self.block
+        if name == "%tid.x":
+            aff = self._new_sym(name, bx)
+        elif name == "%tid.y":
+            aff = self._new_sym(name, by)
+        elif name == "%ctaid.x":
+            aff = self._new_sym(name, gx, is_block=True)
+        elif name == "%ctaid.y":
+            aff = self._new_sym(name, gy, is_block=True)
+        elif name == "%ntid.x":
+            aff = _aff(bx)
+        elif name == "%ntid.y":
+            aff = _aff(by)
+        elif name == "%nctaid.x":
+            aff = _aff(gx)
+        elif name == "%nctaid.y":
+            aff = _aff(gy)
+        else:
+            return None
+        self._sreg_aff[name] = aff
+        return aff
+
+    # -- operand evaluation ------------------------------------------------
+
+    def _value(self, operand: Operand) -> Optional[Aff]:
+        if isinstance(operand, Imm):
+            v = operand.value
+            if isinstance(v, bool) or not isinstance(v, int):
+                return None
+            return _aff(v)
+        if isinstance(operand, ParamRef):
+            v = self.params.get(operand.name)
+            if isinstance(v, bool) or not isinstance(v, int):
+                return None
+            return _aff(v)
+        name = operand.name
+        if name.startswith("%"):
+            return self._sreg(name)
+        return self.env.get(name)
+
+    def _eval_instr(self, stmt: Instr) -> Optional[Aff]:
+        op = stmt.op
+        vals = [self._value(s) for s in stmt.srcs]
+        if op is Op.MOV:
+            return vals[0]
+        if op is Op.IADD:
+            return _add(vals[0], vals[1])
+        if op is Op.ISUB:
+            return _add(vals[0], vals[1], sign=-1)
+        if op is Op.INEG:
+            return _scale(vals[0], -1)
+        if op is Op.IMUL:
+            for a, b in ((vals[0], vals[1]), (vals[1], vals[0])):
+                k = _const_of(b)
+                if k is not None:
+                    return _scale(a, k)
+            return None
+        if op is Op.ISHL:
+            k = _const_of(vals[1])
+            if k is not None and 0 <= k < 62:
+                return _scale(vals[0], 1 << k)
+            return None
+        if op is Op.IMOD:
+            m = _const_of(vals[1])
+            if m is None or m == 0:
+                return None
+            m = abs(m)
+            a = vals[0]
+            if a is not None:
+                lo, hi = _range(a, self.syms)
+                if 0 <= lo and hi < m:
+                    return a  # the mod is a no-op on this range
+                if lo >= 0:
+                    # Non-negative dividend: result lands in [0, m).
+                    return self._new_sym("mod", m)
+            # Truncating mod of an arbitrary int64 lands in (-m, m).
+            return _add(_aff(-(m - 1)), self._new_sym("mod", 2 * m - 1))
+        if op is Op.IDIV:
+            a, b = _const_of(vals[0]), _const_of(vals[1])
+            if a is not None and b is not None and b != 0:
+                q = abs(a) // abs(b)
+                return _aff(-q if (a < 0) != (b < 0) else q)
+            return None
+        if op is Op.IABS:
+            a = _const_of(vals[0])
+            return _aff(abs(a)) if a is not None else None
+        if op in (Op.IMIN, Op.IMAX, Op.IAND, Op.IOR, Op.IXOR, Op.ISHR):
+            a, b = _const_of(vals[0]), _const_of(vals[1])
+            if a is None or b is None:
+                return None
+            if op is Op.IMIN:
+                return _aff(min(a, b))
+            if op is Op.IMAX:
+                return _aff(max(a, b))
+            if op is Op.IAND:
+                return _aff(a & b)
+            if op is Op.IOR:
+                return _aff(a | b)
+            if op is Op.IXOR:
+                return _aff(a ^ b)
+            if 0 <= b < 64:
+                return _aff(a >> b)
+            return None
+        return None  # floats, predicates, casts: never address material
+
+    # -- statement walk ----------------------------------------------------
+
+    def run(self, kernel: Kernel) -> Footprints:
+        self._walk(kernel.body)
+        return Footprints(self.syms, self.sites)
+
+    def _walk(self, stmts: Sequence[Stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _site(self, kind: str, addr: Operand, esize: int, sid: int) -> None:
+        aff = _checked(self._value(addr), self.syms)
+        self.sites.append(FootSite(kind, aff, esize, self._depth > 0, sid))
+
+    def _stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Instr):
+            self.env[stmt.dest.name] = _checked(self._eval_instr(stmt), self.syms)
+        elif isinstance(stmt, Load):
+            if stmt.space is MemSpace.GLOBAL and self.include_loads:
+                self._site("load", stmt.addr, stmt.dtype.element_size, stmt.sid)
+            self.env[stmt.dest.name] = None
+        elif isinstance(stmt, Store):
+            if stmt.space is not MemSpace.SHARED:
+                self._site("store", stmt.addr, stmt.dtype.element_size, stmt.sid)
+        elif isinstance(stmt, Atomic):
+            self._site("store", stmt.addr, stmt.dtype.element_size, stmt.sid)
+            if stmt.dest is not None:
+                self.env[stmt.dest.name] = None
+        elif isinstance(stmt, (Barrier, Return)):
+            pass
+        elif isinstance(stmt, If):
+            before = dict(self.env)
+            self._walk(stmt.then_body)
+            then_env = self.env
+            self.env = dict(before)
+            self._walk(stmt.else_body)
+            else_env = self.env
+            merged = dict(before)
+            for name in set(then_env) | set(else_env):
+                a, b = then_env.get(name), else_env.get(name)
+                merged[name] = a if a == b else None
+            self.env = merged
+        elif isinstance(stmt, While):
+            self._while(stmt)
+
+    def _while(self, stmt: While) -> None:
+        assigned = _assigned_regs(stmt.cond_body) | _assigned_regs(stmt.body)
+        induction = None
+        counted = _match_counted(stmt, assigned)
+        if counted is not None:
+            ivar, step, stop_op, cmp_op = counted
+            start = self.env.get(ivar)
+            stop = self._value(stop_op)
+            diff = _add(stop, start, sign=-1)
+            if diff is not None:
+                dlo, dhi = _range(diff, self.syms)
+                # Worst-case trip count over all lanes; the loop symbol's
+                # domain only needs to *cover* the iterate set to be sound.
+                top = dhi if cmp_op is Op.ILT else -dlo
+                trips = max(1, -(-top // abs(step)))
+                induction = (ivar, start, step, trips)
+        # Loop-carried registers hold iteration-dependent values: demote
+        # them before the walk (stale pre-loop forms must not survive) and
+        # after (post-loop uses see the final, unknown iterate).  Values
+        # recomputed inside the body from sregs/params regain their forms.
+        for name in assigned:
+            self.env[name] = None
+        if induction is not None:
+            ivar, start, step, trips = induction
+            k = self._new_sym("loop", trips)
+            self.env[ivar] = _checked(_add(start, _scale(k, step)), self.syms)
+        self._depth += 1
+        self._walk(stmt.cond_body)
+        self._walk(stmt.body)
+        self._depth -= 1
+        for name in assigned:
+            self.env[name] = None
+
+
+def _match_counted(stmt: While, assigned: set):
+    """Recognise the builder's counted-loop shape, or ``None``.
+
+    Matches ``while (ivar < stop)``/``(ivar > stop)`` whose body ends with
+    the canonical ``t = ivar + step; ivar = t`` increment, with ``ivar``
+    assigned nowhere else and ``stop`` stable across iterations.  Returns
+    ``(ivar_name, step, stop_operand, cmp_op)``.
+    """
+    cb = stmt.cond_body
+    if len(cb) != 1 or not isinstance(cb[0], Instr):
+        return None
+    cmp = cb[0]
+    if cmp.op not in (Op.ILT, Op.IGT) or len(cmp.srcs) != 2:
+        return None
+    if not isinstance(stmt.cond, Reg) or cmp.dest.name != stmt.cond.name:
+        return None
+    ivar_op, stop_op = cmp.srcs
+    if not isinstance(ivar_op, Reg):
+        return None
+    body = stmt.body
+    if len(body) < 2:
+        return None
+    inc, mv = body[-2], body[-1]
+    if not (
+        isinstance(mv, Instr)
+        and mv.op is Op.MOV
+        and mv.dest.name == ivar_op.name
+        and len(mv.srcs) == 1
+        and isinstance(mv.srcs[0], Reg)
+    ):
+        return None
+    if not (
+        isinstance(inc, Instr)
+        and inc.op is Op.IADD
+        and inc.dest.name == mv.srcs[0].name
+        and len(inc.srcs) == 2
+    ):
+        return None
+    a, b = inc.srcs
+    step = None
+    if isinstance(a, Reg) and a.name == ivar_op.name and isinstance(b, Imm):
+        step = b.value
+    elif isinstance(b, Reg) and b.name == ivar_op.name and isinstance(a, Imm):
+        step = a.value
+    if not isinstance(step, int) or isinstance(step, bool) or step == 0:
+        return None
+    if (cmp.op is Op.ILT) != (step > 0):
+        return None
+    for inner in walk_stmts(list(stmt.cond_body) + list(body[:-1])):
+        if isinstance(inner, (Instr, Load)) and inner.dest.name == ivar_op.name:
+            return None
+        if (
+            isinstance(inner, Atomic)
+            and inner.dest is not None
+            and inner.dest.name == ivar_op.name
+        ):
+            return None
+    if isinstance(stop_op, Reg) and stop_op.name in assigned:
+        return None
+    return ivar_op.name, step, stop_op, cmp.op
+
+
+def analyze(
+    kernel: Kernel,
+    grid: Tuple[int, int],
+    block: Tuple[int, int],
+    params_by_name: Dict,
+    include_loads: bool = True,
+) -> Footprints:
+    """Collect affine byte-address forms for every relevant memory site.
+
+    ``include_loads=False`` drops global loads from the site list — correct
+    exactly when the launch's resolved load bases are disjoint from its
+    store bases (the caller checks via the base-pointer dataflow), so no
+    load can observe a same-launch store regardless of addressing.
+    """
+    return _Pass(grid, block, params_by_name, include_loads).run(kernel)
+
+
+# ---------------------------------------------------------------------------
+# Symbolic disjointness
+
+
+def _block_coeffs(aff: Aff, syms: List[FootSym]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for i, c in aff.terms:
+        if syms[i].is_block:
+            out[syms[i].name] = out.get(syms[i].name, 0) + c
+    return out
+
+
+def _mixed_radix_injective(terms: List[Tuple[int, int]]) -> bool:
+    """Injectivity of ``Σ stride·v`` over independent ``v ∈ [0, count)``.
+
+    Sufficient condition: in ascending stride order, each stride strictly
+    clears the total span of everything below it (the classic mixed-radix
+    digit argument).  Equal strides always fail.
+    """
+    span = 0
+    for stride, count in sorted(terms):
+        if stride <= span:
+            return False
+        span += stride * (count - 1)
+    return True
+
+
+def _lattice_hits_interval(
+    cmap: Dict[str, int], grid: Tuple[int, int], lo: int, hi: int
+) -> bool:
+    """Whether any non-zero block delta lands ``Σ coeff·δ`` inside [lo, hi].
+
+    Deltas range over ``δx ∈ (-gx, gx)``, ``δy ∈ (-gy, gy)`` with
+    ``(δx, δy) ≠ (0, 0)``; a dimension missing from ``cmap`` contributes
+    coefficient 0 (two blocks differing only there collide at distance 0).
+    Grids beyond the enumeration cap conservatively report a hit.
+    """
+    gx, gy = grid
+    if (2 * gx - 1) * (2 * gy - 1) > _LATTICE_ENUM_CAP:
+        return True
+    cx = cmap.get("%ctaid.x", 0)
+    cy = cmap.get("%ctaid.y", 0)
+    dx = np.arange(-(gx - 1), gx, dtype=np.int64) * cx
+    dy = np.arange(-(gy - 1), gy, dtype=np.int64) * cy
+    values = dx[:, None] + dy[None, :]
+    hits = (values >= lo) & (values <= hi)
+    hits[gx - 1, gy - 1] = False  # δ = (0, 0) is not a cross-block pair
+    return bool(hits.any())
+
+
+def _self_disjoint(site: FootSite, syms: List[FootSym], grid: Tuple[int, int]) -> bool:
+    """No two *different* blocks ever write a common byte through ``site``."""
+    aff = site.aff
+    cmap = _block_coeffs(aff, syms)
+    if grid[0] > 1 and not cmap.get("%ctaid.x"):
+        return False
+    if grid[1] > 1 and not cmap.get("%ctaid.y"):
+        return False
+    terms = [(abs(c), syms[i].count) for i, c in aff.terms]
+    terms.append((1, site.esize))  # element bytes behave like one more digit
+    if _mixed_radix_injective(terms):
+        return True
+    rest_span = site.esize - 1
+    for i, c in aff.terms:
+        if not syms[i].is_block:
+            rest_span += abs(c) * (syms[i].count - 1)
+    return not _lattice_hits_interval(cmap, grid, -rest_span, rest_span)
+
+
+def _pair_disjoint(
+    a: FootSite, b: FootSite, syms: List[FootSym], grid: Tuple[int, int]
+) -> bool:
+    """No block's accesses through ``a`` meet a *different* block's ``b``."""
+    alo, ahi = _range(a.aff, syms)
+    blo, bhi = _range(b.aff, syms)
+    if ahi + a.esize - 1 < blo or bhi + b.esize - 1 < alo:
+        return True  # the absolute byte intervals never meet at all
+    ca = _block_coeffs(a.aff, syms)
+    cb = _block_coeffs(b.aff, syms)
+    if ca != cb:
+        return False
+    # Identical block tiling: the difference of the two addresses is the
+    # block-lattice value plus a residual built from each site's non-block
+    # symbols, which are independent across the two (different) blocks.
+    ralo = rahi = a.aff.const
+    for i, c in a.aff.terms:
+        if not syms[i].is_block:
+            extent = c * (syms[i].count - 1)
+            ralo += min(extent, 0)
+            rahi += max(extent, 0)
+    rblo = rbhi = b.aff.const
+    for i, c in b.aff.terms:
+        if not syms[i].is_block:
+            extent = c * (syms[i].count - 1)
+            rblo += min(extent, 0)
+            rbhi += max(extent, 0)
+    diff_lo = ralo - (rbhi + b.esize - 1)
+    diff_hi = (rahi + a.esize - 1) - rblo
+    return not _lattice_hits_interval(ca, grid, -diff_hi, -diff_lo)
+
+
+def symbolically_disjoint(fp: Footprints, grid: Tuple[int, int]) -> bool:
+    """Prove the launch's cross-block memory operations can never collide.
+
+    Requires every looped store site to be self-disjoint across blocks and
+    every store×store / store×load site pair to be cross-block disjoint.
+    Straight-line single-site self-overlap needs no proof: one scatter's
+    highest-lane-wins tie-break already reproduces sequential block order.
+    """
+    if not fp.complete:
+        return False
+    stores = [s for s in fp.sites if s.kind == "store"]
+    loads = [s for s in fp.sites if s.kind == "load"]
+    for site in stores:
+        if site.in_loop and not _self_disjoint(site, fp.syms, grid):
+            return False
+    for i, a in enumerate(stores):
+        for b in stores[i + 1 :]:
+            if not _pair_disjoint(a, b, fp.syms, grid):
+                return False
+        for b in loads:
+            if not _pair_disjoint(a, b, fp.syms, grid):
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Concrete per-block extents and greedy grouping
+
+
+def block_extents(fp: Footprints, grid: Tuple[int, int], nblocks: int):
+    """Exact per-block byte intervals for every site, or ``None``.
+
+    Returns a list of ``(kind, in_loop, lo, hi)`` with ``lo``/``hi`` int64
+    arrays of length ``nblocks`` (inclusive byte bounds): block symbols are
+    evaluated at each block's coordinates, every other symbol contributes
+    its full range.  ``None`` when any site's address is not affine.
+    """
+    if not fp.complete:
+        return None
+    la = np.arange(nblocks, dtype=np.int64)
+    cx = la % grid[0]
+    cy = la // grid[0]
+    out = []
+    for site in fp.sites:
+        lo = hi = site.aff.const
+        blk = np.zeros(nblocks, dtype=np.int64)
+        for i, c in site.aff.terms:
+            sym = fp.syms[i]
+            if sym.is_block:
+                blk = blk + c * (cx if sym.name == "%ctaid.x" else cy)
+            else:
+                extent = c * (sym.count - 1)
+                lo += min(extent, 0)
+                hi += max(extent, 0)
+        out.append((site.kind, site.in_loop, blk + lo, blk + hi + site.esize - 1))
+    return out
+
+
+#: Patch point for the ``simt.footprint_grouping`` planted-violation
+#: self-test: :func:`repro.simt.compiled.plan_batches` resolves this name at
+#: call time, so replacing it swaps the extents the planner reasons from.
+_block_extents = block_extents
+
+
+def group_blocks(extents, nblocks: int, cap: int):
+    """Greedily grow contiguous runs of footprint-compatible blocks.
+
+    A block joins the current run unless one of its write intervals meets
+    the run's write hull at a *different* site (or the same site when that
+    site is looped — iteration reordering breaks scatter parity), one of
+    its writes meets the run's read hull, or one of its reads meets the
+    run's write hull.  Returns ``(group_of, groups, largest)``: a
+    non-decreasing int array mapping linear block id to group id, the group
+    count, and the widest group.
+    """
+    stores = [(in_loop, lo, hi) for kind, in_loop, lo, hi in extents if kind == "store"]
+    loads = [(lo, hi) for kind, _, lo, hi in extents if kind == "load"]
+    group_of = np.zeros(nblocks, dtype=np.int64)
+    whull = [[int(lo[0]), int(hi[0])] for _, lo, hi in stores]
+    lhull = [[int(lo[0]), int(hi[0])] for lo, hi in loads]
+    group = 0
+    run_len = 1
+    largest = 1
+    for b in range(1, nblocks):
+        conflict = run_len >= cap
+        if not conflict:
+            for si, (s_loop, slo, shi) in enumerate(stores):
+                hlo, hhi = whull[si]
+                for ti, (_, tlo, thi) in enumerate(stores):
+                    if ti == si and not s_loop:
+                        continue  # single-shot same-site: scatter order parity
+                    if tlo[b] <= hhi and hlo <= thi[b]:
+                        conflict = True
+                        break
+                if conflict:
+                    break
+                for llo, lhi_ in loads:
+                    if llo[b] <= hhi and hlo <= lhi_[b]:
+                        conflict = True
+                        break
+                if conflict:
+                    break
+            if not conflict:
+                for li, (llo, lhi_) in enumerate(loads):
+                    hlo, hhi = lhull[li]
+                    for _, slo, shi in stores:
+                        if slo[b] <= hhi and hlo <= shi[b]:
+                            conflict = True
+                            break
+                    if conflict:
+                        break
+        if conflict:
+            group += 1
+            run_len = 1
+            for si, (_, slo, shi) in enumerate(stores):
+                whull[si] = [int(slo[b]), int(shi[b])]
+            for li, (llo, lhi_) in enumerate(loads):
+                lhull[li] = [int(llo[b]), int(lhi_[b])]
+        else:
+            run_len += 1
+            if run_len > largest:
+                largest = run_len
+            for si, (_, slo, shi) in enumerate(stores):
+                whull[si][0] = min(whull[si][0], int(slo[b]))
+                whull[si][1] = max(whull[si][1], int(shi[b]))
+            for li, (llo, lhi_) in enumerate(loads):
+                lhull[li][0] = min(lhull[li][0], int(llo[b]))
+                lhull[li][1] = max(lhull[li][1], int(lhi_[b]))
+        group_of[b] = group
+    return group_of, group + 1, largest

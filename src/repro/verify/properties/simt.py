@@ -11,7 +11,11 @@ happened to schedule it.  These properties pin that down:
   bit-invisible, including to the reuse sections;
 * the compiled engine's hazard-driven batch pinning agrees with the
   interpreted baseline on generated kernels (the PR-3 oracle, run as a
-  standing invariant).
+  standing invariant);
+* footprint-grouped batching (hazard-flagged launches whose per-block
+  write footprints were proven disjoint by the concrete extent analysis)
+  matches the interpreted baseline bit-for-bit, and a falsified extent
+  computation is caught.
 """
 
 from __future__ import annotations
@@ -288,3 +292,130 @@ class BatchParity(Property):
             )
         finally:
             compiled._batch_hazard = original
+
+
+def _case_plan(case: Case):
+    """Batch plan the compiled engine would use for *case* at auto settings."""
+    from repro.fuzz.generator import build_kernel, make_device
+    from repro.simt.compiled import compile_kernel, plan_batches
+
+    ck = compile_kernel(build_kernel(case))
+    _dev, bufs = make_device(case)
+    params = {name: buf.base for name, buf in bufs.items()}
+    return plan_batches(ck, (case["grid"], 1), tuple(case["block"]), params)
+
+
+def _grouping_diffs(case: Case) -> List[str]:
+    """Interpreted vs compiled differences (memory + every profile section)."""
+    base = run_case_launch(case)
+    grouped = run_case_launch(case, engine="compiled")
+    return compare_outcomes(
+        base,
+        grouped,
+        passes=list(base.sections or ()),
+        label="footprint-grouping",
+        compare_memory=True,
+    )
+
+
+@register
+class FootprintGrouping(Property):
+    name = "simt.footprint_grouping"
+    layer = "simt"
+    invariant = (
+        "footprint-grouped compiled batching (hazard-flagged launches whose "
+        "per-block write extents are disjoint) matches the interpreted "
+        "baseline bit-for-bit in memory and every profile section"
+    )
+    generator_backed = True
+
+    #: Seed-search cap for the check's grouped-case basket.  Grouped-tier
+    #: cases make up roughly a fifth of the aliasing seed space, so this
+    #: comfortably covers the deep basket while bounding a degenerate scan.
+    _SCAN_CAP = 2000
+
+    def check(self, ctx: VerifyContext) -> PropertyResult:
+        from repro.fuzz.generator import ALIAS_SEED_BASE
+
+        n = ctx.cases(3, 12)
+        cases = 0
+        for i in range(self._SCAN_CAP):
+            if cases >= n:
+                break
+            # Force the seed into the aliasing grammar band so oload /
+            # bandstore statements (the grouped-tier shapes) are reachable.
+            case = generate_case(ALIAS_SEED_BASE | ctx.case_seed(self.name, i))
+            if _case_plan(case).tier != "footprint_grouped":
+                continue
+            cases += 1
+            failures = _grouping_diffs(case)
+            if failures:
+                shrunk = shrink_case(
+                    case,
+                    lambda c: _case_plan(c).tier == "footprint_grouped"
+                    and bool(_grouping_diffs(c)),
+                )
+                return self._result(
+                    cases, failures, _case_witness(shrunk, _grouping_diffs(shrunk))
+                )
+        return self._result(cases, [])
+
+    def plant(self, ctx: VerifyContext) -> PlantResult:
+        """Falsify the extent analysis and prove the parity check notices.
+
+        The planted ``_block_extents`` collapses every site's per-block
+        footprint to the single byte ``[block, block]``, so genuinely
+        overlapping blocks look pairwise disjoint and get batched together
+        — exactly the failure an unsound footprint analysis would cause.
+        """
+        import numpy as np
+
+        from repro.fuzz.generator import ALIAS_SEED_BASE
+        from repro.simt import footprint
+
+        start = time.perf_counter()
+        original = footprint._block_extents
+
+        def collapsed(fp, grid, nblocks):
+            real = original(fp, grid, nblocks)
+            if real is None:
+                return None
+            fake = np.arange(nblocks, dtype=np.int64)
+            return [(kind, in_loop, fake, fake) for kind, in_loop, _lo, _hi in real]
+
+        try:
+            footprint._block_extents = collapsed
+            for attempt in range(_PLANT_ATTEMPTS):
+                case = generate_case(ALIAS_SEED_BASE + 770_000 + attempt)
+                if _case_plan(case).tier != "footprint_grouped":
+                    continue
+                failures = _grouping_diffs(case)
+                if not failures:
+                    continue
+                before = case_stmt_count(case)
+                shrunk = shrink_case(case, lambda c: bool(_grouping_diffs(c)))
+                failure = _grouping_diffs(shrunk)[0]
+                # With the real extent analysis restored the shrunk case
+                # must be clean — the plant, not the engine, broke parity.
+                footprint._block_extents = original
+                clean = not _grouping_diffs(shrunk)
+                return PlantResult(
+                    name=self.name,
+                    detected=clean,
+                    seconds=time.perf_counter() - start,
+                    detail=(
+                        f"seed {case['seed']}: {failure}"
+                        if clean
+                        else "shrunk case still fails with real extents restored"
+                    ),
+                    shrunk_from=before,
+                    shrunk_to=case_stmt_count(shrunk),
+                )
+            return PlantResult(
+                name=self.name,
+                detected=False,
+                seconds=time.perf_counter() - start,
+                detail=f"no parity break found in {_PLANT_ATTEMPTS} seeds",
+            )
+        finally:
+            footprint._block_extents = original

@@ -7,6 +7,13 @@ genuinely multi-block columnar batches, and two store-hazard shapes whose
 overlap-window stores collide with the epilogue across blocks) — replaying
 them pins the generator's seed → case mapping, the engines' agreement on
 each shape, and scalar-vs-columnar per-pass section parity.
+
+Four entries come from the aliasing grammar band (seeds above
+``ALIAS_SEED_BASE``) and pin the footprint-disjointness batch planner's
+tiers: a looped store the symbolic pass proves disjoint (un-pinned), a
+looped store with genuine cross-block overlap (stays pinned), a bandstore
+whose concrete extents group most blocks, and an output-buffer load whose
+interval clears the stores (grouped).
 """
 
 import pytest
@@ -27,7 +34,7 @@ ENTRIES = list(iter_corpus(default_corpus_dir()))
 
 
 def test_corpus_is_present_and_diverse():
-    assert len(ENTRIES) >= 10
+    assert len(ENTRIES) >= 14
     tags = {meta["tag"] for _, _, meta in ENTRIES}
     assert tags == {"lane-disjoint", "communicating"}
 

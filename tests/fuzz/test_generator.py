@@ -2,7 +2,12 @@
 
 from repro.fuzz import build_kernel, case_stmt_count, describe_case, generate_case
 from repro.fuzz.campaign import case_seed
-from repro.fuzz.generator import STMT_KINDS, make_device
+from repro.fuzz.generator import (
+    ALIAS_SEED_BASE,
+    ALIAS_STMT_KINDS,
+    STMT_KINDS,
+    make_device,
+)
 from repro.simt import classify_kernel, disassemble
 
 
@@ -44,15 +49,36 @@ def test_generator_covers_the_ir_surface():
                 walk(s["body"], depth + 1)
 
     for i in range(120):
-        case = generate_case(case_seed(11, i))
+        seed = case_seed(11, i)
+        assert seed >= ALIAS_SEED_BASE  # this stream draws the extended grammar
+        case = generate_case(seed)
         walk(case["stmts"], 0)
         tags.add(classify_kernel(build_kernel(case)).tag)
 
-    # The "cast" grammar entry emits concrete "i2f"/"f2i" statements.
-    kinds = {k for k, _ in STMT_KINDS} - {"cast"} | {"i2f", "f2i"}
+    # The "cast" grammar entry emits concrete "i2f"/"f2i" statements; seeds
+    # in the aliasing band add the "oload"/"bandstore" planner-stress kinds.
+    kinds = {k for k, _ in ALIAS_STMT_KINDS} - {"cast"} | {"i2f", "f2i"}
     assert seen == kinds, f"kinds never generated: {kinds - seen}"
     assert 2 in depths, "control flow never nested two levels deep"
     assert tags == {"lane-disjoint", "communicating"}
+
+    # Below the band the original grammar is untouched — corpus seeds and
+    # historical campaigns replay bit-identically.
+    old = set()
+    for i in range(60):
+        walk_target = generate_case(1000 + i)["stmts"]
+
+        def collect(stmts):
+            for s in stmts:
+                old.add(s["k"])
+                if s["k"] == "if":
+                    collect(s["then"])
+                    collect(s["else"])
+                elif s["k"] == "while":
+                    collect(s["body"])
+
+        collect(walk_target)
+    assert old <= {k for k, _ in STMT_KINDS} - {"cast"} | {"i2f", "f2i"}
 
 
 def test_case_stmt_count_counts_nested_bodies():

@@ -247,31 +247,74 @@ def test_callback_mode_never_batches_profiled_blocks():
     assert stats["largest_batch"] > 1
 
 
-def test_load_store_overlap_pins_observed_batches():
-    # A kernel whose loads can observe its own stores must keep profiled
-    # blocks at sequential execution points: observed batches pin to one
-    # block (silent stretches still batch), so the recorded trace matches
-    # sequential execution even for benignly racy workloads such as BFS.
+def test_load_store_overlap_planning_tiers():
+    # A per-lane RMW (``o[gid] += 1``) is hazard-flagged by the buffer
+    # dataflow, but the footprint analysis proves every block touches a
+    # private address range: the launch batches at full width and device
+    # memory stays bit-identical to the interpreter.
     b = KernelBuilder("k")
     o = b.param_buf("o", DType.I32)
     i = b.global_thread_id()
     b.st(o, i, b.iadd(b.ld(o, i), 1))
     k = b.finalize()
 
+    init = np.arange(8 * 32, dtype=np.int32)
+    results = {}
+    for engine in ("interpreted", "compiled"):
+        dev = Device()
+        obuf = dev.alloc("o", 8 * 32, DType.I32)
+        dev.upload(obuf, init)
+        ex = Executor(
+            dev,
+            sinks=[KernelTraceCollector()],
+            profile_filter=stride_sampler(2),
+            engine=engine,
+        )
+        ex.launch(k, 8, 32, {"o": obuf})
+        results[engine] = dev.download(obuf)
+        stats = ex.last_launch_stats
+    assert np.array_equal(results["interpreted"], results["compiled"])
+    assert stats["hazard_tier"] == "symbolic_clear"
+    assert stats["observed_batch_limit"] > 1
+    assert stats["largest_batch"] > 1
+    # A shifted read of the same buffer (``o[gid] = o[gid + 1] + 1``) makes
+    # every block's reads overlap its neighbour's writes: no grouping is
+    # possible and the launch pins to one block per batch.
+    b = KernelBuilder("kshift")
+    o = b.param_buf("o", DType.I32)
+    i = b.global_thread_id()
+    b.st(o, i, b.iadd(b.ld(o, b.iadd(i, 1)), 1))
+    kshift = b.finalize()
     dev = Device()
-    obuf = dev.alloc("o", 8 * 32, DType.I32)
+    obuf = dev.alloc("o", 8 * 32 + 1, DType.I32)
     ex = Executor(
         dev,
         sinks=[KernelTraceCollector()],
         profile_filter=stride_sampler(2),
         engine="compiled",
     )
-    ex.launch(k, 8, 32, {"o": obuf})
+    ex.launch(kshift, 8, 32, {"o": obuf})
     stats = ex.last_launch_stats
+    assert stats["hazard_tier"] == "pinned"
+    assert stats["pin_reason"] == "footprint-overlap"
     assert stats["observed_batch_limit"] == 1
-    assert stats["profiled_blocks"] == 2
-    assert stats["observed_batches"] == 2
-    # Disjoint load/store buffers keep the full observed batch limit.
+    assert stats["largest_batch"] == 1
+    # An indirect store address (loaded from memory) is opaque to the
+    # affine analysis, so the launch pins outright.
+    b = KernelBuilder("kind")
+    o = b.param_buf("o", DType.I32)
+    i = b.global_thread_id()
+    b.st(o, b.ld(o, i), 1)
+    kind = b.finalize()
+    dev = Device()
+    obuf = dev.alloc("o", 8 * 32, DType.I32)
+    ex = Executor(dev, engine="compiled")
+    ex.launch(kind, 8, 32, {"o": obuf})
+    stats = ex.last_launch_stats
+    assert stats["hazard_tier"] == "pinned"
+    assert stats["pin_reason"] == "opaque-address"
+    assert stats["batch_limit"] == 1
+    # Disjoint load/store buffers never flag a hazard in the first place.
     b = KernelBuilder("k2")
     src = b.param_buf("src", DType.I32)
     dst = b.param_buf("dst", DType.I32)
@@ -288,8 +331,10 @@ def test_load_store_overlap_pins_observed_batches():
         engine="compiled",
     )
     ex.launch(k2, 8, 32, {"src": sbuf, "dst": dbuf})
+    assert ex.last_launch_stats["hazard_tier"] == "clear"
     assert ex.last_launch_stats["observed_batch_limit"] > 1
-    # ... but binding the same buffer to both params is aliasing, and pins.
+    # Binding one buffer to both params aliases them; the footprint pass
+    # still proves the copy per-lane private, so it batches anyway.
     dev = Device()
     buf = dev.alloc("b", 8 * 32, DType.I32)
     ex = Executor(
@@ -299,7 +344,8 @@ def test_load_store_overlap_pins_observed_batches():
         engine="compiled",
     )
     ex.launch(k2, 8, 32, {"src": buf, "dst": buf})
-    assert ex.last_launch_stats["observed_batch_limit"] == 1
+    assert ex.last_launch_stats["hazard_tier"] == "symbolic_clear"
+    assert ex.last_launch_stats["observed_batch_limit"] > 1
 
 
 def test_atomic_kernels_pin_batches_to_one_block():
